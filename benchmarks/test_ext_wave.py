@@ -1,0 +1,38 @@
+"""Extension: Wave propagation (Pereira & Berlin, the paper's ref [11])
+vs the paper's solvers, under the IP representation.
+
+Not part of the paper's Table IV space — included to position the
+reproduction's solver collection against another literature family.
+Solutions are validated identical as always.
+"""
+
+import pytest
+
+from repro.analysis.config import parse_name, solve_prepared
+
+CONFIGS = ["IP+Wave", "IP+OVS+Wave", "IP+WL(FIFO)", "IP+WL(FIFO)+PIP", "IP+Naive"]
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+def test_wave_vs_paper_solvers(benchmark, corpus_files, config_name):
+    config = parse_name(config_name)
+    programs = [f.program for f in corpus_files]
+
+    def solve_all():
+        return [solve_prepared(p, config) for p in programs]
+
+    solutions = benchmark.pedantic(solve_all, rounds=2, iterations=1)
+    assert len(solutions) == len(programs)
+
+
+def test_wave_solutions_identical(benchmark, corpus_files):
+    def check():
+        mismatches = 0
+        for f in corpus_files:
+            wave = solve_prepared(f.program, parse_name("IP+Wave"))
+            wl = solve_prepared(f.program, parse_name("IP+WL(FIFO)"))
+            if wave != wl:
+                mismatches += 1
+        return mismatches
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1) == 0

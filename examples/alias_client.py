@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compiler-client scenario: how much alias precision does the sound
+Andersen analysis add on top of a BasicAA-style IR traversal?
+
+This mirrors the paper's Fig. 9 experiment on a single realistic
+translation unit: an intrusive linked-list module with private (static)
+state, exported mutators, and calls into an unknown allocator.  The
+conflict-rate client queries every store against every other memory
+access in the same function; each MayAlias answer blocks optimisations
+like dead-store elimination or load reordering.
+
+Run:  python examples/alias_client.py
+"""
+
+from repro.alias import AndersenAA, BasicAA, CombinedAA, conflict_rate
+from repro.analysis import analyze_module
+from repro.frontend import compile_c
+
+SOURCE = r"""
+extern void* malloc(unsigned long n);
+extern void free(void* p);
+
+struct node {
+    struct node* next;
+    int key;
+    int value;
+};
+
+/* Private state: never escapes this file. */
+static struct node* head;
+static int size;
+static int hits, misses;
+
+static struct node* find(int key) {
+    struct node* cur = head;
+    while (cur) {
+        if (cur->key == key) { hits++; return cur; }
+        cur = cur->next;
+    }
+    misses++;
+    return 0;
+}
+
+int cache_get(int key, int* out) {
+    struct node* n = find(key);
+    if (!n) return 0;
+    *out = n->value;
+    return 1;
+}
+
+int cache_put(int key, int value) {
+    struct node* n = find(key);
+    if (n) { n->value = value; return 0; }
+    n = malloc(sizeof(struct node));
+    if (!n) return -1;
+    n->key = key;
+    n->value = value;
+    n->next = head;
+    head = n;
+    size++;
+    return 1;
+}
+
+void cache_clear(void) {
+    struct node* cur = head;
+    while (cur) {
+        struct node* next = cur->next;
+        free(cur);
+        cur = next;
+    }
+    head = 0;
+    size = 0;
+}
+
+int cache_stats(int* out_hits, int* out_misses) {
+    *out_hits = hits;
+    *out_misses = misses;
+    return size;
+}
+"""
+
+
+def main() -> None:
+    module = compile_c(SOURCE, "intrusive_cache.c")
+    result = analyze_module(module)
+
+    analyses = {
+        "BasicAA alone": BasicAA(),
+        "Andersen alone": AndersenAA(result),
+        "Andersen + BasicAA": CombinedAA([AndersenAA(result), BasicAA()]),
+    }
+    print(f"{'analysis':>20}  {'queries':>8}  {'NoAlias':>8}  {'MayAlias':>9}  rate")
+    baseline = None
+    for name, aa in analyses.items():
+        stats = conflict_rate(module, aa)
+        rate = 100 * stats.may_alias_rate
+        print(
+            f"{name:>20}  {stats.queries:8d}  {stats.no_alias:8d}"
+            f"  {stats.may_alias:9d}  {rate:5.1f}%"
+        )
+        if baseline is None:
+            baseline = stats.may_alias
+        final = stats.may_alias
+    reduction = 100 * (1 - final / baseline) if baseline else 0.0
+    print(
+        f"\nAdding the points-to graph removes {reduction:.0f}% of the"
+        " MayAlias answers (paper reports ~40% on its corpus)."
+    )
+
+    # A concrete pair the points-to analysis resolves: the private
+    # counters can never alias the caller-provided out-pointers.
+    print("\nWhy it matters: in cache_stats, BasicAA cannot tell whether")
+    print("*out_hits aliases the private counter `misses`; Andersen can,")
+    print("so the compiler may keep `misses` in a register across the store.")
+
+
+if __name__ == "__main__":
+    main()

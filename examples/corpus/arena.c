@@ -1,0 +1,63 @@
+/* A bump-pointer arena allocator: pointer arithmetic, pointer/integer
+ * casts for alignment (the §III-C provenance cases), chained blocks. */
+
+extern void* malloc(unsigned long n);
+extern void free(void* p);
+
+struct block {
+    struct block* prev;
+    char* cursor;
+    char* limit;
+    /* data follows */
+};
+
+struct arena {
+    struct block* current;
+    unsigned long block_size;
+};
+
+static struct block* new_block(unsigned long size, struct block* prev) {
+    struct block* b = malloc(sizeof(struct block) + size);
+    if (!b)
+        return 0;
+    b->prev = prev;
+    b->cursor = (char*)b + sizeof(struct block);
+    b->limit = b->cursor + size;
+    return b;
+}
+
+struct arena* arena_new(unsigned long block_size) {
+    struct arena* a = malloc(sizeof(struct arena));
+    if (!a)
+        return 0;
+    a->block_size = block_size ? block_size : 4096;
+    a->current = new_block(a->block_size, 0);
+    return a;
+}
+
+void* arena_alloc(struct arena* a, unsigned long size) {
+    /* Align to 8 via integer round-up: ptr -> int -> ptr. */
+    unsigned long addr = (unsigned long)a->current->cursor;
+    addr = (addr + 7) & ~(unsigned long)7;
+    char* aligned = (char*)addr;
+    if (aligned + size > a->current->limit) {
+        unsigned long want = size > a->block_size ? size : a->block_size;
+        struct block* b = new_block(want, a->current);
+        if (!b)
+            return 0;
+        a->current = b;
+        aligned = b->cursor;
+    }
+    a->current->cursor = aligned + size;
+    return aligned;
+}
+
+void arena_free(struct arena* a) {
+    struct block* b = a->current;
+    while (b) {
+        struct block* prev = b->prev;
+        free(b);
+        b = prev;
+    }
+    free(a);
+}

@@ -1,0 +1,71 @@
+/* A callback-driven event loop: function-pointer tables, registration
+ * of callbacks from outside, unknown handler modules.  Exercises
+ * indirect calls, escaped function pointers, arrays of structs. */
+
+extern void* malloc(unsigned long n);
+extern void ext_log(const char* msg);
+extern int ext_poll(void);
+
+typedef void (*handler_fn)(int event, void* ctx);
+
+struct registration {
+    handler_fn handler;
+    void* ctx;
+    int event_mask;
+    int live;
+};
+
+#define MAX_HANDLERS 16
+
+static struct registration handlers[MAX_HANDLERS];
+static int n_handlers;
+static int shutting_down;
+
+int loop_register(handler_fn fn, void* ctx, int mask) {
+    if (n_handlers >= MAX_HANDLERS)
+        return -1;
+    struct registration* r = &handlers[n_handlers];
+    r->handler = fn;
+    r->ctx = ctx;
+    r->event_mask = mask;
+    r->live = 1;
+    n_handlers++;
+    return n_handlers - 1;
+}
+
+void loop_unregister(int id) {
+    if (id >= 0 && id < n_handlers)
+        handlers[id].live = 0;
+}
+
+static void dispatch(int event) {
+    int i;
+    for (i = 0; i < n_handlers; i++) {
+        struct registration* r = &handlers[i];
+        if (r->live && (r->event_mask & event))
+            r->handler(event, r->ctx);
+    }
+}
+
+static void on_tick(int event, void* ctx) {
+    int* counter = ctx;
+    if (counter)
+        (*counter)++;
+}
+
+int loop_run(void) {
+    static int ticks;
+    loop_register(on_tick, &ticks, 1);
+    while (!shutting_down) {
+        int event = ext_poll();
+        if (event < 0)
+            break;
+        dispatch(event);
+    }
+    ext_log("loop done");
+    return ticks;
+}
+
+void loop_stop(void) {
+    shutting_down = 1;
+}

@@ -1,0 +1,96 @@
+/* A separate-chaining hash table: typical pointer-dense library code.
+ * Exercises: structs, nested pointers, malloc/free, loops, function
+ * pointers (custom hash), static helpers, escaped API surface. */
+
+extern void* malloc(unsigned long n);
+extern void free(void* p);
+
+typedef unsigned long (*hash_fn)(const char* key);
+
+struct entry {
+    struct entry* next;
+    const char* key;
+    void* value;
+};
+
+struct table {
+    struct entry* buckets[64];
+    hash_fn hash;
+    int count;
+};
+
+static unsigned long default_hash(const char* key) {
+    unsigned long h = 5381;
+    while (*key) {
+        h = h * 33 + (unsigned char)*key;
+        key++;
+    }
+    return h;
+}
+
+static int streq(const char* a, const char* b) {
+    while (*a && *b) {
+        if (*a != *b) return 0;
+        a++; b++;
+    }
+    return *a == *b;
+}
+
+struct table* table_new(hash_fn hash) {
+    struct table* t = malloc(sizeof(struct table));
+    if (!t) return 0;
+    int i;
+    for (i = 0; i < 64; i++)
+        t->buckets[i] = 0;
+    t->hash = hash ? hash : default_hash;
+    t->count = 0;
+    return t;
+}
+
+static struct entry** slot_for(struct table* t, const char* key) {
+    unsigned long h = t->hash(key);
+    return &t->buckets[h % 64];
+}
+
+int table_put(struct table* t, const char* key, void* value) {
+    struct entry** slot = slot_for(t, key);
+    struct entry* e = *slot;
+    while (e) {
+        if (streq(e->key, key)) {
+            e->value = value;
+            return 0;
+        }
+        e = e->next;
+    }
+    e = malloc(sizeof(struct entry));
+    if (!e) return -1;
+    e->key = key;
+    e->value = value;
+    e->next = *slot;
+    *slot = e;
+    t->count++;
+    return 1;
+}
+
+void* table_get(struct table* t, const char* key) {
+    struct entry* e = *slot_for(t, key);
+    while (e) {
+        if (streq(e->key, key))
+            return e->value;
+        e = e->next;
+    }
+    return 0;
+}
+
+void table_free(struct table* t) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        struct entry* e = t->buckets[i];
+        while (e) {
+            struct entry* next = e->next;
+            free(e);
+            e = next;
+        }
+    }
+    free(t);
+}

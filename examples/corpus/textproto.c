@@ -1,0 +1,101 @@
+/* A line-oriented protocol parser: char-pointer scanning, switch
+ * dispatch, enums, unions, goto-based error handling, static tables. */
+
+extern void* malloc(unsigned long n);
+extern void reply(const char* text);
+extern int read_line(char* buf, int cap);
+
+enum verb { V_GET, V_PUT, V_DEL, V_QUIT, V_UNKNOWN };
+
+union payload {
+    long number;
+    char* text;
+};
+
+struct command {
+    enum verb verb;
+    char key[32];
+    union payload payload;
+};
+
+static const char* verb_names[] = { "GET", "PUT", "DEL", "QUIT" };
+
+static int starts_with(const char* s, const char* prefix) {
+    while (*prefix) {
+        if (*s != *prefix)
+            return 0;
+        s++; prefix++;
+    }
+    return 1;
+}
+
+static enum verb classify(const char* line) {
+    int i;
+    for (i = 0; i < 4; i++)
+        if (starts_with(line, verb_names[i]))
+            return (enum verb)i;
+    return V_UNKNOWN;
+}
+
+static const char* skip_word(const char* p) {
+    while (*p && *p != ' ')
+        p++;
+    while (*p == ' ')
+        p++;
+    return p;
+}
+
+int parse_command(const char* line, struct command* out) {
+    out->verb = classify(line);
+    if (out->verb == V_UNKNOWN)
+        goto fail;
+    if (out->verb == V_QUIT)
+        return 1;
+    const char* p = skip_word(line);
+    if (!*p)
+        goto fail;
+    int i = 0;
+    while (*p && *p != ' ' && i < 31)
+        out->key[i++] = *p++;
+    out->key[i] = 0;
+    if (out->verb == V_PUT) {
+        p = skip_word(p);
+        long value = 0;
+        int neg = 0;
+        if (*p == '-') { neg = 1; p++; }
+        while (*p >= '0' && *p <= '9')
+            value = value * 10 + (*p++ - '0');
+        out->payload.number = neg ? -value : value;
+    }
+    return 1;
+fail:
+    reply("ERR bad command");
+    return 0;
+}
+
+int serve(void) {
+    char buf[128];
+    struct command cmd;
+    int served = 0;
+    while (read_line(buf, sizeof buf) > 0) {
+        if (!parse_command(buf, &cmd))
+            continue;
+        switch (cmd.verb) {
+        case V_GET:
+            reply("VALUE");
+            break;
+        case V_PUT:
+            reply("STORED");
+            break;
+        case V_DEL:
+            reply("DELETED");
+            break;
+        case V_QUIT:
+            return served;
+        default:
+            reply("ERR");
+        }
+        served++;
+    }
+    return served;
+}

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Escape audit of a library translation unit.
+
+When compiling one file of a larger program, the analysis tracks which
+memory locations are *externally accessible* — reachable by code the
+compiler cannot see.  That set is exactly what a compiler needs for
+sound interprocedural reasoning (mod/ref, promotion of globals to
+registers, dead-store elimination across calls), and what a security
+reviewer wants when asking "can anything outside this file touch my
+secret buffer?".
+
+This example analyses a small crypto-flavoured module and reports, for
+every named memory object, whether it stays private to the file.
+
+Run:  python examples/escape_audit.py
+"""
+
+from repro.analysis import OMEGA, analyze_source
+
+SOURCE = r"""
+extern void* malloc(unsigned long n);
+extern void memcpy_out(void* dst, const void* src, unsigned long n);
+extern void audit_log(const char* msg);
+
+/* Private key material: must never become externally accessible. */
+static unsigned char secret_key[32];
+static unsigned char round_keys[14][16];
+
+/* A scratch buffer that *is* handed to the outside world. */
+static unsigned char out_buffer[64];
+
+/* Exported configuration. */
+int crypto_rounds = 14;
+
+static void expand_key(void) {
+    int i;
+    for (i = 0; i < 32; i++)
+        round_keys[i % 14][i % 16] = secret_key[i];
+}
+
+void crypto_init(const unsigned char* key) {
+    int i;
+    for (i = 0; i < 32; i++)
+        secret_key[i] = key[i];
+    expand_key();
+}
+
+unsigned char* crypto_seal(const unsigned char* msg, unsigned long len) {
+    unsigned long i;
+    for (i = 0; i < len && i < 64; i++)
+        out_buffer[i] = msg[i] ^ round_keys[0][i % 16];
+    audit_log("sealed");
+    return out_buffer;          /* escapes via the return value */
+}
+
+void crypto_copy_out(void* dst) {
+    memcpy_out(dst, out_buffer, 64);
+}
+"""
+
+
+def main() -> None:
+    result = analyze_source(SOURCE, "crypto.c")
+    solution = result.solution
+    program = result.built.program
+    external = solution.names(solution.external)
+
+    print("symbol                         externally accessible?")
+    print("-" * 54)
+    for value, loc in sorted(
+        result.built.memloc_of.items(), key=lambda kv: kv[1]
+    ):
+        name = program.var_names[loc]
+        if name.startswith(".str"):
+            continue
+        verdict = "ESCAPES" if name in external else "private"
+        print(f"{name:30} {verdict}")
+
+    print()
+    assert "secret_key" not in external
+    assert "round_keys" not in external
+    assert "out_buffer" in external  # returned from an exported function
+    print("secret_key and round_keys stay private: no pointer to them")
+    print("ever reaches an external module, even though crypto_init and")
+    print("crypto_seal are exported and call unknown external functions.")
+    print()
+    print("out_buffer ESCAPES (returned by crypto_seal), so the compiler")
+    print("must assume external code may read or write it at any call.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""What the sound points-to analysis buys an optimiser.
+
+The function below keeps a temperature reading in a local, calls an
+unknown external logger, then re-reads and re-writes memory.  BasicAA
+must assume the call could touch anything whose address was taken; the
+sound Andersen analysis proves the local never escapes, so the
+Andersen-backed pass stack eliminates the dead store and the redundant
+reload across the call.
+
+Run:  python examples/optimizer_demo.py
+"""
+
+from repro.frontend import compile_c
+from repro.ir import Load, Store, print_function
+from repro.opt import optimize_module
+
+SOURCE = r"""
+extern void audit_log(int value);
+
+int sample(int raw) {
+    int reading;
+    int* cursor = &reading;     /* address taken: BasicAA gives up */
+    *cursor = raw;              /* dead: overwritten below, never read */
+    audit_log(raw);             /* unknown call — but cannot see `reading` */
+    *cursor = raw * 9 / 5 + 32;
+    return *cursor;             /* reload forwarded from the store */
+}
+"""
+
+
+def census(module, fn_name):
+    fn = module.functions[fn_name]
+    loads = sum(1 for i in fn.instructions() if isinstance(i, Load))
+    stores = sum(1 for i in fn.instructions() if isinstance(i, Store))
+    return loads, stores
+
+
+def main() -> None:
+    basic_module = compile_c(SOURCE, "demo.c")
+    before = census(basic_module, "sample")
+    stats_basic = optimize_module(basic_module, use_andersen=False)
+    after_basic = census(basic_module, "sample")
+
+    full_module = compile_c(SOURCE, "demo.c")
+    stats_full = optimize_module(full_module, use_andersen=True)
+    after_full = census(full_module, "sample")
+
+    print(f"before optimisation:       {before[0]} loads, {before[1]} stores")
+    print(
+        f"BasicAA-only pass stack:   {after_basic[0]} loads,"
+        f" {after_basic[1]} stores  (removed {stats_basic.total_removed})"
+    )
+    print(
+        f"Andersen + mod/ref stack:  {after_full[0]} loads,"
+        f" {after_full[1]} stores  (removed {stats_full.total_removed})"
+    )
+    assert stats_full.total_removed > stats_basic.total_removed
+    print("\noptimised function (Andersen stack):\n")
+    print(print_function(full_module.functions["sample"]))
+
+
+if __name__ == "__main__":
+    main()

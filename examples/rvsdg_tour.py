@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Tour of the RVSDG path: the paper's analysis runs inside the jlm
+compiler on a Regionalized Value State Dependence Graph, where control
+flow is structural (gamma/theta nodes) and side effects thread an
+explicit memory-state value.
+
+This example builds the RVSDG for a small pointer program, prints it,
+generates points-to constraints from it, and shows that the solution
+matches the flat-IR pipeline fact for fact.
+
+Run:  python examples/rvsdg_tour.py
+"""
+
+from repro.analysis import build_constraints, parse_name, run_configuration
+from repro.frontend import compile_c
+from repro.rvsdg import build_rvsdg_constraints, print_rvsdg, rvsdg_from_source
+
+SOURCE = r"""
+extern void* malloc(unsigned long n);
+extern void publish(int* p);
+
+static int pool[8];
+int* cursor;
+
+int* take(int n) {
+    int* chosen = 0;
+    if (n < 8)
+        chosen = &pool[n];
+    else
+        chosen = malloc(sizeof(int));
+    while (n > 0) {
+        cursor = chosen;
+        n--;
+    }
+    publish(chosen);
+    return chosen;
+}
+"""
+
+
+def main() -> None:
+    graph = rvsdg_from_source(SOURCE, "tour.c")
+    print(print_rvsdg(graph))
+
+    # Phase 1 on the RVSDG, then solve.
+    rv = build_rvsdg_constraints(graph)
+    config = parse_name("IP+WL(FIFO)+PIP")
+    rv_solution = run_configuration(rv.program, config)
+
+    # The flat-IR pipeline for comparison.
+    flat = build_constraints(compile_c(SOURCE, "tour.c"))
+    flat_solution = run_configuration(flat.program, config)
+
+    def fact(program, solution, name):
+        var = program.var_names.index(name)
+        names = {
+            "<heap>" if str(n).startswith("heap.") else str(n)
+            for n in solution.names(solution.points_to(var))
+        }
+        return names
+
+    print("\nSol(cursor), both pipelines:")
+    rv_fact = fact(rv.program, rv_solution, "cursor")
+    flat_fact = fact(flat.program, flat_solution, "cursor")
+    print(f"  rvsdg: {sorted(rv_fact)}")
+    print(f"  flat : {sorted(flat_fact)}")
+    assert rv_fact == flat_fact
+
+    rv_ext = {str(n) for n in rv_solution.names(rv_solution.external)}
+    flat_ext = {str(n) for n in flat_solution.names(flat_solution.external)}
+    print(f"\nexternally accessible (both): {sorted(n for n in rv_ext if not n.startswith('heap.'))}")
+    assert {n for n in rv_ext if not n.startswith("heap.")} == {
+        n for n in flat_ext if not n.startswith("heap.")
+    }
+    print("\nOK — RVSDG and flat-IR paths agree.")
+
+
+if __name__ == "__main__":
+    main()

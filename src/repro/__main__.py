@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compile FILE``
+    Compile a C file and print the textual IR.
+``analyze FILE``
+    Run the points-to analysis; print points-to sets and the escape
+    report.  ``--config`` picks a solver configuration by name,
+    ``--dump-constraints`` shows the phase-1 constraint program.
+``sweep FILE``
+    Solve one file under several configurations and report runtimes and
+    explicit-pointee counts (validating identical solutions).
+``configs``
+    List all valid solver configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from .analysis import (
+    DEFAULT_CONFIGURATION,
+    OMEGA,
+    analyze_module,
+    build_constraints,
+    enumerate_configurations,
+    parse_name,
+    prepare_program,
+    solve_prepared,
+    validate_identical,
+)
+from .frontend import compile_c
+from .ir import print_module
+
+
+def _load_module(path: str, headers_dir: Optional[str]):
+    source = pathlib.Path(path).read_text()
+    headers = {}
+    if headers_dir:
+        for header in pathlib.Path(headers_dir).glob("*.h"):
+            headers[header.name] = header.read_text()
+    return compile_c(source, pathlib.Path(path).name, headers=headers)
+
+
+def cmd_compile(args) -> int:
+    module = _load_module(args.file, args.include)
+    print(print_module(module))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    module = _load_module(args.file, args.include)
+    config = parse_name(args.config) if args.config else DEFAULT_CONFIGURATION
+    result = analyze_module(module, config)
+    program = result.built.program
+    solution = result.solution
+    if args.dump_constraints:
+        print(program.dump())
+        print()
+    print(f"; {program.num_vars} constraint variables,"
+          f" {program.num_constraints()} constraints,"
+          f" configuration {config.name}")
+    print("\nexternally accessible:")
+    for name in sorted(map(str, solution.names(solution.external))):
+        print(f"  {name}")
+    print("\npoints-to sets:")
+    for p in solution.pointers():
+        targets = solution.points_to(p)
+        if not targets:
+            continue
+        names = sorted(map(str, solution.names(targets)))
+        print(f"  Sol({program.var_names[p]}) = {{{', '.join(names)}}}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    module = _load_module(args.file, args.include)
+    built = build_constraints(module)
+    names = args.configs or [
+        "EP+Naive",
+        "EP+OVS+WL(LRF)+OCD",
+        "IP+WL(FIFO)",
+        "IP+WL(FIFO)+LCD+DP",
+        "IP+WL(FIFO)+PIP",
+    ]
+    solutions = []
+    print(f"{'configuration':>24}  {'time':>10}  {'explicit pointees':>18}")
+    for name in names:
+        config = parse_name(name)
+        prepared = prepare_program(built.program, config)
+        start = time.perf_counter()
+        solution = solve_prepared(prepared, config)
+        elapsed = time.perf_counter() - start
+        solutions.append(solution)
+        print(f"{name:>24}  {1000 * elapsed:8.2f}ms"
+              f"  {solution.stats.explicit_pointees:18,d}")
+    validate_identical(solutions)
+    print("\nall configurations produced the identical solution")
+    return 0
+
+
+def cmd_configs(args) -> int:
+    configs = enumerate_configurations()
+    for config in configs:
+        print(config.name)
+    print(f"\n{len(configs)} valid configurations", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile C to textual IR")
+    p.add_argument("file")
+    p.add_argument("--include", help="directory of headers", default=None)
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("analyze", help="run the points-to analysis")
+    p.add_argument("file")
+    p.add_argument("--include", default=None)
+    p.add_argument("--config", default=None, help="e.g. IP+WL(FIFO)+PIP")
+    p.add_argument("--dump-constraints", action="store_true")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("sweep", help="compare solver configurations")
+    p.add_argument("file")
+    p.add_argument("--include", default=None)
+    p.add_argument("configs", nargs="*", default=None)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("configs", help="list all valid configurations")
+    p.set_defaults(func=cmd_configs)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

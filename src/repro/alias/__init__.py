@@ -1,0 +1,33 @@
+"""Alias-analysis clients over the points-to solution (paper §VI-A).
+
+Typical use::
+
+    from repro.analysis import analyze_module
+    from repro.alias import AndersenAA, BasicAA, CombinedAA, conflict_rate
+
+    result = analyze_module(module)
+    aa = CombinedAA([AndersenAA(result), BasicAA()])
+    stats = conflict_rate(module, aa)
+    print(f"{100 * stats.may_alias_rate:.1f}% MayAlias")
+"""
+
+from .andersen import AndersenAA
+from .basicaa import BasicAA, Decomposed, decompose
+from .client import ConflictStats, conflict_rate, memory_accesses
+from .combined import CombinedAA
+from .result import MAY_ALIAS, MUST_ALIAS, NO_ALIAS, AliasResult
+
+__all__ = [
+    "AliasResult",
+    "NO_ALIAS",
+    "MAY_ALIAS",
+    "MUST_ALIAS",
+    "BasicAA",
+    "AndersenAA",
+    "CombinedAA",
+    "decompose",
+    "Decomposed",
+    "ConflictStats",
+    "conflict_rate",
+    "memory_accesses",
+]

@@ -1,0 +1,88 @@
+"""The pairwise load/store conflict-rate client (paper §VI-A, Fig. 9).
+
+"We evaluate the precision of a points-to-analysis solution in terms of
+a pairwise alias-analysis client, by evaluating the load/store conflict
+rate [...].  For each store instruction, the analysis is queried about
+possible aliasing with every other load and store instruction in the
+same function."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..ir import Load, Store, types as ty
+from ..ir.module import Function, Module
+from .result import MAY_ALIAS, MUST_ALIAS, NO_ALIAS, AliasResult
+
+
+@dataclass
+class ConflictStats:
+    """Per-module (or per-corpus: use ``merge``) query statistics."""
+
+    queries: int = 0
+    no_alias: int = 0
+    may_alias: int = 0
+    must_alias: int = 0
+
+    def record(self, result: AliasResult) -> None:
+        self.queries += 1
+        if result is NO_ALIAS:
+            self.no_alias += 1
+        elif result is MAY_ALIAS:
+            self.may_alias += 1
+        else:
+            self.must_alias += 1
+
+    def merge(self, other: "ConflictStats") -> None:
+        self.queries += other.queries
+        self.no_alias += other.no_alias
+        self.may_alias += other.may_alias
+        self.must_alias += other.must_alias
+
+    @property
+    def may_alias_rate(self) -> float:
+        """Fraction of queries answered MayAlias (lower is better)."""
+        return self.may_alias / self.queries if self.queries else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<ConflictStats {self.queries} queries:"
+            f" {100 * self.may_alias_rate:.1f}% MayAlias>"
+        )
+
+
+def _access_size(pointer_type: ty.Type) -> Optional[int]:
+    if isinstance(pointer_type, ty.PointerType):
+        try:
+            return pointer_type.pointee.sizeof()
+        except TypeError:
+            return None
+    return None
+
+
+def memory_accesses(fn: Function) -> Iterator[Tuple[str, object, Optional[int]]]:
+    """Yield ('load'|'store', pointer operand, access size) per access."""
+    for inst in fn.instructions():
+        if isinstance(inst, Load):
+            yield "load", inst.pointer, _access_size(inst.pointer.type)
+        elif isinstance(inst, Store):
+            yield "store", inst.pointer, _access_size(inst.pointer.type)
+
+
+def conflict_rate(module: Module, aa) -> ConflictStats:
+    """Run the paper's intra-procedural store-vs-access query client."""
+    stats = ConflictStats()
+    for fn in module.defined_functions():
+        accesses = list(memory_accesses(fn))
+        for i, (kind_i, ptr_i, size_i) in enumerate(accesses):
+            if kind_i != "store":
+                continue
+            for j, (kind_j, ptr_j, size_j) in enumerate(accesses):
+                if i == j:
+                    continue
+                if kind_j == "store" and j < i:
+                    continue  # count each store/store pair once
+                stats.record(aa.alias(ptr_i, size_i, ptr_j, size_j))
+    return stats

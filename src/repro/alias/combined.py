@@ -1,0 +1,33 @@
+"""Chained alias analyses (the ``Andersen + BasicAA`` bar of Fig. 9).
+
+Production compilers stack alias analyses: each is asked in turn and the
+first definitive (non-MayAlias) answer wins.  Soundness: all member
+analyses are sound, so a NoAlias/MustAlias proof from any of them holds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir import Value
+from .result import MAY_ALIAS, AliasResult
+
+
+class CombinedAA:
+    def __init__(self, analyses: Sequence):
+        if not analyses:
+            raise ValueError("need at least one alias analysis")
+        self.analyses = list(analyses)
+
+    def alias(
+        self,
+        p1: Value,
+        size1: Optional[int],
+        p2: Value,
+        size2: Optional[int],
+    ) -> AliasResult:
+        for aa in self.analyses:
+            result = aa.alias(p1, size1, p2, size2)
+            if result is not MAY_ALIAS:
+                return result
+        return MAY_ALIAS

@@ -1,0 +1,25 @@
+"""Alias query results."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class AliasResult(Enum):
+    """Possible answers to "may these two accesses overlap?".
+
+    Mirrors LLVM's AliasResult: NoAlias is a proof of disjointness,
+    MustAlias a proof of identity, MayAlias the absence of either proof.
+    """
+
+    NO_ALIAS = "NoAlias"
+    MAY_ALIAS = "MayAlias"
+    MUST_ALIAS = "MustAlias"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+NO_ALIAS = AliasResult.NO_ALIAS
+MAY_ALIAS = AliasResult.MAY_ALIAS
+MUST_ALIAS = AliasResult.MUST_ALIAS

@@ -1,0 +1,75 @@
+"""Sound Andersen-style points-to analysis for incomplete C programs.
+
+The paper's contribution: an inclusion-based, flow/context/field-
+insensitive points-to analysis whose solutions are sound for *incomplete*
+programs — translation units with unknown external callers, callees and
+data — achieved by tracking externally accessible memory locations and
+unknown-origin pointers through the Ω construct, represented either
+explicitly (EP) or implicitly (IP), with the Prefer Implicit Pointees
+(PIP) online technique.
+
+Public surface::
+
+    from repro.analysis import (
+        analyze_module, analyze_source, Configuration,
+        build_constraints, run_configuration, enumerate_configurations,
+    )
+"""
+
+from .api import (
+    DEFAULT_CONFIGURATION,
+    PointsToResult,
+    analyze_module,
+    analyze_source,
+)
+from .config import (
+    Configuration,
+    ConfigurationError,
+    enumerate_configurations,
+    parse_name,
+    prepare_program,
+    run_configuration,
+    solve_prepared,
+)
+from .constraints import CallConstraint, ConstraintProgram, FuncConstraint
+from .frontend import (
+    DEFAULT_SUMMARIES,
+    EXTENDED_SUMMARIES,
+    ConstraintBuilder,
+    ModuleConstraints,
+    build_constraints,
+)
+from .omega import OMEGA, lower_to_explicit
+from .solution import Solution, SolverStats, validate_identical
+from .summaries import LIBC_SUMMARIES, summary
+from .unionfind import UnionFind
+
+__all__ = [
+    "OMEGA",
+    "DEFAULT_CONFIGURATION",
+    "PointsToResult",
+    "analyze_module",
+    "analyze_source",
+    "Configuration",
+    "ConfigurationError",
+    "enumerate_configurations",
+    "parse_name",
+    "prepare_program",
+    "run_configuration",
+    "solve_prepared",
+    "ConstraintProgram",
+    "FuncConstraint",
+    "CallConstraint",
+    "ConstraintBuilder",
+    "ModuleConstraints",
+    "build_constraints",
+    "DEFAULT_SUMMARIES",
+    "EXTENDED_SUMMARIES",
+    "LIBC_SUMMARIES",
+    "summary",
+    "lower_to_explicit",
+    "Solution",
+    "SolverStats",
+    "validate_identical",
+    "UnionFind",
+]

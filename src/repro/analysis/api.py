@@ -1,0 +1,102 @@
+"""High-level entry points for the points-to analysis.
+
+Typical use::
+
+    from repro.analysis import analyze_module, Configuration
+
+    result = analyze_module(module)            # fastest configuration
+    targets = result.points_to_values(ptr)     # IR values + maybe OMEGA
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from ..ir.module import Module
+from ..ir.values import Value
+from .config import Configuration, run_configuration
+from .frontend import ModuleConstraints, SummaryFn, build_constraints
+from .omega import OMEGA
+from .solution import Solution
+
+#: the paper's overall fastest configuration (Table V): IP+WL(FIFO)+PIP
+DEFAULT_CONFIGURATION = Configuration(
+    representation="IP", ovs=False, solver="WL", order="FIFO", pip=True
+)
+
+
+class PointsToResult:
+    """Solved points-to information tied back to IR values."""
+
+    def __init__(self, built: ModuleConstraints, solution: Solution):
+        self.built = built
+        self.solution = solution
+        self._value_of_loc: Dict[int, Value] = {}
+        for value, loc in built.memloc_of.items():
+            self._value_of_loc[loc] = value
+        for call, loc in built.heap_site_of.items():
+            self._value_of_loc[loc] = call
+
+    # ------------------------------------------------------------------
+
+    def var_of(self, value: Value) -> Optional[int]:
+        """Constraint variable holding ``value`` (None if untracked)."""
+        return self.built.var_of_value.get(value)
+
+    def points_to(self, value: Value) -> FrozenSet:
+        """Sol of the pointer held in ``value`` (variable indexes/OMEGA).
+
+        Untracked values (null, scalars) have an empty solution.
+        """
+        var = self.var_of(value)
+        if var is None:
+            return frozenset()
+        return self.solution.points_to(var)
+
+    def points_to_values(self, value: Value) -> FrozenSet:
+        """Sol mapped back to IR memory objects; OMEGA passes through."""
+        out = set()
+        for x in self.points_to(value):
+            if x == OMEGA:
+                out.add(OMEGA)
+            else:
+                out.add(self._value_of_loc.get(x, x))
+        return frozenset(out)
+
+    def may_point_to_external(self, value: Value) -> bool:
+        """True iff the held pointer may have an unknown origin (p ⊒ Ω)."""
+        return OMEGA in self.points_to(value)
+
+    def externally_accessible_values(self) -> FrozenSet:
+        """E mapped back to IR memory objects."""
+        return frozenset(
+            self._value_of_loc.get(x, x) for x in self.solution.external
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<PointsToResult of {self.built.module.name}>"
+
+
+def analyze_module(
+    module: Module,
+    configuration: Optional[Configuration] = None,
+    summaries: Optional[Dict[str, SummaryFn]] = None,
+) -> PointsToResult:
+    """Run the full two-phase analysis on an IR module."""
+    config = configuration or DEFAULT_CONFIGURATION
+    built = build_constraints(module, summaries)
+    solution = run_configuration(built.program, config)
+    return PointsToResult(built, solution)
+
+
+def analyze_source(
+    source: str,
+    name: str = "module",
+    configuration: Optional[Configuration] = None,
+    summaries: Optional[Dict[str, SummaryFn]] = None,
+) -> PointsToResult:
+    """Compile a C translation unit and analyse it."""
+    from ..frontend import compile_c  # local import: frontend is optional
+
+    module = compile_c(source, name)
+    return analyze_module(module, configuration, summaries)

@@ -1,0 +1,248 @@
+"""Solver configurations (paper §V-A, Table IV, Fig. 8).
+
+A configuration picks one choice per axis:
+
+- **Pointer representation**: ``EP`` (explicit pointees; Ω materialised)
+  or ``IP`` (implicit pointees; Ω as flags).
+- **Offline constraint processing**: OVS on/off.
+- **Solver**: ``Naive`` or ``WL`` (worklist).
+- **Worklist iteration order** (WL only): FIFO, LIFO, LRF, 2LRF, TOPO.
+- **Worklist online techniques** (WL only): PIP, OCD, HCD, LCD, DP.
+
+Validity rules (our reading of the paper's Fig. 8 flowchart, whose image
+is not in the text):
+
+- the online techniques and the iteration order require the WL solver;
+- PIP requires the IP representation (it reasons about the Ω flags);
+- OCD detects all cycles as soon as they appear, so combining it with
+  the opportunistic HCD or LCD is invalid (paper §V-A);
+- HCD+LCD is a valid combination (Hardekopf & Lin use it).
+
+This enumeration yields 304 valid configurations; the paper reports 208,
+so its flowchart must exclude some additional pairings we cannot recover
+from the text.  Ours is a superset: every configuration the paper names
+is expressible, and all configurations are validated to produce the
+identical solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Tuple
+
+from .constraints import ConstraintProgram
+from .omega import lower_to_explicit
+from .solution import Solution
+from .solvers.cycles import (
+    CombinedDetector,
+    CycleDetector,
+    HybridCycleDetection,
+    LazyCycleDetection,
+    OnlineCycleDetection,
+)
+from .solvers.naive import NaiveSolver
+from .solvers.orders import WORKLIST_ORDERS
+from .solvers.ovs import compute_ovs_groups
+from .solvers.worklist import WorklistSolver
+
+REPRESENTATIONS = ("EP", "IP")
+#: "Wave" (Pereira & Berlin) is an extension beyond the paper's Table IV
+SOLVERS = ("Naive", "WL", "Wave")
+ORDERS = tuple(WORKLIST_ORDERS.keys())
+
+
+class ConfigurationError(ValueError):
+    """Raised for invalid technique combinations (red edges in Fig. 8)."""
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One point in the configuration space, e.g. ``IP+WL(FIFO)+PIP``."""
+
+    representation: str = "IP"
+    ovs: bool = False
+    solver: str = "WL"
+    order: Optional[str] = "FIFO"
+    pip: bool = False
+    ocd: bool = False
+    hcd: bool = False
+    lcd: bool = False
+    dp: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.representation not in REPRESENTATIONS:
+            raise ConfigurationError(f"unknown representation {self.representation!r}")
+        if self.solver not in SOLVERS:
+            raise ConfigurationError(f"unknown solver {self.solver!r}")
+        if self.solver == "WL":
+            if self.order not in ORDERS:
+                raise ConfigurationError(f"unknown iteration order {self.order!r}")
+        else:
+            if self.order is not None:
+                raise ConfigurationError("iteration order requires the WL solver")
+            if self.pip or self.ocd or self.hcd or self.lcd or self.dp:
+                raise ConfigurationError(
+                    "online techniques require the WL solver"
+                )
+            # (Wave performs its own cycle collapsing and difference
+            # propagation intrinsically.)
+        if self.pip and self.representation != "IP":
+            raise ConfigurationError("PIP requires implicit pointees (IP)")
+        if self.ocd and (self.hcd or self.lcd):
+            raise ConfigurationError(
+                "OCD already detects all cycles; HCD/LCD are redundant"
+            )
+
+    @property
+    def name(self) -> str:
+        parts = [self.representation]
+        if self.ovs:
+            parts.append("OVS")
+        if self.solver == "WL":
+            parts.append(f"WL({self.order})")
+        else:
+            parts.append(self.solver)
+        for flag, label in (
+            (self.ocd, "OCD"),
+            (self.hcd, "HCD"),
+            (self.lcd, "LCD"),
+            (self.dp, "DP"),
+            (self.pip, "PIP"),
+        ):
+            if flag:
+                parts.append(label)
+        return "+".join(parts)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def parse_name(name: str) -> Configuration:
+    """Parse a canonical configuration name like ``IP+WL(FIFO)+PIP``."""
+    kwargs: Dict = {
+        "representation": None,
+        "ovs": False,
+        "solver": None,
+        "order": None,
+        "pip": False,
+        "ocd": False,
+        "hcd": False,
+        "lcd": False,
+        "dp": False,
+    }
+    for part in name.replace(" ", "").split("+"):
+        if part in REPRESENTATIONS:
+            kwargs["representation"] = part
+        elif part == "OVS":
+            kwargs["ovs"] = True
+        elif part == "Naive":
+            kwargs["solver"] = "Naive"
+        elif part == "Wave":
+            kwargs["solver"] = "Wave"
+        elif part.startswith("WL(") and part.endswith(")"):
+            kwargs["solver"] = "WL"
+            kwargs["order"] = part[3:-1]
+        elif part in ("PIP", "OCD", "HCD", "LCD", "DP"):
+            kwargs[part.lower()] = True
+        else:
+            raise ConfigurationError(f"cannot parse configuration part {part!r}")
+    if kwargs["representation"] is None or kwargs["solver"] is None:
+        raise ConfigurationError(f"incomplete configuration name {name!r}")
+    return Configuration(**kwargs)
+
+
+def enumerate_configurations(include_extensions: bool = False) -> List[Configuration]:
+    """All valid configurations of the paper's Table IV space.
+
+    With ``include_extensions`` the Wave-propagation solver (not part of
+    the paper's evaluation) is included as well.
+    """
+    configs: List[Configuration] = []
+    for rep, ovs in product(REPRESENTATIONS, (False, True)):
+        configs.append(Configuration(rep, ovs, "Naive", None))
+        if include_extensions:
+            configs.append(Configuration(rep, ovs, "Wave", None))
+    cycle_choices: Tuple[Tuple[bool, bool, bool], ...] = (
+        (False, False, False),  # none
+        (True, False, False),  # OCD
+        (False, True, False),  # HCD
+        (False, False, True),  # LCD
+        (False, True, True),  # HCD+LCD
+    )
+    for rep, ovs, order, (ocd, hcd, lcd), dp in product(
+        REPRESENTATIONS, (False, True), ORDERS, cycle_choices, (False, True)
+    ):
+        pips = (False, True) if rep == "IP" else (False,)
+        for pip in pips:
+            configs.append(
+                Configuration(rep, ovs, "WL", order, pip, ocd, hcd, lcd, dp)
+            )
+    return configs
+
+
+# ----------------------------------------------------------------------
+# Running a configuration
+# ----------------------------------------------------------------------
+
+
+def prepare_program(
+    program: ConstraintProgram, config: Configuration
+) -> ConstraintProgram:
+    """Representation selection (phase-1 work, excluded from timing)."""
+    if config.representation == "EP":
+        return lower_to_explicit(program)
+    return program
+
+
+def _make_detector(
+    config: Configuration, program: ConstraintProgram
+) -> Optional[CycleDetector]:
+    detectors: List[CycleDetector] = []
+    if config.ocd:
+        detectors.append(OnlineCycleDetection())
+    if config.hcd:
+        detectors.append(HybridCycleDetection(program))
+    if config.lcd:
+        detectors.append(LazyCycleDetection())
+    if not detectors:
+        return None
+    if len(detectors) == 1:
+        return detectors[0]
+    return CombinedDetector(detectors)
+
+
+def solve_prepared(
+    prepared: ConstraintProgram, config: Configuration
+) -> Solution:
+    """Solve a program already passed through :func:`prepare_program`.
+
+    This is the timed region of the runtime benchmarks: OVS (an offline
+    *solver* technique) is included, the representation change is not.
+    """
+    unions = compute_ovs_groups(prepared) if config.ovs else None
+    if config.solver == "Naive":
+        return NaiveSolver(prepared, presolve_unions=unions).solve()
+    if config.solver == "Wave":
+        from .solvers.wave import WaveSolver
+
+        return WaveSolver(prepared, presolve_unions=unions).solve()
+    solver = WorklistSolver(
+        prepared,
+        order=config.order or "FIFO",
+        pip=config.pip,
+        dp=config.dp,
+        cycle_detector=_make_detector(config, prepared),
+        presolve_unions=unions,
+    )
+    return solver.solve()
+
+
+def run_configuration(
+    program: ConstraintProgram, config: Configuration
+) -> Solution:
+    """Convenience: prepare + solve in one call."""
+    return solve_prepared(prepare_program(program, config), config)

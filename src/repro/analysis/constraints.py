@@ -1,0 +1,342 @@
+r"""The Andersen constraint language, extended for incomplete programs.
+
+A :class:`ConstraintProgram` holds the finite sets of the analysis
+(paper §II-A): abstract memory locations ``M``, pointers ``P``, and the
+constraints ``C``.  Constraint variables are dense integer indexes
+(paper §V-B uses 32-bit integers); per-variable data lives in parallel
+lists.
+
+Original constraint types (Table I):
+
+========  ==============  =========================================
+Base      p ⊇ {x}         taking an address
+Simple    p ⊇ q           copying a pointer (edge q → p)
+Load      p ⊇ *q          loading through a pointer
+Store     *p ⊇ q          storing through a pointer
+Func      Func(f,r,a…)    function definition
+Call      Call(h,r,a…)    (possibly indirect) function call
+========  ==============  =========================================
+
+Extended constraint types representing the Ω node implicitly
+(Table II), stored as 1-bit flags on constraint variables:
+
+===============  ===========  ==========================================
+Ω ⊒ {x}          ``ea``       x is externally accessible
+p ⊒ Ω            ``pte``      p targets all externally accessible memory
+Ω ⊒ p            ``pe``       pointees of p are externally accessible
+*p ⊒ Ω           ``sscalar``  a scalar is stored at \*p (smuggle in)
+Ω ⊒ *p           ``lscalar``  \*p is loaded as a scalar (smuggle out)
+ImpFunc(f)       ``impfunc``  f is an imported external function
+===============  ===========  ==========================================
+
+Two extra flags exist only in programs produced by
+:func:`repro.analysis.omega.lower_to_explicit`, which materialises Ω as a
+real constraint variable for the EP (explicit pointee) representation:
+
+- ``extfunc``: the variable behaves as ``Func(f, Ω, …, Ω)`` with generic
+  arity (constraint ⑤ / imported functions).
+- ``extcall``: the variable behaves as ``Call(v, Ω, Ω, …)`` with generic
+  arity (constraint ④: external modules call everything that escaped).
+
+Normalisation (paper §V-B): constraints that mix pointer-compatible and
+pointer-incompatible variables are conversions between pointers and
+integers and are rewritten into Ω flags when added, so the solvers only
+ever see well-typed constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class FuncConstraint:
+    """``Func(f, r, a1…an)``: variable ``f`` names a defined function.
+
+    ``ret`` is the constraint variable holding the function's returned
+    pointer value (None when the return type is not pointer compatible);
+    ``args`` are the formal-parameter variables, with None entries at
+    positions whose type is not pointer compatible.
+    """
+
+    func: int
+    ret: Optional[int]
+    args: Tuple[Optional[int], ...]
+    #: True for variadic functions: extra pointer actuals at call sites
+    #: escape (they may be retrieved via va_arg)
+    variadic: bool = False
+
+
+@dataclass(frozen=True)
+class CallConstraint:
+    """``Call(h, r, a1…an)``: a call through variable ``h``."""
+
+    target: int
+    ret: Optional[int]
+    args: Tuple[Optional[int], ...]
+
+
+class ConstraintProgram:
+    """Sets P, M and C for one translation unit (paper phase 1 output)."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        # Per-variable parallel arrays.
+        self.var_names: List[str] = []
+        self.in_p: List[bool] = []  # pointer compatible (has a Sol set)
+        self.in_m: List[bool] = []  # abstract memory location (can be pointed to)
+        # Original constraints.
+        self.base: List[Set[int]] = []  # base[p] = {x, ...}
+        self.simple_out: List[Set[int]] = []  # q -> {p : p ⊇ q}
+        self.load_from: List[List[int]] = []  # q -> [p : p ⊇ *q]
+        self.store_into: List[List[int]] = []  # p -> [q : *p ⊇ q]
+        self.funcs: List[FuncConstraint] = []
+        self.funcs_of: Dict[int, List[int]] = {}  # f -> indexes into funcs
+        self.calls: List[CallConstraint] = []
+        self.calls_on: Dict[int, List[int]] = {}  # h -> indexes into calls
+        # Extended constraint flags (Table II).
+        self.flag_ea: List[bool] = []  # Ω ⊒ {x}
+        self.flag_pte: List[bool] = []  # p ⊒ Ω
+        self.flag_pe: List[bool] = []  # Ω ⊒ p
+        self.flag_sscalar: List[bool] = []  # *p ⊒ Ω
+        self.flag_lscalar: List[bool] = []  # Ω ⊒ *p
+        self.flag_impfunc: List[bool] = []
+        # EP-lowering flags (set only by repro.analysis.omega).
+        self.flag_extfunc: List[bool] = []
+        self.flag_extcall: List[bool] = []
+        #: index of the materialised Ω variable in EP-lowered programs
+        self.omega: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.var_names)
+
+    def add_var(
+        self,
+        name: str,
+        pointer_compatible: bool,
+        is_memory: bool,
+    ) -> int:
+        """Create a constraint variable; returns its index."""
+        idx = len(self.var_names)
+        self.var_names.append(name)
+        self.in_p.append(pointer_compatible)
+        self.in_m.append(is_memory)
+        self.base.append(set())
+        self.simple_out.append(set())
+        self.load_from.append([])
+        self.store_into.append([])
+        for flags in (
+            self.flag_ea,
+            self.flag_pte,
+            self.flag_pe,
+            self.flag_sscalar,
+            self.flag_lscalar,
+            self.flag_impfunc,
+            self.flag_extfunc,
+            self.flag_extcall,
+        ):
+            flags.append(False)
+        return idx
+
+    def add_register(self, name: str) -> int:
+        """A pointer-compatible virtual register (in P, not in M)."""
+        return self.add_var(name, pointer_compatible=True, is_memory=False)
+
+    def add_memory(self, name: str, pointer_compatible: bool = True) -> int:
+        """An abstract memory location (in M; in P iff pointer compatible)."""
+        return self.add_var(name, pointer_compatible, is_memory=True)
+
+    def pointers(self) -> List[int]:
+        """The set P as a list of indexes."""
+        return [v for v in range(self.num_vars) if self.in_p[v]]
+
+    def memory_locations(self) -> List[int]:
+        """The set M as a list of indexes."""
+        return [v for v in range(self.num_vars) if self.in_m[v]]
+
+    # ------------------------------------------------------------------
+    # Original constraints (with §V-B pointer/integer normalisation)
+    # ------------------------------------------------------------------
+
+    def add_base(self, p: int, x: int) -> None:
+        """p ⊇ {x}.  ``x`` must be a memory location."""
+        if not self.in_m[x]:
+            raise ValueError(f"base target {self.var_names[x]!r} is not memory")
+        if not self.in_p[p]:
+            # An address flows into untracked (pointer-incompatible)
+            # storage: the target is exposed to scalar channels.
+            self.mark_externally_accessible(x)
+            return
+        self.base[p].add(x)
+
+    def add_simple(self, dst: int, src: int) -> None:
+        """dst ⊇ src (a simple edge src → dst)."""
+        dp, sp = self.in_p[dst], self.in_p[src]
+        if dp and sp:
+            if dst != src:
+                self.simple_out[src].add(dst)
+        elif sp:  # pointer copied into an integer: pointees escape
+            self.mark_pointees_escape(src)
+        elif dp:  # integer copied into a pointer: unknown origin
+            self.mark_points_to_external(dst)
+        # neither side tracks pointers: nothing to model
+
+    def add_load(self, dst: int, src: int) -> None:
+        """dst ⊇ *src."""
+        if not self.in_p[src]:
+            # Loading through an untracked pointer value: unknown origin.
+            if self.in_p[dst]:
+                self.mark_points_to_external(dst)
+            return
+        if not self.in_p[dst]:
+            self.mark_load_scalar(src)
+            return
+        self.load_from[src].append(dst)
+
+    def add_store(self, dst: int, src: int) -> None:
+        """*dst ⊇ src."""
+        if not self.in_p[dst]:
+            # Storing through an untracked pointer value: the stored
+            # pointer may land anywhere external.
+            if self.in_p[src]:
+                self.mark_pointees_escape(src)
+            return
+        if not self.in_p[src]:
+            self.mark_store_scalar(dst)
+            return
+        self.store_into[dst].append(src)
+
+    def add_func(
+        self,
+        func: int,
+        ret: Optional[int],
+        args: Sequence[Optional[int]],
+        variadic: bool = False,
+    ) -> FuncConstraint:
+        fc = FuncConstraint(func, ret, tuple(args), variadic)
+        self.funcs_of.setdefault(func, []).append(len(self.funcs))
+        self.funcs.append(fc)
+        return fc
+
+    def add_call(
+        self,
+        target: int,
+        ret: Optional[int],
+        args: Sequence[Optional[int]],
+    ) -> CallConstraint:
+        cc = CallConstraint(target, ret, tuple(args))
+        self.calls_on.setdefault(target, []).append(len(self.calls))
+        self.calls.append(cc)
+        return cc
+
+    # ------------------------------------------------------------------
+    # Extended constraints (Table II flags)
+    # ------------------------------------------------------------------
+
+    def mark_externally_accessible(self, x: int) -> None:
+        """Ω ⊒ {x}: x escapes / is importable."""
+        self.flag_ea[x] = True
+
+    def mark_points_to_external(self, p: int) -> None:
+        """p ⊒ Ω: p may target any externally accessible memory."""
+        if self.in_p[p]:
+            self.flag_pte[p] = True
+
+    def mark_pointees_escape(self, p: int) -> None:
+        """Ω ⊒ p: everything p points to is externally accessible."""
+        if self.in_p[p]:
+            self.flag_pe[p] = True
+
+    def mark_store_scalar(self, p: int) -> None:
+        """*p ⊒ Ω: a pointer-incompatible value is stored through p."""
+        if self.in_p[p]:
+            self.flag_sscalar[p] = True
+
+    def mark_load_scalar(self, p: int) -> None:
+        """Ω ⊒ *p: memory reachable from p is read as scalars."""
+        if self.in_p[p]:
+            self.flag_lscalar[p] = True
+
+    def mark_imported_function(self, f: int) -> None:
+        """ImpFunc(f): calls to f behave as Func(f, Ω, …, Ω)."""
+        self.flag_impfunc[f] = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def num_constraints(self) -> int:
+        """|C|: total number of stored constraints (flags included)."""
+        n = sum(len(s) for s in self.base)
+        n += sum(len(s) for s in self.simple_out)
+        n += sum(len(l) for l in self.load_from)
+        n += sum(len(l) for l in self.store_into)
+        n += len(self.funcs) + len(self.calls)
+        for flags in (
+            self.flag_ea,
+            self.flag_pte,
+            self.flag_pe,
+            self.flag_sscalar,
+            self.flag_lscalar,
+            self.flag_impfunc,
+        ):
+            n += sum(flags)
+        return n
+
+    def dump(self) -> str:
+        """Human-readable listing of all constraints (for tests/docs)."""
+        nm = self.var_names
+        lines: List[str] = [f"; constraint program {self.name}"]
+        for v in range(self.num_vars):
+            kind = []
+            if self.in_p[v]:
+                kind.append("P")
+            if self.in_m[v]:
+                kind.append("M")
+            lines.append(f"var {v} {nm[v]} [{'+'.join(kind) or 'scalar'}]")
+        for p in range(self.num_vars):
+            for x in sorted(self.base[p]):
+                lines.append(f"{nm[p]} ⊇ {{{nm[x]}}}")
+        for q in range(self.num_vars):
+            for p in sorted(self.simple_out[q]):
+                lines.append(f"{nm[p]} ⊇ {nm[q]}")
+            for p in self.load_from[q]:
+                lines.append(f"{nm[p]} ⊇ *{nm[q]}")
+        for p in range(self.num_vars):
+            for q in self.store_into[p]:
+                lines.append(f"*{nm[p]} ⊇ {nm[q]}")
+        for fc in self.funcs:
+            args = ", ".join(nm[a] if a is not None else "_" for a in fc.args)
+            ret = nm[fc.ret] if fc.ret is not None else "_"
+            lines.append(f"Func({nm[fc.func]}, {ret}, {args})")
+        for cc in self.calls:
+            args = ", ".join(nm[a] if a is not None else "_" for a in cc.args)
+            ret = nm[cc.ret] if cc.ret is not None else "_"
+            lines.append(f"Call({nm[cc.target]}, {ret}, {args})")
+        flag_rows = (
+            (self.flag_ea, "Ω ⊒ {{{0}}}"),
+            (self.flag_pte, "{0} ⊒ Ω"),
+            (self.flag_pe, "Ω ⊒ {0}"),
+            (self.flag_sscalar, "*{0} ⊒ Ω"),
+            (self.flag_lscalar, "Ω ⊒ *{0}"),
+            (self.flag_impfunc, "ImpFunc({0})"),
+            (self.flag_extfunc, "ExtFunc({0})"),
+            (self.flag_extcall, "ExtCall({0})"),
+        )
+        for flags, fmt in flag_rows:
+            for v in range(self.num_vars):
+                if flags[v]:
+                    lines.append(fmt.format(nm[v]))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<ConstraintProgram {self.name}: |V|={self.num_vars}"
+            f" |C|={self.num_constraints()}>"
+        )

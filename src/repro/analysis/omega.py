@@ -1,0 +1,79 @@
+"""Materialising the Ω node: the explicit-pointee (EP) representation.
+
+:func:`lower_to_explicit` turns a constraint program that uses the
+extended flag language (Table II) into an equivalent program in which Ω
+is a real constraint variable carrying the constraints of paper §III-B:
+
+①  Ω ⊇ {Ω}      pointers in external memory may target external memory
+②  Ω ⊇ *Ω       external modules load through any pointer they hold
+③  *Ω ⊇ Ω       external modules store unknown pointers everywhere
+④  Call_e(Ω)    external modules call every escaped function
+⑤  Func_e(Ω)    calling an unknown pointer reaches external functions
+
+Constraints ④ and ⑤ have generic arity, so they are kept as the
+``extcall`` / ``extfunc`` flags, which every EP solver interprets
+directly (the paper's "minor modifications" to existing solvers).
+Imported functions keep ⑤ via ``extfunc`` as well.
+
+Table II mapping applied to each flagged variable:
+
+=================  ==========================
+Ω ⊒ {x} (``ea``)   base       Ω ⊇ {x}
+p ⊒ Ω  (``pte``)   simple     p ⊇ Ω
+Ω ⊒ p  (``pe``)    simple     Ω ⊇ p
+*p ⊒ Ω             store      *p ⊇ Ω
+Ω ⊒ *p             load       Ω ⊇ *p
+ImpFunc(f)         ``extfunc`` flag on f
+=================  ==========================
+"""
+
+from __future__ import annotations
+
+import copy
+
+from .constraints import ConstraintProgram
+
+#: token used in canonical solutions to denote "external memory" (the Ω
+#: abstract location and everything defined outside the module)
+OMEGA = "Ω"
+
+
+def lower_to_explicit(program: ConstraintProgram) -> ConstraintProgram:
+    """Return a deep-copied program with Ω materialised.
+
+    The input program is left untouched; the result has ``omega`` set and
+    all Table II flags cleared (replaced by ordinary constraints).
+    """
+    if program.omega is not None:
+        raise ValueError("program already has an explicit Ω node")
+    ep = copy.deepcopy(program)
+    ep.name = f"{program.name}+explicitΩ"
+
+    omega = ep.add_var(OMEGA, pointer_compatible=True, is_memory=True)
+    ep.omega = omega
+    ep.base[omega].add(omega)  # ①
+    ep.load_from[omega].append(omega)  # ②
+    ep.store_into[omega].append(omega)  # ③
+    ep.flag_extcall[omega] = True  # ④
+    ep.flag_extfunc[omega] = True  # ⑤
+
+    for v in range(program.num_vars):
+        if ep.flag_ea[v]:
+            ep.base[omega].add(v)
+            ep.flag_ea[v] = False
+        if ep.flag_pte[v]:
+            ep.simple_out[omega].add(v)
+            ep.flag_pte[v] = False
+        if ep.flag_pe[v]:
+            ep.simple_out[v].add(omega)
+            ep.flag_pe[v] = False
+        if ep.flag_sscalar[v]:
+            ep.store_into[v].append(omega)
+            ep.flag_sscalar[v] = False
+        if ep.flag_lscalar[v]:
+            ep.load_from[v].append(omega)
+            ep.flag_lscalar[v] = False
+        if ep.flag_impfunc[v]:
+            ep.flag_extfunc[v] = True
+            ep.flag_impfunc[v] = False
+    return ep

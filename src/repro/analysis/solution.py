@@ -1,0 +1,145 @@
+"""Points-to solutions: Sol, Sol_e, Sol_i, and cross-configuration equality.
+
+All solver configurations must produce the *identical* solution (paper
+§V-A validates this); :class:`Solution` is the canonical form used for
+that comparison and by analysis clients.
+
+Pointees are original variable indexes of abstract memory locations, plus
+the token :data:`repro.analysis.omega.OMEGA` denoting "external memory
+not represented by any other abstract location".  A pointer whose
+solution contains OMEGA may target any externally accessible memory
+location; its full Sol set therefore also contains every member of
+:attr:`Solution.external`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Union
+
+from .constraints import ConstraintProgram
+from .omega import OMEGA
+
+Pointee = Union[int, str]  # an M-var index, or the OMEGA token
+
+
+@dataclass
+class SolverStats:
+    """Instrumentation counters reported by every solver."""
+
+    #: total explicit pointees in the final state, counting each shared
+    #: (unified) Sol_e set exactly once — the Table VI metric
+    explicit_pointees: int = 0
+    #: worklist node visits (0 for the naive solver's statement passes)
+    visits: int = 0
+    #: full passes over the constraint set (naive solver only)
+    passes: int = 0
+    #: explicit pointee propagations performed (set-union element work)
+    propagations: int = 0
+    #: simple edges added during solving
+    edges_added: int = 0
+    #: cycle unifications performed
+    unifications: int = 0
+    #: simple edges skipped or removed by PIP
+    pip_edges_elided: int = 0
+    #: explicit Sol_e sets cleared by PIP
+    pip_sets_cleared: int = 0
+
+
+class Solution:
+    """Canonical, configuration-independent points-to solution."""
+
+    def __init__(
+        self,
+        program: ConstraintProgram,
+        points_to: Dict[int, FrozenSet],
+        external: FrozenSet,
+        stats: Optional[SolverStats] = None,
+    ):
+        self.program = program
+        self._points_to = points_to
+        #: E — externally accessible memory locations (original indexes)
+        self.external = external
+        self.stats = stats or SolverStats()
+        self._by_name = {program.var_names[v]: v for v in points_to}
+
+    # ------------------------------------------------------------------
+
+    def points_to(self, p: int) -> FrozenSet:
+        """Sol(p): pointee indexes plus possibly the OMEGA token.
+
+        When OMEGA ∈ Sol(p), the set already includes all members of
+        :attr:`external`.
+        """
+        return self._points_to[p]
+
+    def points_to_name(self, name: str) -> FrozenSet:
+        """Sol of the variable called ``name`` (convenience for tests)."""
+        return self._points_to[self._by_name[name]]
+
+    def names(self, pointees: Iterable[Pointee]) -> FrozenSet:
+        """Map pointee indexes to variable names (OMEGA passes through)."""
+        nm = self.program.var_names
+        return frozenset(x if x == OMEGA else nm[x] for x in pointees)
+
+    def may_point_to_external(self, p: int) -> bool:
+        """True iff p ⊒ Ω was inferred (p has unknown-origin values)."""
+        return OMEGA in self._points_to[p]
+
+    def pointers(self) -> Iterable[int]:
+        return self._points_to.keys()
+
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Solution):
+            return NotImplemented
+        return (
+            self._points_to == other._points_to
+            and self.external == other.external
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as key
+        return hash(frozenset(self._points_to.items()))
+
+    def diff(self, other: "Solution") -> str:
+        """Human-readable difference report (for validation failures)."""
+        lines = []
+        nm = self.program.var_names
+        if self.external != other.external:
+            only_a = self.names(self.external - other.external)
+            only_b = self.names(other.external - self.external)
+            lines.append(f"external: only-left={sorted(only_a)} only-right={sorted(only_b)}")
+        keys = set(self._points_to) | set(other._points_to)
+        for p in sorted(keys):
+            a = self._points_to.get(p, frozenset())
+            b = other._points_to.get(p, frozenset())
+            if a != b:
+                lines.append(
+                    f"Sol({nm[p]}): only-left={sorted(map(str, self.names(a - b)))}"
+                    f" only-right={sorted(map(str, self.names(b - a)))}"
+                )
+        return "\n".join(lines) if lines else "<identical>"
+
+    def total_pointees(self) -> int:
+        """Σ|Sol(p)| over all pointers (full, implicit-expanded solution)."""
+        return sum(len(s) for s in self._points_to.values())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Solution of {self.program.name}: {len(self._points_to)}"
+            f" pointers, |E|={len(self.external)}>"
+        )
+
+
+def validate_identical(solutions: Iterable[Solution]) -> None:
+    """Raise AssertionError if any two solutions differ (paper §V-A)."""
+    first: Optional[Solution] = None
+    for sol in solutions:
+        if first is None:
+            first = sol
+            continue
+        if sol != first:
+            raise AssertionError(
+                "solver configurations disagree:\n" + first.diff(sol)
+            )

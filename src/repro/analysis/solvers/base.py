@@ -1,0 +1,186 @@
+"""Shared mutable solver state and solution extraction.
+
+Every solver works on a :class:`SolverState`: a copy of the constraint
+program's mutable parts (Sol_e sets, simple-edge adjacency, complex
+constraints, flags) plus a union-find for cycle unification.
+
+Conventions used by all solvers in this package:
+
+- **Sol_e members are original variable indexes** (the identity of a
+  memory *location* never changes when its node is unified into a cycle;
+  only pointer behaviour is shared).
+- **Adjacency, complex constraints, calls and pointer flags live on
+  union-find representatives** and are merged when nodes are unified.
+- The ``ea`` flag (Ω ⊒ {x}) and the pointee-keyed facts (Func
+  constraints, ImpFunc/ExtFunc) are keyed by original index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from ..constraints import ConstraintProgram
+from ..omega import OMEGA
+from ..solution import Solution, SolverStats
+from ..unionfind import UnionFind
+
+
+class SolverState:
+    """Mutable solving state over a constraint program."""
+
+    def __init__(self, program: ConstraintProgram, dp: bool = False):
+        self.program = program
+        n = program.num_vars
+        self.uf = UnionFind(n)
+        self.dp = dp
+        #: explicit pointees (original M indexes); in DP mode this is the
+        #: *processed* part and :attr:`dsol` holds the unprocessed delta
+        self.sol: List[Set[int]] = [set(s) for s in program.base]
+        self.dsol: List[Set[int]] = [set() for _ in range(n)] if dp else []
+        if dp:
+            # Everything starts unprocessed.
+            self.dsol, self.sol = self.sol, [set() for _ in range(n)]
+        self.succ: List[Set[int]] = [set(s) for s in program.simple_out]
+        self.loads: List[Set[int]] = [set(l) for l in program.load_from]
+        self.stores: List[Set[int]] = [set(l) for l in program.store_into]
+        self.call_idx: List[List[int]] = [
+            list(program.calls_on.get(v, ())) for v in range(n)
+        ]
+        # Pointer-behaviour flags (merged on union).
+        self.pte: List[bool] = list(program.flag_pte)  # p ⊒ Ω
+        self.pe: List[bool] = list(program.flag_pe)  # Ω ⊒ p
+        self.sscalar: List[bool] = list(program.flag_sscalar)
+        self.lscalar: List[bool] = list(program.flag_lscalar)
+        self.extcall: List[bool] = list(program.flag_extcall)
+        # Location-identity flags (keyed by original index, never merged).
+        self.ea: List[bool] = list(program.flag_ea)
+        self.stats = SolverStats()
+        #: hook set by cycle detectors; called as on_union(survivor, dead)
+        self.on_union = None
+        #: False until the first union: lets the hot paths skip
+        #: canonicalisation entirely for the (common) cycle-free case
+        self.any_unions = False
+
+    # ------------------------------------------------------------------
+
+    def find(self, v: int) -> int:
+        if not self.any_unions:
+            return v
+        return self.uf.find(v)
+
+    def full_sol(self, r: int) -> Set[int]:
+        """Sol_e of representative ``r`` (processed ∪ delta in DP mode)."""
+        if self.dp and self.dsol[r]:
+            return self.sol[r] | self.dsol[r]
+        return self.sol[r]
+
+    def union(self, a: int, b: int) -> int:
+        """Unify two nodes; returns the surviving representative."""
+        ra, rb = self.uf.find(a), self.uf.find(b)
+        if ra == rb:
+            return ra
+        self.any_unions = True
+        r = self.uf.union(ra, rb)
+        dead = rb if r == ra else ra
+        self.stats.unifications += 1
+        self.sol[r] |= self.sol[dead]
+        self.sol[dead] = set()
+        if self.dp:
+            self.dsol[r] |= self.dsol[dead]
+            self.dsol[dead] = set()
+        self.succ[r] |= self.succ[dead]
+        self.succ[dead] = set()
+        self.loads[r] |= self.loads[dead]
+        self.loads[dead] = set()
+        self.stores[r] |= self.stores[dead]
+        self.stores[dead] = set()
+        self.call_idx[r].extend(self.call_idx[dead])
+        self.call_idx[dead] = []
+        for flags in (self.pte, self.pe, self.sscalar, self.lscalar, self.extcall):
+            if flags[dead]:
+                flags[r] = True
+        if self.on_union is not None:
+            self.on_union(r, dead)
+        return r
+
+    def canonical_succ(self, n: int) -> Set[int]:
+        """Successor reps of n, with stale/self edges cleaned in place."""
+        raw = self.succ[n]
+        if not self.any_unions:
+            return raw
+        find = self.uf.find
+        if any(find(d) != d for d in raw) or n in raw:
+            raw = {find(d) for d in raw}
+            raw.discard(n)
+            self.succ[n] = raw
+        return raw
+
+    def canonical_targets(self, targets: Set[int]) -> Set[int]:
+        """Map a set of variable ids to their current representatives."""
+        if not self.any_unions:
+            return targets
+        find = self.uf.find
+        return {find(t) for t in targets}
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return dst in self.canonical_succ(src)
+
+    def add_edge(self, src: int, dst: int) -> bool:
+        """Insert a simple edge between representatives; True if new."""
+        if src == dst or dst in self.canonical_succ(src):
+            return False
+        self.succ[src].add(dst)
+        self.stats.edges_added += 1
+        return True
+
+    # ------------------------------------------------------------------
+
+    def live_reps(self) -> Iterable[int]:
+        return self.uf.roots()
+
+    def count_explicit_pointees(self) -> int:
+        """Table VI metric: each shared Sol_e set counted once."""
+        total = 0
+        for r in self.live_reps():
+            total += len(self.sol[r])
+            if self.dp:
+                total += len(self.dsol[r] - self.sol[r])
+        return total
+
+    # ------------------------------------------------------------------
+
+    def extract_solution(self) -> Solution:
+        """Canonical solution (paper's Sol = Sol_e ∪ Sol_i)."""
+        program = self.program
+        self.stats.explicit_pointees = self.count_explicit_pointees()
+        find = self.uf.find
+        omega = program.omega
+        if omega is not None:
+            return self._extract_ep(omega)
+        external = frozenset(
+            x for x in range(program.num_vars) if self.ea[x] and program.in_m[x]
+        )
+        ext_plus = external | {OMEGA}
+        points_to: Dict[int, FrozenSet] = {}
+        for p in range(program.num_vars):
+            if not program.in_p[p]:
+                continue
+            r = find(p)
+            s = frozenset(self.full_sol(r))
+            if self.pte[r]:
+                s = s | ext_plus
+            points_to[p] = s
+        return Solution(program, points_to, external, self.stats)
+
+    def _extract_ep(self, omega: int) -> Solution:
+        find = self.uf.find
+        program = self.program
+        sol_omega = self.full_sol(find(omega))
+        external = frozenset(x for x in sol_omega if x != omega)
+        points_to: Dict[int, FrozenSet] = {}
+        for p in range(program.num_vars):
+            if not program.in_p[p] or p == omega:
+                continue
+            s = self.full_sol(find(p))
+            points_to[p] = frozenset(OMEGA if x == omega else x for x in s)
+        return Solution(program, points_to, external, self.stats)

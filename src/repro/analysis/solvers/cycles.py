@@ -1,0 +1,400 @@
+"""Cycle detection techniques for the worklist solver (paper Table IV).
+
+Cycles of simple edges make every member's Sol set converge to the same
+value, so members can be unified to share one Sol_e set (paper §II-D).
+Three online/hybrid techniques are implemented as pluggable detectors:
+
+- :class:`OnlineCycleDetection` (OCD, Pearce et al.): every time a simple
+  edge is inserted, search for a cycle through it and collapse it
+  immediately.  Detects all cycles as soon as they appear, which is why
+  the paper deems combining it with the opportunistic techniques
+  pointless.
+- :class:`LazyCycleDetection` (LCD, Hardekopf & Lin): when a propagation
+  along an edge makes both endpoint Sol sets equal, suspect a cycle and
+  run a (rare) detection sweep; never check the same edge twice.
+- :class:`HybridCycleDetection` (HCD, Hardekopf & Lin): an offline pass
+  over the constraint graph with dereference (ref) nodes finds cycles
+  that *will* appear once pointees arrive; at solve time, pointees of the
+  recorded variables are unified with the cycle representative without
+  any graph search.
+
+Detectors communicate unifications through
+:meth:`WorklistSolver.request_union`, which defers them to safe points.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..constraints import ConstraintProgram
+
+
+def strongly_connected_components(
+    roots: Iterable[int], successors: Callable[[int], Iterable[int]]
+) -> List[List[int]]:
+    """Iterative Tarjan SCC over the subgraph reachable from ``roots``.
+
+    Returns SCCs in reverse topological order (standard Tarjan output).
+    """
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = 0
+    for root in list(roots):
+        if root in index:
+            continue
+        work: List = [(root, iter(list(successors(root))))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(list(successors(w)))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                pv = work[-1][0]
+                low[pv] = min(low[pv], low[v])
+            if low[v] == index[v]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.remove(w)
+                    scc.append(w)
+                    if w == v:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+class CycleDetector:
+    """Base class: all hooks are no-ops."""
+
+    name = "<none>"
+    #: True if the detector wants on_equal_propagation callbacks
+    wants_equal_sets = False
+
+    def attach(self, solver) -> None:
+        self.solver = solver
+        self.state = solver.state
+
+    def before_solve(self) -> None:
+        pass
+
+    def on_visit(self, n: int) -> None:
+        pass
+
+    def on_new_edge(self, src: int, dst: int) -> None:
+        pass
+
+    def on_equal_propagation(self, src: int, dst: int) -> None:
+        pass
+
+    def on_union(self, survivor: int, dead: int) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+
+    def _collapse_cycle_through(self, src: int, dst: int) -> bool:
+        """Collapse the SCC containing the edge src → dst, if any.
+
+        Runs Tarjan from ``dst``; if ``src`` lands in the same SCC as
+        ``dst`` the edge closes a genuine cycle and all members are
+        unified (via deferred requests).  Returns True if a cycle was
+        found.
+        """
+        st = self.state
+        sccs = strongly_connected_components([dst], st.canonical_succ)
+        for scc in sccs:
+            if len(scc) < 2:
+                continue
+            if src in scc and dst in scc:
+                first = scc[0]
+                for other in scc[1:]:
+                    self.solver.request_union(first, other)
+                return True
+        return False
+
+
+class OnlineCycleDetection(CycleDetector):
+    """OCD: detect every cycle the moment its closing edge is inserted.
+
+    Follows the dynamic-topological-order approach of Pearce, Kelly &
+    Hankin: a topological order of the simple-edge graph is maintained;
+    inserting an edge src → dst that respects the order (pos[src] <
+    pos[dst]) provably closes no cycle and costs O(1).  Only
+    order-violating insertions trigger a search, pruned to the affected
+    region; if no cycle is found the region is locally reordered
+    (MNR-style shift), otherwise the SCC is collapsed.
+
+    The initial constraint graph counts as a sequence of insertions, so
+    cycles already present before solving are collapsed up front —
+    "OCD detects all cycles as soon as they appear" (paper §V-A).
+    """
+
+    name = "OCD"
+
+    def __init__(self) -> None:
+        self._pos: Dict[int, int] = {}
+        self._order: List[Optional[int]] = []
+        self._dirty = True
+
+    def before_solve(self) -> None:
+        st = self.state
+        roots = {st.find(v) for v in range(st.program.num_vars)}
+        for scc in strongly_connected_components(roots, st.canonical_succ):
+            if len(scc) >= 2:
+                first = scc[0]
+                for other in scc[1:]:
+                    st.union(first, other)
+        self._rebuild_order()
+
+    def _rebuild_order(self) -> None:
+        st = self.state
+        roots = {st.find(v) for v in range(st.program.num_vars)}
+        sccs = strongly_connected_components(roots, st.canonical_succ)
+        # Tarjan emits reverse-topologically; walk backwards for a
+        # forward topological order.  (Any SCCs still present belong to
+        # deferred unions; give their members adjacent positions.)
+        self._order = []
+        self._pos = {}
+        for scc in reversed(sccs):
+            for node in reversed(scc):
+                if st.find(node) == node:
+                    self._pos[node] = len(self._order)
+                    self._order.append(node)
+        self._dirty = False
+
+    def on_union(self, survivor: int, dead: int) -> None:
+        # Contracting a cycle can invalidate the order; rebuild lazily.
+        slot = self._pos.pop(dead, None)
+        if slot is not None and self._order and self._order[slot] == dead:
+            self._order[slot] = None
+        self._dirty = True
+
+    def on_new_edge(self, src: int, dst: int) -> None:
+        if self._dirty:
+            self._rebuild_order()
+        pos = self._pos
+        psrc = pos.get(src)
+        pdst = pos.get(dst)
+        if psrc is None or pdst is None:
+            self._rebuild_order()
+            psrc, pdst = self._pos.get(src), self._pos.get(dst)
+            pos = self._pos
+            if psrc is None or pdst is None:  # pragma: no cover
+                return
+        if psrc < pdst:
+            return  # order-respecting edge: provably acyclic, O(1)
+        # Affected region: nodes reachable from dst with pos ≤ pos[src].
+        st = self.state
+        seen = {dst}
+        stack = [dst]
+        found = False
+        while stack:
+            v = stack.pop()
+            if v == src:
+                found = True
+                break
+            for w in st.canonical_succ(v):
+                if w not in seen:
+                    pw = pos.get(w)
+                    if pw is not None and pw <= psrc:
+                        seen.add(w)
+                        stack.append(w)
+        if found:
+            self._collapse_cycle_through(src, dst)
+            self._dirty = True
+            return
+        self._shift(seen, pdst, psrc)
+
+    def _shift(self, reached: Set[int], pdst: int, psrc: int) -> None:
+        """MNR reorder: move the reached set just past src in the order."""
+        order, pos = self._order, self._pos
+        slots: List[int] = []
+        moved: List[int] = []
+        kept: List[int] = []
+        for p in range(pdst, psrc + 1):
+            node = order[p] if p < len(order) else None
+            if node is None:
+                continue
+            slots.append(p)
+            if node in reached:
+                moved.append(node)
+            else:
+                kept.append(node)
+        for p, node in zip(slots, kept + moved):
+            order[p] = node
+            pos[node] = p
+
+
+class LazyCycleDetection(CycleDetector):
+    """LCD: suspect a cycle when an edge's endpoints have equal Sol sets."""
+
+    name = "LCD"
+    wants_equal_sets = True
+
+    def __init__(self) -> None:
+        self._checked: Set[Tuple[int, int]] = set()
+
+    def on_equal_propagation(self, src: int, dst: int) -> None:
+        key = (src, dst)
+        if key in self._checked:
+            return
+        st = self.state
+        # Cheap pre-check before the set comparison; the trigger is a
+        # heuristic, so comparing the processed parts only is fine.
+        if len(st.sol[src]) != len(st.sol[dst]) or st.sol[src] != st.sol[dst]:
+            return
+        self._checked.add(key)
+        # Sweep: collapse every (genuine) cycle reachable from dst.
+        for scc in strongly_connected_components([dst], st.canonical_succ):
+            if len(scc) >= 2:
+                first = scc[0]
+                for other in scc[1:]:
+                    self.solver.request_union(first, other)
+
+
+class HybridCycleDetection(CycleDetector):
+    """HCD: offline analysis predicts cycles through dereference nodes."""
+
+    name = "HCD"
+
+    def __init__(self, program: ConstraintProgram):
+        self.program = program
+        #: original var v → the real members of the offline SCC that
+        #: contains ref(v); every pointee of v joins a cycle with them
+        self.hcd_map: Dict[int, Tuple[int, ...]] = {}
+        #: ref-free offline cycles of real variables (unified up front;
+        #: these consist purely of simple edges, so collapsing them never
+        #: changes the solution)
+        self.static_groups: List[List[int]] = []
+        self._analyse()
+        #: representative → list of (real-member tuple) triggers
+        self._by_rep: Dict[int, List[Tuple[int, ...]]] = {}
+
+    def _analyse(self) -> None:
+        """Offline pass: SCCs of the constraint graph with ref nodes.
+
+        Node encoding: variable v is node v; ref(v) (the dereference *v)
+        is node ``num_vars + v``.  Edges: simple q → p; load p ⊇ *q gives
+        ref(q) → p; store *p ⊇ q gives q → ref(p).
+        """
+        program = self.program
+        n = program.num_vars
+        adj: Dict[int, List[int]] = {}
+
+        def edge(a: int, b: int) -> None:
+            adj.setdefault(a, []).append(b)
+
+        for src in range(n):
+            for dst in program.simple_out[src]:
+                edge(src, dst)
+            for dst in program.load_from[src]:
+                edge(n + src, dst)
+            for q in program.store_into[src]:
+                edge(q, n + src)
+        roots = list(adj.keys())
+        for scc in strongly_connected_components(roots, lambda v: adj.get(v, ())):
+            if len(scc) < 2:
+                continue
+            reals = [v for v in scc if v < n]
+            refs = [v - n for v in scc if v >= n]
+            if not refs:
+                # Pure simple-edge cycle: always safe to collapse.
+                if len(reals) >= 2:
+                    self.static_groups.append(reals)
+            elif len(refs) == 1 and reals:
+                # Exactly one dereference node: once Sol(v) gains a
+                # member x, the edge through ref(v) materialises via x
+                # and the whole SCC becomes a genuine cycle.  Collapsing
+                # it any earlier (or with more than one ref node, whose
+                # other segments may never materialise) could change the
+                # solution, which the identical-solutions validation
+                # forbids.
+                self.hcd_map[refs[0]] = tuple(reals)
+            # Multi-ref SCCs are skipped: fewer unifications, identical
+            # solution.
+
+    def attach(self, solver) -> None:
+        super().attach(solver)
+        st = self.state
+        for group in self.static_groups:
+            first = group[0]
+            for other in group[1:]:
+                st.union(first, other)
+        self._by_rep = {}
+        for v, reals in self.hcd_map.items():
+            self._by_rep.setdefault(st.find(v), []).append(reals)
+
+    def on_union(self, survivor: int, dead: int) -> None:
+        if dead in self._by_rep:
+            self._by_rep.setdefault(survivor, []).extend(self._by_rep.pop(dead))
+
+    def on_visit(self, n: int) -> None:
+        triggers = self._by_rep.get(n)
+        if not triggers:
+            return
+        st = self.state
+        program = self.program
+        for reals in triggers:
+            pointees = [x for x in st.full_sol(n) if program.in_p[x]]
+            if not pointees:
+                continue  # nothing materialises the cycle yet
+            anchor = st.find(pointees[0])
+            for member in reals:
+                if st.find(member) != anchor:
+                    self.solver.request_union(anchor, member)
+            for x in pointees[1:]:
+                if st.find(x) != anchor:
+                    self.solver.request_union(anchor, x)
+
+
+class CombinedDetector(CycleDetector):
+    """Runs several detectors (e.g. HCD offline + LCD online)."""
+
+    def __init__(self, detectors: List[CycleDetector]):
+        self.detectors = detectors
+        self.name = "+".join(d.name for d in detectors)
+        self.wants_equal_sets = any(d.wants_equal_sets for d in detectors)
+
+    def attach(self, solver) -> None:
+        super().attach(solver)
+        for d in self.detectors:
+            d.attach(solver)
+
+    def before_solve(self) -> None:
+        for d in self.detectors:
+            d.before_solve()
+
+    def on_visit(self, n: int) -> None:
+        for d in self.detectors:
+            d.on_visit(n)
+
+    def on_new_edge(self, src: int, dst: int) -> None:
+        for d in self.detectors:
+            d.on_new_edge(src, dst)
+
+    def on_equal_propagation(self, src: int, dst: int) -> None:
+        for d in self.detectors:
+            if d.wants_equal_sets:
+                d.on_equal_propagation(src, dst)
+
+    def on_union(self, survivor: int, dead: int) -> None:
+        for d in self.detectors:
+            d.on_union(survivor, dead)

@@ -1,0 +1,280 @@
+"""Worklist iteration orders (paper Table IV).
+
+The order in which worklist nodes are processed has a drastic effect on
+solving performance (paper §II-C).  Five orders are implemented:
+
+- **FIFO** — queue (Pearce et al.).
+- **LIFO** — stack.
+- **LRF** — Least Recently Fired: pop the node whose last visit is the
+  oldest (Pearce et al.).
+- **2LRF** — two-phase LRF (Hardekopf & Lin): pops are LRF-ordered
+  within the current phase; nodes pushed during the phase wait for the
+  next one.
+- **TOPO** — topological: each round visits pending nodes in the
+  topological order of the current simple-edge constraint graph (SCCs
+  condensed, Pearce et al.).
+
+All orders share the same contract: ``push`` enqueues a node (idempotent
+while it is still pending), ``pop`` returns a node or None when empty.
+Nodes may be unified while queued; solvers canonicalise popped nodes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+
+class Worklist:
+    """Abstract worklist interface."""
+
+    name = "<abstract>"
+
+    def push(self, v: int) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Optional[int]:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        raise NotImplementedError
+
+
+class FIFOWorklist(Worklist):
+    name = "FIFO"
+
+    def __init__(self, num_vars: int):
+        self._queue: deque = deque()
+        self._pending: Set[int] = set()
+
+    def push(self, v: int) -> None:
+        if v not in self._pending:
+            self._pending.add(v)
+            self._queue.append(v)
+
+    def pop(self) -> Optional[int]:
+        while self._queue:
+            v = self._queue.popleft()
+            if v in self._pending:
+                self._pending.remove(v)
+                return v
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+
+class LIFOWorklist(Worklist):
+    name = "LIFO"
+
+    def __init__(self, num_vars: int):
+        self._stack: List[int] = []
+        self._pending: Set[int] = set()
+
+    def push(self, v: int) -> None:
+        if v not in self._pending:
+            self._pending.add(v)
+            self._stack.append(v)
+
+    def pop(self) -> Optional[int]:
+        while self._stack:
+            v = self._stack.pop()
+            if v in self._pending:
+                self._pending.remove(v)
+                return v
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+
+class LRFWorklist(Worklist):
+    """Least Recently Fired priority order."""
+
+    name = "LRF"
+
+    def __init__(self, num_vars: int):
+        self._heap: List = []
+        self._pending: Set[int] = set()
+        self._last_fired: Dict[int, int] = {}
+        self._clock = 0
+        self._seq = 0
+
+    def push(self, v: int) -> None:
+        if v in self._pending:
+            return
+        self._pending.add(v)
+        self._seq += 1
+        heapq.heappush(self._heap, (self._last_fired.get(v, 0), self._seq, v))
+
+    def pop(self) -> Optional[int]:
+        while self._heap:
+            _, _, v = heapq.heappop(self._heap)
+            if v in self._pending:
+                self._pending.remove(v)
+                self._clock += 1
+                self._last_fired[v] = self._clock
+                return v
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+
+class TwoPhaseLRFWorklist(Worklist):
+    """2LRF: LRF within the current phase, new work deferred a phase."""
+
+    name = "2LRF"
+
+    def __init__(self, num_vars: int):
+        self._current: List = []
+        self._next: Set[int] = set()
+        self._pending: Set[int] = set()
+        self._last_fired: Dict[int, int] = {}
+        self._clock = 0
+        self._seq = 0
+
+    def push(self, v: int) -> None:
+        if v in self._pending:
+            return
+        self._pending.add(v)
+        self._next.add(v)
+
+    def _start_phase(self) -> None:
+        self._current = []
+        for v in self._next:
+            self._seq += 1
+            heapq.heappush(
+                self._current, (self._last_fired.get(v, 0), self._seq, v)
+            )
+        self._next = set()
+
+    def pop(self) -> Optional[int]:
+        while True:
+            while self._current:
+                _, _, v = heapq.heappop(self._current)
+                if v in self._pending and v not in self._next:
+                    self._pending.remove(v)
+                    self._clock += 1
+                    self._last_fired[v] = self._clock
+                    return v
+            if not self._next:
+                return None
+            self._start_phase()
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+
+class TopoWorklist(Worklist):
+    """Round-based topological order over the current simple-edge graph.
+
+    ``successors`` is injected by the solver so each round reflects edges
+    added so far; cycles are condensed by Tarjan's algorithm and visited
+    as a unit (in discovery order inside the SCC).
+    """
+
+    name = "TOPO"
+
+    def __init__(
+        self,
+        num_vars: int,
+        successors: Optional[Callable[[int], Iterable[int]]] = None,
+    ):
+        self._pending: Set[int] = set()
+        self._round: List[int] = []
+        self.successors: Callable[[int], Iterable[int]] = successors or (
+            lambda v: ()
+        )
+
+    def push(self, v: int) -> None:
+        self._pending.add(v)
+
+    def _order_round(self) -> None:
+        pending = self._pending
+        order = _topological(pending, self.successors)
+        self._round = [v for v in order if v in pending]
+        self._round.reverse()  # pop() from the end => topological order
+
+    def pop(self) -> Optional[int]:
+        while True:
+            while self._round:
+                v = self._round.pop()
+                if v in self._pending:
+                    self._pending.remove(v)
+                    return v
+            if not self._pending:
+                return None
+            self._order_round()
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+
+def _topological(
+    roots: Iterable[int], successors: Callable[[int], Iterable[int]]
+) -> List[int]:
+    """Topological order of the graph reachable from ``roots``.
+
+    Iterative Tarjan SCC; SCCs are emitted in reverse-topological order,
+    so the flattened reversed result is a valid topological order with
+    cycle members adjacent.
+    """
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = 0
+
+    for root in list(roots):
+        if root in index:
+            continue
+        work: List = [(root, iter(list(successors(root))))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(list(successors(w)))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                pv = work[-1][0]
+                low[pv] = min(low[pv], low[v])
+            if low[v] == index[v]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.remove(w)
+                    scc.append(w)
+                    if w == v:
+                        break
+                sccs.append(scc)
+    out: List[int] = []
+    for scc in reversed(sccs):
+        out.extend(reversed(scc))
+    return out
+
+
+WORKLIST_ORDERS: Dict[str, type] = {
+    "FIFO": FIFOWorklist,
+    "LIFO": LIFOWorklist,
+    "LRF": LRFWorklist,
+    "2LRF": TwoPhaseLRFWorklist,
+    "TOPO": TopoWorklist,
+}

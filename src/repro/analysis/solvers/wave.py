@@ -1,0 +1,298 @@
+"""Wave propagation solver (Pereira & Berlin, CGO 2009 — paper ref [11]).
+
+An *extension* beyond the paper's Table IV configuration space: instead
+of a per-node worklist, solving proceeds in waves:
+
+1. collapse every SCC of the current simple-edge graph and compute a
+   topological order;
+2. propagate points-to *differences* along all edges in one topological
+   sweep (each node is visited exactly once per wave);
+3. evaluate the complex constraints (loads, stores, calls and the Ω
+   flag rules) against the new pointees, inserting new simple edges;
+4. repeat until a wave adds nothing.
+
+Supports both representations like the other solvers: IP mode applies
+the Fig. 7 Ω-flag rules; EP mode (``program.omega`` set) handles the
+extcall/extfunc generic-arity constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..constraints import CallConstraint, ConstraintProgram, FuncConstraint
+from ..solution import Solution
+from .base import SolverState
+from .cycles import strongly_connected_components
+
+
+class WaveSolver:
+    def __init__(
+        self,
+        program: ConstraintProgram,
+        presolve_unions=None,
+    ):
+        self.program = program
+        self.ep_mode = program.omega is not None
+        self.state = SolverState(program)
+        if presolve_unions:
+            for group in presolve_unions:
+                group = list(group)
+                for other in group[1:]:
+                    self.state.union(group[0], other)
+        n = program.num_vars
+        #: pointees already propagated in earlier waves, per rep
+        self.old: List[Set[int]] = [set() for _ in range(n)]
+        #: flags already acted upon (pte processed per node)
+        self._pte_done: List[bool] = [False] * n
+        self._calls_imported_done: Set[int] = set()
+
+    # ------------------------------------------------------------------
+
+    def solve(self) -> Solution:
+        st = self.state
+        program = self.program
+        if not self.ep_mode:
+            seeds = [x for x in range(program.num_vars) if st.ea[x]]
+            for x in seeds:
+                st.ea[x] = False
+            for x in seeds:
+                self._mark_external(x)
+        changed = True
+        while changed:
+            st.stats.passes += 1
+            self._collapse_and_order()
+            self._propagate_wave()
+            changed = self._apply_complex()
+        return st.extract_solution()
+
+    # ------------------------------------------------------------------
+
+    def _mark_pte(self, r: int) -> bool:
+        st = self.state
+        if st.pte[r]:
+            return False
+        st.pte[r] = True
+        return True
+
+    def _mark_pe(self, r: int) -> bool:
+        st = self.state
+        if st.pe[r]:
+            return False
+        st.pe[r] = True
+        return True
+
+    def _mark_external(self, x: int) -> bool:
+        st = self.state
+        if st.ea[x]:
+            return False
+        st.ea[x] = True
+        if self.program.in_p[x]:
+            r = st.find(x)
+            self._mark_pte(r)
+            self._mark_pe(r)
+        for fi in self.program.funcs_of.get(x, ()):
+            fc = self.program.funcs[fi]
+            if fc.ret is not None:
+                self._mark_pe(st.find(fc.ret))
+            for a in fc.args:
+                if a is not None:
+                    self._mark_pte(st.find(a))
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _collapse_and_order(self) -> None:
+        st = self.state
+        roots = {st.find(v) for v in range(self.program.num_vars)}
+        sccs = strongly_connected_components(roots, st.canonical_succ)
+        for scc in sccs:
+            if len(scc) < 2:
+                continue
+            # ``old`` means "already pushed along this node's out-edges".
+            # The merged node inherits every member's edges, so a pointee
+            # only counts as pushed if EVERY member had pushed it:
+            # intersect (a union here would silently under-propagate).
+            merged_old = set(self.old[scc[0]])
+            for other in scc[1:]:
+                merged_old &= self.old[other]
+            first = scc[0]
+            for other in scc[1:]:
+                survivor = st.union(first, other)
+            survivor = st.find(first)
+            for member in scc:
+                self.old[member] = set()
+            self.old[survivor] = merged_old
+        # Topological order of representatives (SCCs emitted reverse-
+        # topologically; after collapsing each SCC is one rep).
+        order: List[int] = []
+        seen = set()
+        for scc in reversed(sccs):
+            r = st.find(scc[0])
+            if r not in seen:
+                seen.add(r)
+                order.append(r)
+        self.order = order
+
+    def _propagate_wave(self) -> None:
+        """One topological sweep; ``old`` records what has been pushed
+        along the node's (current) out-edges."""
+        st = self.state
+        for n in self.order:
+            if st.find(n) != n:
+                continue
+            st.stats.visits += 1
+            diff = st.sol[n] - self.old[n]
+            pte = st.pte[n]
+            for p in st.canonical_succ(n):
+                if diff:
+                    before = len(st.sol[p])
+                    st.sol[p] |= diff
+                    st.stats.propagations += len(st.sol[p]) - before
+                if pte and not self.ep_mode:
+                    self._mark_pte(p)
+            if diff:
+                self.old[n] = set(st.sol[n])
+
+    # ------------------------------------------------------------------
+
+    def _apply_complex(self) -> bool:
+        st = self.state
+        program = self.program
+        changed = False
+        new_edges: Set[Tuple[int, int]] = set()
+        in_p, in_m = program.in_p, program.in_m
+        omega = program.omega
+
+        for n in list(self.order):
+            if st.find(n) != n:
+                continue
+            work = st.sol[n]
+            # Flag rules (IP mode).
+            if not self.ep_mode:
+                if st.pe[n]:
+                    for x in work:
+                        if self._mark_external(x):
+                            changed = True
+                if st.sscalar[n]:
+                    for x in work:
+                        if in_p[x] and self._mark_pte(st.find(x)):
+                            changed = True
+                if st.lscalar[n]:
+                    for x in work:
+                        if in_p[x] and self._mark_pe(st.find(x)):
+                            changed = True
+            # Stores.
+            if st.stores[n]:
+                for q in st.canonical_targets(st.stores[n]):
+                    for x in work:
+                        if in_p[x]:
+                            new_edges.add((q, st.find(x)))
+                        elif in_m[x] and x != omega:
+                            changed |= self._pe_or_edge(q, new_edges)
+                    if st.pte[n] and not self.ep_mode:
+                        changed |= self._mark_pe(q)
+            # Loads.
+            if st.loads[n]:
+                for p in st.canonical_targets(st.loads[n]):
+                    for x in work:
+                        if in_p[x]:
+                            new_edges.add((st.find(x), p))
+                        elif in_m[x] and x != omega:
+                            changed |= self._pte_or_edge(p, new_edges)
+                    if st.pte[n] and not self.ep_mode:
+                        changed |= self._mark_pte(p)
+            # Calls.
+            for ci in st.call_idx[n]:
+                call = program.calls[ci]
+                for x in work:
+                    for fi in program.funcs_of.get(x, ()):
+                        self._resolve_call(
+                            call, program.funcs[fi], new_edges
+                        )
+                    if self.ep_mode:
+                        if program.flag_extfunc[x]:
+                            self._call_unknown(call, new_edges)
+                    elif program.flag_impfunc[x]:
+                        changed |= self._call_unknown_ip(call)
+                if not self.ep_mode and st.pte[n]:
+                    changed |= self._call_unknown_ip(call)
+            # EP: external modules call everything n points to.
+            if self.ep_mode and st.extcall[n]:
+                assert omega is not None
+                for x in work:
+                    for fi in program.funcs_of.get(x, ()):
+                        fc = program.funcs[fi]
+                        if fc.ret is not None:
+                            new_edges.add((st.find(fc.ret), st.find(omega)))
+                        for a in fc.args:
+                            if a is not None:
+                                new_edges.add((st.find(omega), st.find(a)))
+
+        for src, dst in new_edges:
+            src, dst = st.find(src), st.find(dst)
+            if src != dst and st.add_edge(src, dst):
+                changed = True
+                # A fresh edge must carry everything already known at its
+                # source: the next wave only moves *differences*.
+                before = len(st.sol[dst])
+                st.sol[dst] |= st.sol[src]
+                st.stats.propagations += len(st.sol[dst]) - before
+                if not self.ep_mode and st.pte[src]:
+                    self._mark_pte(dst)
+        return changed
+
+    def _pe_or_edge(self, q: int, new_edges) -> bool:
+        if self.ep_mode:
+            omega = self.state.find(self.program.omega)
+            new_edges.add((q, omega))
+            return False  # edge-add reports the change
+        return self._mark_pe(q)
+
+    def _pte_or_edge(self, p: int, new_edges) -> bool:
+        if self.ep_mode:
+            omega = self.state.find(self.program.omega)
+            new_edges.add((omega, p))
+            return False
+        return self._mark_pte(p)
+
+    def _resolve_call(
+        self, call: CallConstraint, func: FuncConstraint, new_edges
+    ) -> None:
+        st = self.state
+        find = st.find
+        if call.ret is not None and func.ret is not None:
+            new_edges.add((find(func.ret), find(call.ret)))
+        elif call.ret is not None:
+            self._pte_or_edge(find(call.ret), new_edges)
+        elif func.ret is not None:
+            self._pe_or_edge(find(func.ret), new_edges)
+        n_formals = len(func.args)
+        for i, actual in enumerate(call.args):
+            if i < n_formals:
+                formal = func.args[i]
+                if actual is not None and formal is not None:
+                    new_edges.add((find(actual), find(formal)))
+                elif actual is not None:
+                    self._pe_or_edge(find(actual), new_edges)
+                elif formal is not None:
+                    self._pte_or_edge(find(formal), new_edges)
+            elif actual is not None and func.variadic:
+                self._pe_or_edge(find(actual), new_edges)
+
+    def _call_unknown(self, call: CallConstraint, new_edges) -> None:
+        omega = self.state.find(self.program.omega)
+        if call.ret is not None:
+            new_edges.add((omega, self.state.find(call.ret)))
+        for a in call.args:
+            if a is not None:
+                new_edges.add((self.state.find(a), omega))
+
+    def _call_unknown_ip(self, call: CallConstraint) -> bool:
+        changed = False
+        if call.ret is not None:
+            changed |= self._mark_pte(self.state.find(call.ret))
+        for a in call.args:
+            if a is not None:
+                changed |= self._mark_pe(self.state.find(a))
+        return changed

@@ -1,0 +1,491 @@
+"""Worklist constraint solver (paper Algorithm 1).
+
+One solver class covers both pointer representations:
+
+- **IP mode** (``program.omega is None``): the Ω node is implicit; the six
+  Table II constraints are 1-bit flags and the solver applies the extra
+  inference rules of Fig. 7 (TRANSΩ, ToΩ, InΩ, STOREToΩ, LOADFROMΩ, CALLΩ).
+- **EP mode** (``program.omega`` set by
+  :func:`repro.analysis.omega.lower_to_explicit`): Ω is an ordinary node;
+  the only extensions are the generic-arity ``extfunc``/``extcall`` flags.
+
+Optional online techniques:
+
+- **PIP** (Prefer Implicit Pointees, paper §IV; IP mode only): additions
+  1–4 of Algorithm 1 — backpropagate Ω ⊒ n, clear Sol_e of nodes marked
+  both n ⊒ Ω and Ω ⊒ n, and skip/remove simple edges that can only
+  produce doubled-up pointees.
+- **DP** (difference propagation, Pearce): complex rules and edge
+  propagation operate on the delta of each Sol_e set.
+- **Cycle detection** via pluggable detectors (see
+  :mod:`repro.analysis.solvers.cycles`): OCD, LCD, HCD.
+
+Unifications requested by detectors are deferred to safe points of the
+visit loop, so the visit body never observes a node dying under it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..constraints import CallConstraint, ConstraintProgram, FuncConstraint
+from ..solution import Solution
+from .base import SolverState
+from .orders import TopoWorklist, Worklist, WORKLIST_ORDERS
+
+
+class WorklistSolver:
+    """Configurable worklist solver for Andersen constraints."""
+
+    def __init__(
+        self,
+        program: ConstraintProgram,
+        order: str = "FIFO",
+        pip: bool = False,
+        dp: bool = False,
+        cycle_detector=None,
+        presolve_unions: Optional[Iterable[Sequence[int]]] = None,
+        pip_additions: Optional[Iterable[int]] = None,
+    ):
+        self.program = program
+        self.ep_mode = program.omega is not None
+        if pip and self.ep_mode:
+            raise ValueError("PIP requires the implicit pointee representation")
+        self.pip = pip
+        #: which of Algorithm 1's PIP additions 1–4 are active (for the
+        #: ablation study; all four in normal operation)
+        additions = frozenset(pip_additions) if pip_additions is not None else frozenset({1, 2, 3, 4})
+        if not additions <= {1, 2, 3, 4}:
+            raise ValueError(f"unknown PIP additions {additions}")
+        self.pip1 = pip and 1 in additions
+        self.pip2 = pip and 2 in additions
+        self.pip3 = pip and 3 in additions
+        self.pip4 = pip and 4 in additions
+        self.dp = dp
+        self.state = SolverState(program, dp=dp)
+        self.state.on_union = self._after_union
+        wl_cls = WORKLIST_ORDERS[order]
+        self.worklist: Worklist = wl_cls(program.num_vars)
+        if isinstance(self.worklist, TopoWorklist):
+            self.worklist.successors = self.state.canonical_succ
+        self.detector = cycle_detector
+        self._pending_unions: List[Tuple[int, int]] = []
+        #: nodes whose flags or constraints changed since their last full
+        #: scan (forces full—not delta—processing under DP)
+        self._dirty: Set[int] = set(range(program.num_vars))
+        if presolve_unions:
+            for group in presolve_unions:
+                it = iter(group)
+                first = next(it, None)
+                if first is None:
+                    continue
+                for other in it:
+                    self.state.union(first, other)
+        if self.detector is not None:
+            self.detector.attach(self)
+
+    # ------------------------------------------------------------------
+    # Flag marking helpers (IP mode)
+    # ------------------------------------------------------------------
+
+    def _push(self, v: int) -> None:
+        self.worklist.push(self.state.find(v))
+
+    def mark_pte(self, r: int) -> None:
+        """Mark r ⊒ Ω on a representative."""
+        st = self.state
+        if not st.pte[r]:
+            st.pte[r] = True
+            self._dirty.add(r)
+            self.worklist.push(r)
+
+    def mark_pe(self, r: int) -> None:
+        """Mark Ω ⊒ r on a representative."""
+        st = self.state
+        if not st.pe[r]:
+            st.pe[r] = True
+            self._dirty.add(r)
+            self.worklist.push(r)
+
+    def mark_external(self, x: int) -> None:
+        """MARKEXTERNALLYACCESSIBLE(x) of Algorithm 1 (x is original)."""
+        st = self.state
+        if st.ea[x]:
+            return
+        st.ea[x] = True
+        if self.program.in_p[x]:
+            r = st.find(x)
+            self.mark_pte(r)
+            self.mark_pe(r)
+        for fi in self.program.funcs_of.get(x, ()):
+            fc = self.program.funcs[fi]
+            if fc.ret is not None:
+                self.mark_pe(st.find(fc.ret))
+            for a in fc.args:
+                if a is not None:
+                    self.mark_pte(st.find(a))
+
+    def call_to_imported(self, call: CallConstraint) -> None:
+        """CALLTOIMPORTED of Algorithm 1 (also the h ⊒ Ω call rule)."""
+        st = self.state
+        if call.ret is not None:
+            self.mark_pte(st.find(call.ret))
+        for a in call.args:
+            if a is not None:
+                self.mark_pe(st.find(a))
+
+    # ------------------------------------------------------------------
+    # EP-mode equivalents: marks become edges to/from the Ω node
+    # ------------------------------------------------------------------
+
+    def _ep_mark_pte(self, r: int, new_edges: Set[Tuple[int, int]]) -> None:
+        omega = self.state.find(self.program.omega)  # type: ignore[arg-type]
+        if r != omega:
+            new_edges.add((omega, r))
+
+    def _ep_mark_pe(self, r: int, new_edges: Set[Tuple[int, int]]) -> None:
+        omega = self.state.find(self.program.omega)  # type: ignore[arg-type]
+        if r != omega:
+            new_edges.add((r, omega))
+
+    # ------------------------------------------------------------------
+    # Call resolution shared by both modes
+    # ------------------------------------------------------------------
+
+    def _resolve_call(
+        self,
+        call: CallConstraint,
+        func: FuncConstraint,
+        new_edges: Set[Tuple[int, int]],
+        marks_pte: Set[int],
+        marks_pe: Set[int],
+    ) -> None:
+        """Apply the CALL inference rule for one (Call, Func) pair.
+
+        Mismatched positions model pointer/integer conversions and
+        variadic argument passing conservatively (see DESIGN.md).
+        """
+        find = self.state.find
+        # Return value: Func r• flows to Call r.
+        if call.ret is not None and func.ret is not None:
+            new_edges.add((find(func.ret), find(call.ret)))
+        elif call.ret is not None:
+            marks_pte.add(find(call.ret))
+        elif func.ret is not None:
+            marks_pe.add(find(func.ret))
+        # Arguments: Call a_i flows to Func a_i•.
+        n_formals = len(func.args)
+        for i, actual in enumerate(call.args):
+            if i < n_formals:
+                formal = func.args[i]
+                if actual is not None and formal is not None:
+                    new_edges.add((find(actual), find(formal)))
+                elif actual is not None:
+                    marks_pe.add(find(actual))
+                elif formal is not None:
+                    marks_pte.add(find(formal))
+            elif actual is not None and func.variadic:
+                # Variadic extras may be retrieved via va_arg: escape.
+                marks_pe.add(find(actual))
+        # Non-variadic arity mismatches are undefined behaviour in C and
+        # add no constraints (matching standard Andersen practice).
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def _propagate(self, src: int, dst: int, items: Set[int]) -> None:
+        """PROPAGATEPOINTEES(src → dst) restricted to ``items``."""
+        st = self.state
+        if self.dp:
+            added = items - st.sol[dst]
+            added -= st.dsol[dst]
+            if added:
+                st.dsol[dst] |= added
+            changed = bool(added)
+            st.stats.propagations += len(added)
+        else:
+            target = st.sol[dst]
+            before = len(target)
+            target |= items
+            grown = len(target) - before
+            changed = bool(grown)
+            st.stats.propagations += grown
+        if not self.ep_mode and st.pte[src] and not st.pte[dst]:
+            self.mark_pte(dst)  # TRANSΩ
+            changed = True
+        if changed:
+            self.worklist.push(dst)
+        elif (
+            self.detector is not None
+            and self.detector.wants_equal_sets
+            and st.sol[src]
+        ):
+            self.detector.on_equal_propagation(src, dst)
+
+    # ------------------------------------------------------------------
+    # Unification plumbing
+    # ------------------------------------------------------------------
+
+    def _after_union(self, survivor: int, dead: int) -> None:
+        self._dirty.add(survivor)
+        self.worklist.push(survivor)
+        if self.detector is not None:
+            self.detector.on_union(survivor, dead)
+
+    def request_union(self, a: int, b: int) -> None:
+        """Detectors call this; the union happens at the next safe point."""
+        self._pending_unions.append((a, b))
+
+    def _apply_pending_unions(self) -> None:
+        st = self.state
+        while self._pending_unions:
+            a, b = self._pending_unions.pop()
+            st.union(st.find(a), st.find(b))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def solve(self) -> Solution:
+        st = self.state
+        program = self.program
+        if not self.ep_mode:
+            # InΩ seeding: handle nodes externally accessible from the start.
+            seeds = [x for x in range(program.num_vars) if st.ea[x]]
+            for x in seeds:
+                st.ea[x] = False
+            for x in seeds:
+                self.mark_external(x)
+        if self.detector is not None:
+            self.detector.before_solve()
+        self._apply_pending_unions()
+        for v in range(program.num_vars):
+            self.worklist.push(st.find(v))
+        visit = self._visit_ep if self.ep_mode else self._visit_ip
+        while True:
+            n = self.worklist.pop()
+            if n is None:
+                break
+            n = st.find(n)
+            visit(n)
+            self._apply_pending_unions()
+        return st.extract_solution()
+
+    # ------------------------------------------------------------------
+
+    def _take_work(self, n: int) -> Set[int]:
+        """The pointee set a visit must process (delta under DP)."""
+        st = self.state
+        if not self.dp:
+            return st.sol[n]
+        if n in self._dirty:
+            work = st.sol[n] | st.dsol[n]
+        else:
+            work = st.dsol[n]
+        st.sol[n] |= st.dsol[n]
+        st.dsol[n] = set()
+        return work
+
+    def _visit_ip(self, n: int) -> None:
+        st = self.state
+        st.stats.visits += 1
+        if self.detector is not None:
+            self.detector.on_visit(n)
+            if st.find(n) != n:  # visit already-merged node later
+                self.worklist.push(st.find(n))
+                return
+        program = self.program
+        pip = self.pip
+
+        # PIP addition 1: backpropagate Ω ⊒ n from any successor.
+        if self.pip1 and not st.pe[n]:
+            for q in st.canonical_succ(n):
+                if st.pe[q]:
+                    self.mark_pe(n)
+                    break
+
+        work = self._take_work(n)
+        self._dirty.discard(n)
+
+        # ToΩ: pointees of an Ω ⊒ n node are externally accessible.
+        if st.pe[n]:
+            ea = st.ea
+            for x in work:
+                if not ea[x]:
+                    self.mark_external(x)
+
+        # PIP addition 2: n ⊒ Ω and Ω ⊒ n ⇒ Sol_e(n) is all doubled-up.
+        if self.pip2 and st.pe[n] and st.pte[n]:
+            if st.sol[n]:
+                st.stats.pip_sets_cleared += 1
+                st.sol[n] = set()
+            work = set()
+
+        new_edges: Set[Tuple[int, int]] = set()
+        marks_pte: Set[int] = set()
+        marks_pe: Set[int] = set()
+
+        # Simple edges (TRANS / TRANSΩ, PIP addition 4).
+        for p in list(st.canonical_succ(n)):
+            if self.pip4 and st.pte[p] and st.pe[n]:
+                st.succ[n].discard(p)
+                st.stats.pip_edges_elided += 1
+                continue
+            self._propagate(n, p, work)
+
+        in_p, in_m, find = program.in_p, program.in_m, st.find
+
+        # Store edges *n ⊇ q.
+        if st.stores[n]:
+            for q in st.canonical_targets(st.stores[n]):
+                for x in work:
+                    if in_p[x]:
+                        new_edges.add((q, find(x)))
+                    elif in_m[x]:
+                        # §V-B: a pointer-incompatible location behaves
+                        # as Ω in simple edges (pointer smuggled out).
+                        marks_pe.add(q)
+                if st.pte[n]:
+                    marks_pe.add(q)
+        # STOREToΩ: storing a scalar through n.
+        if st.sscalar[n]:
+            for x in work:
+                if in_p[x]:
+                    marks_pte.add(find(x))
+
+        # Load edges p ⊇ *n.
+        if st.loads[n]:
+            for p in st.canonical_targets(st.loads[n]):
+                for x in work:
+                    if in_p[x]:
+                        new_edges.add((find(x), p))
+                    elif in_m[x]:
+                        # §V-B: loading from an untracked location yields
+                        # a value of unknown origin.
+                        marks_pte.add(p)
+                if st.pte[n]:
+                    marks_pte.add(p)  # LOADFROMΩ
+        # Loading a scalar through n exposes pointees of its targets.
+        if st.lscalar[n]:
+            for x in work:
+                if in_p[x]:
+                    marks_pe.add(find(x))
+
+        # Calls through n.
+        for ci in st.call_idx[n]:
+            call = program.calls[ci]
+            for x in work:
+                for fi in program.funcs_of.get(x, ()):
+                    self._resolve_call(
+                        call, program.funcs[fi], new_edges, marks_pte, marks_pe
+                    )
+                if program.flag_impfunc[x]:
+                    self.call_to_imported(call)
+            if st.pte[n]:
+                self.call_to_imported(call)
+
+        for r in marks_pte:
+            self.mark_pte(st.find(r))
+        for r in marks_pe:
+            self.mark_pe(st.find(r))
+
+        # Add new simple edges (PIP addition 3).
+        for src, dst in new_edges:
+            src, dst = st.find(src), st.find(dst)
+            if src == dst:
+                continue
+            if self.pip3:
+                if st.pe[dst] and not st.pe[src]:
+                    self.mark_pe(src)
+                if st.pe[src] and st.pte[dst]:
+                    st.stats.pip_edges_elided += 1
+                    continue
+            if st.add_edge(src, dst):
+                self._propagate(src, dst, st.full_sol(src))
+                if self.detector is not None:
+                    self.detector.on_new_edge(src, dst)
+
+    # ------------------------------------------------------------------
+
+    def _visit_ep(self, n: int) -> None:
+        st = self.state
+        st.stats.visits += 1
+        if self.detector is not None:
+            self.detector.on_visit(n)
+            if st.find(n) != n:
+                self.worklist.push(st.find(n))
+                return
+        program = self.program
+        omega = program.omega
+        assert omega is not None
+
+        work = self._take_work(n)
+        self._dirty.discard(n)
+
+        new_edges: Set[Tuple[int, int]] = set()
+        marks_pte: Set[int] = set()
+        marks_pe: Set[int] = set()
+
+        # Simple edges.
+        for p in st.canonical_succ(n):
+            self._propagate(n, p, work)
+
+        # Store edges *n ⊇ q: dereference targets.
+        if st.stores[n]:
+            for q in st.canonical_targets(st.stores[n]):
+                for x in work:
+                    if program.in_p[x]:
+                        new_edges.add((q, st.find(x)))
+                    elif program.in_m[x] and x != omega:
+                        marks_pe.add(q)  # §V-B: x behaves as Ω
+
+        # Load edges p ⊇ *n.
+        if st.loads[n]:
+            for p in st.canonical_targets(st.loads[n]):
+                for x in work:
+                    if program.in_p[x]:
+                        new_edges.add((st.find(x), p))
+                    elif program.in_m[x] and x != omega:
+                        marks_pte.add(p)  # §V-B: x behaves as Ω
+
+        # Calls through n.
+        for ci in st.call_idx[n]:
+            call = program.calls[ci]
+            for x in work:
+                for fi in program.funcs_of.get(x, ()):
+                    self._resolve_call(
+                        call, program.funcs[fi], new_edges, marks_pte, marks_pe
+                    )
+                if program.flag_extfunc[x]:
+                    # Func(x, Ω, …, Ω): unknown external function.
+                    if call.ret is not None:
+                        self._ep_mark_pte(st.find(call.ret), new_edges)
+                    for a in call.args:
+                        if a is not None:
+                            self._ep_mark_pe(st.find(a), new_edges)
+
+        # Call_e: external modules call everything n points to (④).
+        if st.extcall[n]:
+            for x in work:
+                for fi in program.funcs_of.get(x, ()):
+                    fc = program.funcs[fi]
+                    if fc.ret is not None:
+                        self._ep_mark_pe(st.find(fc.ret), new_edges)
+                    for a in fc.args:
+                        if a is not None:
+                            self._ep_mark_pte(st.find(a), new_edges)
+
+        for r in marks_pte:
+            self._ep_mark_pte(st.find(r), new_edges)
+        for r in marks_pe:
+            self._ep_mark_pe(st.find(r), new_edges)
+
+        for src, dst in new_edges:
+            src, dst = st.find(src), st.find(dst)
+            if src == dst:
+                continue
+            if st.add_edge(src, dst):
+                self._propagate(src, dst, st.full_sol(src))
+                if self.detector is not None:
+                    self.detector.on_new_edge(src, dst)

@@ -1,0 +1,104 @@
+"""Synthetic constraint-program generation for tests and benchmarks.
+
+:func:`random_program` produces deterministic pseudo-random constraint
+programs covering every constraint kind and flag of the extended
+language, including function/call structure and incomplete-program
+escapes.  It is used by the differential test suite (all solver
+configurations must agree) and by the raw-solver micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .constraints import ConstraintProgram
+
+
+def random_program(
+    seed: int,
+    n_vars: int = 40,
+    n_constraints: int = 80,
+    n_functions: int = 3,
+    flag_density: float = 0.08,
+    name: Optional[str] = None,
+) -> ConstraintProgram:
+    """A deterministic random constraint program.
+
+    The variable population mixes virtual registers and abstract memory
+    locations, pointer compatible or not, so the §V-B normalisation and
+    smuggling paths all get exercised.
+    """
+    rng = random.Random(seed)
+    program = ConstraintProgram(name or f"random-{seed}")
+
+    registers: List[int] = []
+    memories: List[int] = []  # pointer-compatible memory locations
+    scalars: List[int] = []  # pointer-incompatible memory locations
+    functions: List[int] = []
+
+    for i in range(max(4, n_vars)):
+        kind = rng.random()
+        if kind < 0.40:
+            registers.append(program.add_register(f"r{i}"))
+        elif kind < 0.80:
+            memories.append(program.add_memory(f"m{i}", pointer_compatible=True))
+        else:
+            scalars.append(program.add_memory(f"s{i}", pointer_compatible=False))
+    if not registers:
+        registers.append(program.add_register("r.pad"))
+    if not memories:
+        memories.append(program.add_memory("m.pad"))
+    if not scalars:
+        scalars.append(program.add_memory("s.pad", pointer_compatible=False))
+
+    pointers = registers + memories
+    all_memory = memories + scalars
+
+    for i in range(n_functions):
+        f = program.add_var(f"fn{i}", pointer_compatible=False, is_memory=True)
+        functions.append(f)
+        n_args = rng.randrange(0, 4)
+        args = [
+            rng.choice(pointers) if rng.random() < 0.8 else None
+            for _ in range(n_args)
+        ]
+        ret = rng.choice(pointers) if rng.random() < 0.7 else None
+        program.add_func(f, ret, args, variadic=rng.random() < 0.2)
+        if rng.random() < 0.3:
+            program.mark_imported_function(f)
+
+    targets = all_memory + functions
+    for _ in range(n_constraints):
+        k = rng.random()
+        if k < 0.30:
+            program.add_base(rng.choice(pointers), rng.choice(targets))
+        elif k < 0.55:
+            program.add_simple(
+                rng.choice(pointers + scalars), rng.choice(pointers + scalars)
+            )
+        elif k < 0.70:
+            program.add_load(rng.choice(pointers), rng.choice(pointers))
+        elif k < 0.85:
+            program.add_store(rng.choice(pointers), rng.choice(pointers))
+        else:
+            n_args = rng.randrange(0, 4)
+            args = [
+                rng.choice(pointers) if rng.random() < 0.8 else None
+                for _ in range(n_args)
+            ]
+            ret = rng.choice(pointers) if rng.random() < 0.6 else None
+            program.add_call(rng.choice(pointers), ret, args)
+
+    for v in range(program.num_vars):
+        if rng.random() < flag_density and program.in_m[v]:
+            program.mark_externally_accessible(v)
+        if rng.random() < flag_density:
+            program.mark_points_to_external(v)
+        if rng.random() < flag_density:
+            program.mark_pointees_escape(v)
+        if rng.random() < flag_density / 2:
+            program.mark_store_scalar(v)
+        if rng.random() < flag_density / 2:
+            program.mark_load_scalar(v)
+    return program

@@ -1,0 +1,363 @@
+"""Rendering the paper's tables and figures from measured results.
+
+Each function regenerates one artefact of the evaluation section:
+
+- :func:`table3`  — benchmark summary (Table III)
+- :func:`figure9` — alias-precision series (Fig. 9)
+- :func:`table5`  — solver-runtime distributions (Table V)
+- :func:`figure10`— per-file runtime-ratio series (Fig. 10)
+- :func:`table6`  — explicit-pointee distributions (Table VI)
+- :func:`headline_claims` — the numbers quoted in the paper's text
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..alias import AndersenAA, BasicAA, CombinedAA, conflict_rate
+from ..analysis import analyze_module
+from .runner import EP_ORACLE_CONFIGS, RunResults
+from .suite import CorpusFile
+from .timing import QUANTILE_COLUMNS, distribution
+
+
+def _fmt_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+
+def render_table(
+    header: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_fmt_row(header, widths))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(_fmt_row(row, widths))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Table III
+# ----------------------------------------------------------------------
+
+
+def table3(corpus: Mapping[str, List[CorpusFile]]) -> str:
+    """Benchmark summary: files, IR instructions, |V|, |C| per profile."""
+    rows = []
+    for name, files in corpus.items():
+        stats = [f.stats() for f in files]
+        kloc = sum(s["loc"] for s in stats) / 1000
+        insts = [s["ir_instructions"] for s in stats]
+        nvars = [s["num_vars"] for s in stats]
+        ncons = [s["num_constraints"] for s in stats]
+        rows.append(
+            [
+                name,
+                f"{kloc:.1f}",
+                len(files),
+                round(sum(insts) / len(insts)),
+                max(insts),
+                round(sum(nvars) / len(nvars)),
+                max(nvars),
+                round(sum(ncons) / len(ncons)),
+                max(ncons),
+            ]
+        )
+    return render_table(
+        [
+            "Name", "KLOC", "#Files",
+            "IR mean", "IR max", "|V| mean", "|V| max", "|C| mean", "|C| max",
+        ],
+        rows,
+        title="Table III — benchmark summary (scaled synthetic corpus)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PrecisionResult:
+    """MayAlias rates per profile for the three Fig. 9 analyses."""
+
+    per_profile: Dict[str, Dict[str, float]]
+    average: Dict[str, float]
+
+    ANALYSES = ("BasicAA", "Andersen", "Andersen+BasicAA")
+
+
+def measure_precision(corpus: Mapping[str, List[CorpusFile]]) -> PrecisionResult:
+    """Run the §VI-A conflict-rate client with all three analyses."""
+    per_profile: Dict[str, Dict[str, float]] = {}
+    totals = {name: [0, 0] for name in PrecisionResult.ANALYSES}
+    for profile, files in corpus.items():
+        agg = {name: [0, 0] for name in PrecisionResult.ANALYSES}
+        for file in files:
+            result = analyze_module(file.module)
+            analyses = {
+                "BasicAA": BasicAA(),
+                "Andersen": AndersenAA(result),
+                "Andersen+BasicAA": CombinedAA([AndersenAA(result), BasicAA()]),
+            }
+            for name, aa in analyses.items():
+                stats = conflict_rate(file.module, aa)
+                agg[name][0] += stats.may_alias
+                agg[name][1] += stats.queries
+                totals[name][0] += stats.may_alias
+                totals[name][1] += stats.queries
+        per_profile[profile] = {
+            name: (may / queries if queries else 0.0)
+            for name, (may, queries) in agg.items()
+        }
+    average = {
+        name: (may / queries if queries else 0.0)
+        for name, (may, queries) in totals.items()
+    }
+    return PrecisionResult(per_profile, average)
+
+
+def figure9(precision: PrecisionResult) -> str:
+    rows = []
+    for profile, rates in precision.per_profile.items():
+        rows.append(
+            [profile]
+            + [f"{100 * rates[name]:.1f}%" for name in PrecisionResult.ANALYSES]
+        )
+    rows.append(
+        ["AVERAGE"]
+        + [
+            f"{100 * precision.average[name]:.1f}%"
+            for name in PrecisionResult.ANALYSES
+        ]
+    )
+    return render_table(
+        ["Benchmark", "BasicAA", "Andersen", "Andersen+BasicAA"],
+        rows,
+        title="Figure 9 — % of alias queries answered MayAlias (lower is better)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table V
+# ----------------------------------------------------------------------
+
+
+def _us(seconds: float) -> str:
+    return f"{seconds * 1e6:,.0f}"
+
+
+def table5(results: RunResults, oracle_configs: Sequence[str] = ()) -> str:
+    """Solver-runtime distribution per configuration, in microseconds."""
+    oracle_configs = list(oracle_configs) or [
+        c for c in EP_ORACLE_CONFIGS if c in results.runtimes
+    ]
+    rows = []
+    ep_rows = [c for c in results.runtimes if c.startswith("EP")]
+    ip_rows = [c for c in results.runtimes if c.startswith("IP")]
+    for config in ep_rows:
+        dist = distribution(results.runtime_values(config))
+        rows.append([config] + [_us(dist[c]) for c in QUANTILE_COLUMNS])
+    if oracle_configs:
+        oracle = list(results.oracle_runtimes(oracle_configs).values())
+        dist = distribution(oracle)
+        rows.append(["EP Oracle"] + [_us(dist[c]) for c in QUANTILE_COLUMNS])
+    for config in ip_rows:
+        dist = distribution(results.runtime_values(config))
+        rows.append([config] + [_us(dist[c]) for c in QUANTILE_COLUMNS])
+    return render_table(
+        ["Configuration"] + [c for c in QUANTILE_COLUMNS],
+        rows,
+        title="Table V — constraint-graph solver runtime [µs]",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 10
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RatioSeries:
+    """Per-file runtime ratios, sorted — the dots of Fig. 10."""
+
+    label: str
+    #: (file, ratio) sorted ascending by ratio
+    points: List[Tuple[str, float]]
+
+    @property
+    def fraction_above_one(self) -> float:
+        above = sum(1 for _, r in self.points if r > 1.0)
+        return above / len(self.points) if self.points else 0.0
+
+
+def best_no_pip_config(results: RunResults) -> str:
+    """The measured-fastest IP configuration without PIP.
+
+    The paper's corpus makes this IP+WL(FIFO)+LCD+DP; on other corpora
+    (or cost models) it may be plain IP+WL(FIFO) — the comparison is
+    defined against whichever is fastest in total.
+    """
+    candidates = [
+        c
+        for c in results.runtimes
+        if c.startswith("IP") and "PIP" not in c
+    ]
+    if not candidates:
+        raise ValueError("no IP configuration without PIP was measured")
+    return min(candidates, key=lambda c: sum(results.runtime_values(c)))
+
+
+def figure10(
+    results: RunResults,
+    oracle_configs: Sequence[str] = (),
+) -> Tuple[RatioSeries, RatioSeries]:
+    """The two Fig. 10 series.
+
+    Top: IP-sans-PIP vs the EP Oracle (ratio > 1 ⇒ IP faster).
+    Bottom: PIP vs the best configuration without PIP (ratio > 1 ⇒ PIP
+    faster).
+    """
+    oracle_configs = list(oracle_configs) or [
+        c for c in EP_ORACLE_CONFIGS if c in results.runtimes
+    ]
+    oracle = results.oracle_runtimes(oracle_configs)
+    no_pip = best_no_pip_config(results)
+    ip = results.runtimes[no_pip]
+    top = RatioSeries(
+        f"EP Oracle / {no_pip}",
+        sorted(
+            ((f, oracle[f] / ip[f]) for f in ip if f in oracle),
+            key=lambda t: t[1],
+        ),
+    )
+    pip = results.runtimes["IP+WL(FIFO)+PIP"]
+    bottom = RatioSeries(
+        f"{no_pip} / IP+WL(FIFO)+PIP",
+        sorted(
+            ((f, ip[f] / pip[f]) for f in pip if f in ip),
+            key=lambda t: t[1],
+        ),
+    )
+    return top, bottom
+
+
+def render_ratio_series(series: RatioSeries, bins: int = 40) -> str:
+    """ASCII rendition of a Fig. 10 dot series (log-ish buckets)."""
+    lines = [f"Figure 10 series — {series.label} (ratio > 1 ⇒ right side faster)"]
+    n = len(series.points)
+    lines.append(
+        f"{n} files; {100 * series.fraction_above_one:.0f}% have ratio > 1"
+    )
+    if n:
+        sample = [series.points[int(i * (n - 1) / max(1, bins - 1))] for i in range(min(bins, n))]
+        for name, ratio in sample:
+            bar = "#" * max(1, min(60, int(ratio * 10)))
+            lines.append(f"{ratio:10.3f}  {bar}  {name}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Table VI
+# ----------------------------------------------------------------------
+
+
+def table6(results: RunResults, configs: Sequence[str]) -> str:
+    rows = []
+    for config in configs:
+        if config not in results.pointees:
+            continue
+        dist = distribution(list(results.pointees[config].values()))
+        rows.append(
+            [config]
+            + [f"{dist[c]:,.0f}" for c in QUANTILE_COLUMNS]
+        )
+    return render_table(
+        ["Configuration"] + list(QUANTILE_COLUMNS),
+        rows,
+        title="Table VI — number of explicit pointees in the solutions",
+    )
+
+
+# ----------------------------------------------------------------------
+# Headline claims
+# ----------------------------------------------------------------------
+
+
+def headline_claims(
+    results: RunResults,
+    corpus: Mapping[str, List[CorpusFile]],
+    precision: Optional[PrecisionResult] = None,
+    oracle_configs: Sequence[str] = (),
+) -> Dict[str, float]:
+    """The numbers quoted in the paper's abstract/§VI text.
+
+    Keys:
+      ``ip_vs_ep_oracle``      IP+WL(FIFO)+LCD+DP speedup over EP Oracle
+                               (paper: ≈15×, on total runtime)
+      ``pip_vs_best_no_pip``   PIP speedup over best no-PIP (paper: ≈1.9×)
+      ``pip_vs_plain_ip``      PIP speedup over IP+WL(FIFO) (paper: ≈14×
+                               on the mean; dominated by outliers)
+      ``external_pointer_fraction``  fraction of pointers with p ⊒ Ω
+                               (paper: ≈51%)
+      ``mayalias_reduction``   MayAlias reduction of Andersen+BasicAA
+                               vs BasicAA alone (paper: ≈40%)
+    """
+    oracle_configs = list(oracle_configs) or [
+        c for c in EP_ORACLE_CONFIGS if c in results.runtimes
+    ]
+    out: Dict[str, float] = {}
+    best = best_no_pip_config(results)
+    oracle_total = sum(results.oracle_runtimes(oracle_configs).values())
+    ip_total = sum(results.runtime_values(best))
+    out["ip_vs_ep_oracle"] = oracle_total / ip_total if ip_total else 0.0
+    pip = sum(results.runtime_values("IP+WL(FIFO)+PIP"))
+    out["pip_vs_best_no_pip"] = ip_total / pip if pip else 0.0
+    plain_ip = sum(results.runtime_values("IP+WL(FIFO)"))
+    out["pip_vs_plain_ip"] = plain_ip / pip if pip else 0.0
+
+    total_pointers = external = 0
+    from ..analysis.config import parse_name, run_configuration
+
+    fastest = parse_name("IP+WL(FIFO)+PIP")
+    for files in corpus.values():
+        for file in files:
+            solution = run_configuration(file.program, fastest)
+            for p in solution.pointers():
+                total_pointers += 1
+                if solution.may_point_to_external(p):
+                    external += 1
+    out["external_pointer_fraction"] = (
+        external / total_pointers if total_pointers else 0.0
+    )
+    if precision is not None:
+        basic = precision.average["BasicAA"]
+        combined = precision.average["Andersen+BasicAA"]
+        out["mayalias_reduction"] = 1 - combined / basic if basic else 0.0
+    return out
+
+
+def render_headlines(claims: Dict[str, float]) -> str:
+    lines = ["Headline claims (paper → measured)"]
+    paper = {
+        "ip_vs_ep_oracle": "15×",
+        "pip_vs_best_no_pip": "1.9×",
+        "pip_vs_plain_ip": "14×",
+        "external_pointer_fraction": "51%",
+        "mayalias_reduction": "40%",
+    }
+    for key, value in claims.items():
+        shown = (
+            f"{100 * value:.0f}%" if "fraction" in key or "reduction" in key
+            else f"{value:.1f}×"
+        )
+        lines.append(f"  {key}: paper {paper.get(key, '?')} → measured {shown}")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Experiment runner: solve every corpus file under every configuration,
+validating that all configurations agree, and collect runtimes and
+explicit-pointee counts (the inputs to Tables V/VI and Fig. 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..analysis.config import Configuration, parse_name, prepare_program, solve_prepared
+from ..analysis.solution import Solution
+from .suite import CorpusFile
+from .timing import time_callable
+
+#: the named configurations of Table V
+TABLE5_CONFIGS = [
+    "EP+OVS+WL(LRF)+OCD",
+    "IP+WL(FIFO)+LCD+DP",
+    "IP+WL(FIFO)",
+    "IP+WL(FIFO)+PIP",
+]
+
+#: the configurations the EP Oracle may pick from.  The paper's oracle
+#: ranges over every EP configuration; we use a representative slice
+#: covering both solvers, OVS, the orders, and the cycle techniques.
+EP_ORACLE_CONFIGS = [
+    "EP+Naive",
+    "EP+OVS+Naive",
+    "EP+WL(FIFO)",
+    "EP+WL(LIFO)",
+    "EP+WL(LRF)",
+    "EP+OVS+WL(FIFO)",
+    "EP+OVS+WL(LRF)+OCD",
+    "EP+WL(FIFO)+LCD+DP",
+    "EP+WL(LRF)+HCD+LCD",
+]
+
+#: the configurations of Table VI
+TABLE6_CONFIGS = [
+    "EP+OVS+WL(LRF)+OCD",
+    "IP+WL(FIFO)",
+    "IP+WL(FIFO)+LCD+DP",
+    "IP+WL(FIFO)+PIP",
+]
+
+
+@dataclass
+class FileRun:
+    """One (file, configuration) measurement."""
+
+    file: str
+    profile: str
+    config: str
+    runtime_s: float
+    explicit_pointees: int
+
+
+@dataclass
+class RunResults:
+    """All measurements plus per-file metadata."""
+
+    runs: List[FileRun] = field(default_factory=list)
+    #: per-file, per-config runtime: runtimes[config][file]
+    runtimes: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    pointees: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    profiles_of: Dict[str, str] = field(default_factory=dict)
+
+    def record(self, run: FileRun) -> None:
+        self.runs.append(run)
+        self.runtimes.setdefault(run.config, {})[run.file] = run.runtime_s
+        self.pointees.setdefault(run.config, {})[run.file] = run.explicit_pointees
+        self.profiles_of[run.file] = run.profile
+
+    def runtime_values(self, config: str) -> List[float]:
+        return list(self.runtimes[config].values())
+
+    def oracle_runtimes(self, configs: Sequence[str]) -> Dict[str, float]:
+        """Per-file minimum over the given configurations (the Oracle)."""
+        files = self.runtimes[configs[0]].keys()
+        return {
+            f: min(self.runtimes[c][f] for c in configs if f in self.runtimes[c])
+            for f in files
+        }
+
+
+def _profile_of(file: CorpusFile) -> str:
+    return file.spec.name.split("/")[0]
+
+
+def run_experiment(
+    files: Iterable[CorpusFile],
+    config_names: Sequence[str],
+    repetitions: int = 3,
+    validate: bool = True,
+) -> RunResults:
+    """Measure solver runtime for each (file, configuration) pair.
+
+    The timed region is :func:`solve_prepared` only — the paper's phase
+    2.  When ``validate`` is set, every configuration's solution is
+    compared against the first configuration's (paper §V-A).
+    """
+    results = RunResults()
+    configs = [(name, parse_name(name)) for name in config_names]
+    for file in files:
+        reference: Optional[Solution] = None
+        for name, config in configs:
+            prepared = (
+                file.ep_program
+                if config.representation == "EP"
+                else file.program
+            )
+            solution = solve_prepared(prepared, config)
+            if validate:
+                if reference is None:
+                    reference = solution
+                elif solution != reference:
+                    raise AssertionError(
+                        f"{name} disagrees on {file.spec.name}:\n"
+                        + reference.diff(solution)
+                    )
+            runtime = time_callable(
+                lambda: solve_prepared(prepared, config), repetitions
+            )
+            results.record(
+                FileRun(
+                    file.spec.name,
+                    _profile_of(file),
+                    name,
+                    runtime,
+                    solution.stats.explicit_pointees,
+                )
+            )
+    return results

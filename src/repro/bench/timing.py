@@ -1,0 +1,53 @@
+"""Timing and distribution statistics for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+#: the columns of the paper's Table V / Table VI
+QUANTILE_COLUMNS = ("p10", "p25", "p50", "p90", "p99", "max", "mean")
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted data."""
+    if not sorted_values:
+        raise ValueError("no data")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def distribution(values: Sequence[float]) -> Dict[str, float]:
+    """p10/p25/p50/p90/p99/max/mean summary (Table V/VI row shape)."""
+    data = sorted(values)
+    return {
+        "p10": quantile(data, 0.10),
+        "p25": quantile(data, 0.25),
+        "p50": quantile(data, 0.50),
+        "p90": quantile(data, 0.90),
+        "p99": quantile(data, 0.99),
+        "max": data[-1],
+        "mean": sum(data) / len(data),
+    }
+
+
+def time_callable(fn: Callable[[], object], repetitions: int = 3) -> float:
+    """Best-of-N wall time in seconds for one solver invocation.
+
+    The paper runs each (configuration, file) pair 50 times on a
+    frequency-pinned Xeon; best-of-N is the standard noise-robust
+    equivalent for an interpreted implementation.
+    """
+    best = math.inf
+    for _ in range(max(1, repetitions)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,15 @@
+"""Downstream clients of the points-to analysis: call graphs and
+mod/ref summaries (the other uses the paper lists in its introduction)."""
+
+from .callgraph import EXTERNAL, CallGraph, CallSite, build_call_graph
+from .modref import ModRef, call_may_clobber, compute_mod_ref
+
+__all__ = [
+    "EXTERNAL",
+    "CallGraph",
+    "CallSite",
+    "build_call_graph",
+    "ModRef",
+    "compute_mod_ref",
+    "call_may_clobber",
+]

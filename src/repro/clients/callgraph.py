@@ -1,0 +1,135 @@
+"""Call-graph construction from the points-to solution.
+
+The paper (§I) lists call-graph creation among the clients a points-to
+analysis enables.  For an *incomplete* program the graph must model the
+unknown world: indirect calls through unknown-origin pointers may reach
+any escaped or imported function, and escaped functions may be called by
+external modules at any time.
+
+Nodes are :class:`repro.ir.module.Function` objects plus the
+:data:`EXTERNAL` pseudo-node representing all code outside the module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Union
+
+from ..analysis.api import PointsToResult
+from ..analysis.omega import OMEGA
+from ..ir import Call
+from ..ir.module import Function, Module
+
+#: pseudo-node for all functions defined in external modules
+EXTERNAL = "<external>"
+
+Node = Union[Function, str]
+
+
+@dataclass
+class CallSite:
+    """One call instruction and its resolved callees."""
+
+    caller: Function
+    call: Call
+    callees: FrozenSet
+    #: True if the target may be a pointer of unknown origin
+    may_call_external: bool
+
+    @property
+    def is_direct(self) -> bool:
+        return self.call.is_direct()
+
+
+class CallGraph:
+    def __init__(self, module: Module):
+        self.module = module
+        self.edges: Dict[Node, Set[Node]] = {}
+        self.sites: List[CallSite] = []
+        #: functions callable from outside the module
+        self.externally_callable: Set[Function] = set()
+
+    def _add_edge(self, caller: Node, callee: Node) -> None:
+        self.edges.setdefault(caller, set()).add(callee)
+
+    def callees_of(self, fn: Node) -> FrozenSet:
+        return frozenset(self.edges.get(fn, ()))
+
+    def callers_of(self, fn: Node) -> FrozenSet:
+        return frozenset(
+            caller for caller, callees in self.edges.items() if fn in callees
+        )
+
+    def may_call(self, caller: Node, callee: Node) -> bool:
+        return callee in self.edges.get(caller, ())
+
+    def reachable_from(self, roots) -> FrozenSet:
+        """Transitive closure of the call relation from ``roots``."""
+        seen: Set[Node] = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.edges.get(node, ()))
+        return frozenset(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        n_edges = sum(len(c) for c in self.edges.values())
+        return f"<CallGraph of {self.module.name}: {n_edges} edges>"
+
+
+def build_call_graph(result: PointsToResult) -> CallGraph:
+    """Resolve every call site of the module against the solution."""
+    module = result.built.module
+    graph = CallGraph(module)
+    functions_by_loc = {
+        loc: value
+        for value, loc in result.built.memloc_of.items()
+        if isinstance(value, Function)
+    }
+
+    for fn in module.defined_functions():
+        for inst in fn.instructions():
+            if not isinstance(inst, Call):
+                continue
+            callees: Set = set()
+            external = False
+            if inst.is_direct():
+                target_fn = inst.callee
+                assert isinstance(target_fn, Function)
+                if target_fn.is_declaration:
+                    external = True
+                    callees.add(EXTERNAL)
+                else:
+                    callees.add(target_fn)
+            else:
+                targets = result.points_to(inst.callee)
+                for x in targets:
+                    if x == OMEGA:
+                        external = True
+                        callees.add(EXTERNAL)
+                        continue
+                    target = functions_by_loc.get(x)
+                    if target is not None:
+                        if target.is_declaration:
+                            external = True
+                            callees.add(EXTERNAL)
+                        else:
+                            callees.add(target)
+            for callee in callees:
+                graph._add_edge(fn, callee)
+            graph.sites.append(
+                CallSite(fn, inst, frozenset(callees), external)
+            )
+
+    # External modules may call every escaped defined function.
+    external_values = result.externally_accessible_values()
+    for fn in module.defined_functions():
+        if fn in external_values:
+            graph.externally_callable.add(fn)
+            graph._add_edge(EXTERNAL, fn)
+    # Unknown external code may also call anything else external.
+    graph._add_edge(EXTERNAL, EXTERNAL)
+    return graph

@@ -1,0 +1,316 @@
+"""Abstract syntax tree for the C frontend.
+
+Produced by :mod:`repro.frontend.cparser`; type-annotated in place by
+:mod:`repro.frontend.sema` (every expression node gains a ``ctype``
+attribute) and consumed by :mod:`repro.frontend.lower`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..ir import types as ty
+
+
+class Node:
+    """Base class; ``line`` is the 1-based source line."""
+
+    line: int = 0
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+class Expr(Node):
+    #: filled in by sema: the C type of the expression's value
+    ctype: Optional[ty.Type] = None
+    #: filled in by sema: True if this expression designates an lvalue
+    is_lvalue: bool = False
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+    line: int = 0
+
+
+@dataclass
+class CharLiteral(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+    line: int = 0
+
+
+@dataclass
+class Unary(Expr):
+    """op in {'&', '*', '+', '-', '~', '!', '++', '--', 'p++', 'p--'}
+    (p-prefixed = postfix)."""
+
+    op: str
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+    line: int = 0
+
+
+@dataclass
+class Assignment(Expr):
+    """op in {'=', '+=', '-=', '*=', '/=', '%=', '&=', '|=', '^=',
+    '<<=', '>>='}."""
+
+    op: str
+    target: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+    line: int = 0
+
+
+@dataclass
+class Cast(Expr):
+    target_type: "TypeName"
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class SizeofType(Expr):
+    target_type: "TypeName"
+    line: int = 0
+
+
+@dataclass
+class SizeofExpr(Expr):
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: Expr
+    args: List[Expr]
+    line: int = 0
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+    line: int = 0
+
+
+@dataclass
+class Member(Expr):
+    """``base.name`` (arrow=False) or ``base->name`` (arrow=True)."""
+
+    base: Expr
+    name: str
+    arrow: bool
+    line: int = 0
+
+
+@dataclass
+class Comma(Expr):
+    lhs: Expr
+    rhs: Expr
+    line: int = 0
+
+
+# ----------------------------------------------------------------------
+# Declarations / types
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TypeName(Node):
+    """A resolved abstract type (sema produces the concrete ty.Type)."""
+
+    ctype: ty.Type
+    line: int = 0
+
+
+@dataclass
+class InitItem(Node):
+    """One initialiser: a bare expression or a nested brace list."""
+
+    expr: Optional[Expr] = None
+    items: Optional[List["InitItem"]] = None
+    line: int = 0
+
+
+@dataclass
+class Declarator(Node):
+    """One declared entity inside a declaration."""
+
+    name: str
+    ctype: ty.Type
+    init: Optional[InitItem] = None
+    line: int = 0
+
+
+@dataclass
+class Declaration(Node):
+    """A (possibly multi-declarator) declaration statement.
+
+    ``storage`` ∈ {None, 'static', 'extern', 'typedef'}.
+    """
+
+    declarators: List[Declarator]
+    storage: Optional[str] = None
+    line: int = 0
+
+
+@dataclass
+class ParamDecl(Node):
+    name: Optional[str]
+    ctype: ty.Type
+    line: int = 0
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str
+    ctype: ty.FunctionType
+    params: List[ParamDecl]
+    body: "Compound"
+    storage: Optional[str] = None  # 'static' for internal linkage
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit(Node):
+    items: List[Union[Declaration, FunctionDef]] = field(default_factory=list)
+    name: str = "<source>"
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Compound(Stmt):
+    items: List[Union[Stmt, Declaration]] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr]  # None for the empty statement
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Optional[Stmt] = None
+    line: int = 0
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+    line: int = 0
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+    line: int = 0
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Union[Expr, Declaration]]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+    line: int = 0
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+    line: int = 0
+
+
+@dataclass
+class Break(Stmt):
+    line: int = 0
+
+
+@dataclass
+class Continue(Stmt):
+    line: int = 0
+
+
+@dataclass
+class Switch(Stmt):
+    cond: Expr
+    body: Stmt
+    line: int = 0
+
+
+@dataclass
+class Case(Stmt):
+    value: Expr  # constant expression
+    body: Stmt
+    line: int = 0
+
+
+@dataclass
+class Default(Stmt):
+    body: Stmt
+    line: int = 0
+
+
+@dataclass
+class Goto(Stmt):
+    label: str
+    line: int = 0
+
+
+@dataclass
+class Label(Stmt):
+    name: str
+    body: Stmt
+    line: int = 0

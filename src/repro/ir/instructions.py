@@ -1,0 +1,327 @@
+"""Instruction set of the repro IR.
+
+The instruction set is the subset of LLVM IR that matters for points-to
+analysis plus enough arithmetic/control flow to lower real C programs:
+
+========  =====================================================
+alloca    stack memory object; result is its address
+load      read through a pointer
+store     write through a pointer
+gep       pointer arithmetic / field addressing (field-insensitive
+          analysis treats the result as aliasing the base)
+binop     integer/float arithmetic and bitwise ops
+icmp/fcmp comparisons
+cast      trunc/zext/sext/fptrunc/fpext/fptosi/sitofp/bitcast/
+          ptrtoint/inttoptr
+select    ternary
+phi       SSA merge
+call      direct or indirect function call
+memcpy    intrinsic bulk copy (modelled specially by the analysis)
+br        conditional/unconditional branch
+ret       function return
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from . import types as ty
+from .values import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .module import BasicBlock
+
+
+class Instruction(Value):
+    """Base class.  An instruction with a non-void type is also a value
+    (its result lives in a virtual register)."""
+
+    opcode = "<abstract>"
+
+    def __init__(self, type_: ty.Type, operands: Sequence[Value], name: str = ""):
+        super().__init__(type_, name)
+        self.operands: List[Value] = list(operands)
+        self.parent: Optional["BasicBlock"] = None
+
+    @property
+    def has_result(self) -> bool:
+        return not isinstance(self.type, ty.VoidType)
+
+    def is_terminator(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{self.opcode} {self.ref()}>"
+
+
+class Alloca(Instruction):
+    """Stack allocation.  The result is a pointer to ``allocated_type``."""
+
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: ty.Type, name: str = ""):
+        super().__init__(ty.ptr(allocated_type), [], name)
+        self.allocated_type = allocated_type
+        #: set by escape pre-analysis / clients; True when the address of
+        #: this alloca is used by anything but direct load/store.
+        self.address_taken = False
+
+
+class Load(Instruction):
+    opcode = "load"
+
+    def __init__(self, result_type: ty.Type, pointer: Value, name: str = ""):
+        super().__init__(result_type, [pointer], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value):
+        super().__init__(ty.VOID, [value, pointer])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class Gep(Instruction):
+    """Pointer offset computation.
+
+    ``base`` is a pointer; ``indices`` are integer Values or constants.
+    The analysis is field-insensitive, so the result aliases the base; the
+    offsets only matter to BasicAA, which understands constant offsets.
+    """
+
+    opcode = "gep"
+
+    def __init__(
+        self,
+        result_type: ty.PointerType,
+        base: Value,
+        indices: Sequence[Value],
+        name: str = "",
+        constant_offset: Optional[int] = None,
+    ):
+        super().__init__(result_type, [base, *indices], name)
+        #: byte offset when all indices are constants, else None
+        self.constant_offset = constant_offset
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def indices(self) -> List[Value]:
+        return self.operands[1:]
+
+
+BINOPS = (
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+    "fadd", "fsub", "fmul", "fdiv",
+)
+
+
+class BinOp(Instruction):
+    opcode = "binop"
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = ""):
+        if op not in BINOPS:
+            raise ValueError(f"unknown binop {op!r}")
+        super().__init__(lhs.type, [lhs, rhs], name)
+        self.op = op
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+CMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge")
+
+
+class Cmp(Instruction):
+    """Integer/pointer/float comparison; result is an i1."""
+
+    opcode = "cmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in CMP_PREDICATES:
+            raise ValueError(f"unknown predicate {predicate!r}")
+        super().__init__(ty.BOOL, [lhs, rhs], name)
+        self.predicate = predicate
+
+
+CAST_KINDS = (
+    "trunc", "zext", "sext",
+    "fptrunc", "fpext", "fptosi", "fptoui", "sitofp", "uitofp",
+    "bitcast", "ptrtoint", "inttoptr",
+)
+
+
+class Cast(Instruction):
+    opcode = "cast"
+
+    def __init__(self, kind: str, value: Value, to_type: ty.Type, name: str = ""):
+        if kind not in CAST_KINDS:
+            raise ValueError(f"unknown cast kind {kind!r}")
+        super().__init__(to_type, [value], name)
+        self.kind = kind
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class Select(Instruction):
+    opcode = "select"
+
+    def __init__(self, cond: Value, if_true: Value, if_false: Value, name: str = ""):
+        super().__init__(if_true.type, [cond, if_true, if_false], name)
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def if_true(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def if_false(self) -> Value:
+        return self.operands[2]
+
+
+class Phi(Instruction):
+    """SSA merge; incoming values paired with predecessor blocks."""
+
+    opcode = "phi"
+
+    def __init__(self, type_: ty.Type, name: str = ""):
+        super().__init__(type_, [], name)
+        self.incoming: List[Tuple[Value, "BasicBlock"]] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        self.incoming.append((value, block))
+        self.operands.append(value)
+
+
+class Call(Instruction):
+    """Direct or indirect call.
+
+    ``callee`` is a Value: a :class:`repro.ir.module.Function` for a direct
+    call, or any pointer-typed register for an indirect one.
+    """
+
+    opcode = "call"
+
+    def __init__(
+        self,
+        result_type: ty.Type,
+        callee: Value,
+        args: Sequence[Value],
+        name: str = "",
+    ):
+        super().__init__(result_type, [callee, *args], name)
+
+    @property
+    def callee(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def args(self) -> List[Value]:
+        return self.operands[1:]
+
+    def is_direct(self) -> bool:
+        from .module import Function
+
+        return isinstance(self.callee, Function)
+
+
+class Memcpy(Instruction):
+    """``memcpy(dst, src, n)`` intrinsic.
+
+    The analysis models it as ``*dst ⊇ *src`` (paper §V-B gives memcpy
+    special handling).
+    """
+
+    opcode = "memcpy"
+
+    def __init__(self, dst: Value, src: Value, length: Value):
+        super().__init__(ty.VOID, [dst, src, length])
+
+    @property
+    def dst(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def src(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def length(self) -> Value:
+        return self.operands[2]
+
+
+class Br(Instruction):
+    """Branch: unconditional (1 target) or conditional (cond + 2 targets)."""
+
+    opcode = "br"
+
+    def __init__(
+        self,
+        target: "BasicBlock",
+        cond: Optional[Value] = None,
+        if_false: Optional["BasicBlock"] = None,
+    ):
+        ops: List[Value] = [] if cond is None else [cond]
+        super().__init__(ty.VOID, ops)
+        if (cond is None) != (if_false is None):
+            raise ValueError("conditional branch needs both cond and if_false")
+        self.targets: List["BasicBlock"] = (
+            [target] if if_false is None else [target, if_false]
+        )
+
+    @property
+    def cond(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def is_terminator(self) -> bool:
+        return True
+
+
+class Ret(Instruction):
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(ty.VOID, [] if value is None else [value])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def is_terminator(self) -> bool:
+        return True
+
+
+class Unreachable(Instruction):
+    opcode = "unreachable"
+
+    def __init__(self) -> None:
+        super().__init__(ty.VOID, [])
+
+    def is_terminator(self) -> bool:
+        return True

@@ -1,0 +1,172 @@
+"""Module, Function and BasicBlock containers for the repro IR."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from . import types as ty
+from .instructions import Instruction
+from .values import Argument, GlobalValue, GlobalVariable
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    def __init__(self, name: str, parent: Optional["Function"] = None):
+        self.name = name
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self.is_terminated():
+            raise ValueError(f"block {self.name} already terminated")
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def is_terminated(self) -> bool:
+        return bool(self.instructions) and self.instructions[-1].is_terminator()
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.is_terminated():
+            return self.instructions[-1]
+        return None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        targets = getattr(term, "targets", None)
+        return list(targets) if targets else []
+
+    def ref(self) -> str:
+        return f"%{self.name}"
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<BasicBlock {self.name} [{len(self.instructions)} insts]>"
+
+
+class Function(GlobalValue):
+    """A function definition or declaration.
+
+    Like in LLVM, a ``Function`` used as a value is the function's address
+    (type: pointer to the function type).  A function with no blocks is a
+    declaration; whether it is an import is determined by its linkage.
+    """
+
+    def __init__(
+        self,
+        func_type: ty.FunctionType,
+        name: str,
+        linkage: str = "external",
+    ):
+        super().__init__(ty.ptr(func_type), name, linkage)
+        self.func_type = func_type
+        self.args: List[Argument] = [
+            Argument(pt, f"arg{i}", i) for i, pt in enumerate(func_type.params)
+        ]
+        self.blocks: List[BasicBlock] = []
+
+    @property
+    def return_type(self) -> ty.Type:
+        return self.func_type.return_type
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no body")
+        return self.blocks[0]
+
+    def add_block(self, name: str) -> BasicBlock:
+        existing = {b.name for b in self.blocks}
+        base, i = name, 1
+        while name in existing:
+            name = f"{base}.{i}"
+            i += 1
+        block = BasicBlock(name, self)
+        self.blocks.append(block)
+        return block
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "decl" if self.is_declaration else "def"
+        return f"<Function {self.name} ({kind}, {self.linkage})>"
+
+
+class Module:
+    """A translation unit: globals + functions, by name."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.globals: Dict[str, GlobalVariable] = {}
+        self.functions: Dict[str, Function] = {}
+        self._anon_counter = 0
+
+    # ----- construction ---------------------------------------------------
+
+    def add_global(self, gv: GlobalVariable) -> GlobalVariable:
+        if gv.name in self.globals or gv.name in self.functions:
+            raise ValueError(f"duplicate global {gv.name!r}")
+        self.globals[gv.name] = gv
+        return gv
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions or fn.name in self.globals:
+            raise ValueError(f"duplicate function {fn.name!r}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def unique_name(self, prefix: str) -> str:
+        while True:
+            self._anon_counter += 1
+            name = f"{prefix}.{self._anon_counter}"
+            if name not in self.globals and name not in self.functions:
+                return name
+
+    # ----- lookup ---------------------------------------------------------
+
+    def get(self, name: str) -> Optional[GlobalValue]:
+        return self.functions.get(name) or self.globals.get(name)
+
+    def defined_functions(self) -> List[Function]:
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    def imported_symbols(self) -> List[GlobalValue]:
+        out: List[GlobalValue] = []
+        for gv in self.globals.values():
+            if gv.is_imported:
+                out.append(gv)
+        for fn in self.functions.values():
+            if fn.linkage == "import" or (fn.is_declaration and fn.linkage == "external"):
+                out.append(fn)
+        return out
+
+    def exported_symbols(self) -> List[GlobalValue]:
+        out: List[GlobalValue] = []
+        for gv in self.globals.values():
+            if gv.is_exported:
+                out.append(gv)
+        for fn in self.functions.values():
+            if fn.is_exported and not fn.is_declaration:
+                out.append(fn)
+        return out
+
+    def instruction_count(self) -> int:
+        return sum(
+            len(b.instructions) for f in self.functions.values() for b in f.blocks
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Module {self.name}: {len(self.globals)} globals,"
+            f" {len(self.functions)} functions>"
+        )

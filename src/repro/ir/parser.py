@@ -1,0 +1,595 @@
+"""Parser for the textual IR format produced by :mod:`repro.ir.printer`.
+
+Supports the full print → parse → print round trip, enabling IR-level
+golden tests and offline tooling.  The grammar is exactly the printer's
+output language; see TestRoundTrip in ``tests/ir/test_text_parser.py``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from . import types as ty
+from .instructions import (
+    BINOPS,
+    CAST_KINDS,
+    CMP_PREDICATES,
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    Gep,
+    Instruction,
+    Load,
+    Memcpy,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .values import (
+    AggregateConstant,
+    Constant,
+    FloatConstant,
+    GlobalVariable,
+    IntConstant,
+    NullConstant,
+    UndefConstant,
+    Value,
+)
+
+
+class IRParseError(SyntaxError):
+    pass
+
+
+_NAME = r"[^\s,()\[\]{};=]+"
+_FLOAT_RE = re.compile(r"^-?(\d+\.\d*([eE][-+]?\d+)?|\d+[eE][-+]?\d+)$")
+
+
+class _Cursor:
+    """A tiny cursor over one line of text."""
+
+    def __init__(self, text: str, where: str):
+        self.text = text
+        self.pos = 0
+        self.where = where
+
+    def error(self, message: str) -> IRParseError:
+        return IRParseError(
+            f"{self.where}: {message} at ...{self.text[self.pos:self.pos+25]!r}"
+        )
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def eof(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def accept(self, literal: str) -> bool:
+        self.skip_ws()
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.accept(literal):
+            raise self.error(f"expected {literal!r}")
+
+    def word(self) -> str:
+        self.skip_ws()
+        match = re.match(_NAME, self.text[self.pos:])
+        if not match:
+            raise self.error("expected a word")
+        self.pos += match.end()
+        return match.group(0)
+
+
+class IRTextParser:
+    def __init__(self, text: str):
+        self.lines = [ln.rstrip() for ln in text.splitlines()]
+        self.module = Module()
+        self.structs: Dict[Tuple[str, bool], ty.StructType] = {}
+        #: global initialisers deferred until all symbols exist
+        self._pending_inits: List[Tuple[GlobalVariable, str, int]] = []
+
+    # ------------------------------------------------------------------
+
+    def parse(self) -> Module:
+        n = len(self.lines)
+        # Pass 1: every module-level declaration, so bodies may forward-
+        # reference later functions and globals.
+        i = 0
+        while i < n:
+            line = self.lines[i].strip()
+            i += 1
+            if not line or line.startswith(";"):
+                if line.startswith("; module "):
+                    self.module.name = line[len("; module "):].strip()
+                continue
+            if line.startswith("%struct.") or line.startswith("%union."):
+                self._parse_struct_header(line, i)
+            elif line.startswith("@"):
+                self._parse_global(line, i)
+            elif line.startswith("declare "):
+                self._parse_declare(line, i)
+            elif line.startswith("define "):
+                self._declare_define_header(line, i)
+                i = self._skip_body(i)
+            else:
+                raise IRParseError(f"line {i}: unexpected {line!r}")
+        # Pass 2: function bodies.
+        i = 0
+        while i < n:
+            line = self.lines[i].strip()
+            i += 1
+            if line.startswith("define "):
+                i = self._parse_define(line, i)
+        for gv, init_text, lineno in self._pending_inits:
+            cur = _Cursor(init_text, f"line {lineno}")
+            gv.initializer = self._parse_constant(cur, gv.value_type, {})
+        return self.module
+
+    def _declare_define_header(self, header: str, lineno: int) -> None:
+        body_header = header[len("define "):].rstrip()
+        if not body_header.endswith("{"):
+            raise IRParseError(f"line {lineno}: expected '{{' on define line")
+        linkage, name, fty, arg_names = self._parse_signature(
+            body_header[:-1].strip(), lineno
+        )
+        fn = Function(fty, name, linkage)
+        for arg, arg_name in zip(fn.args, arg_names):
+            arg.name = arg_name
+        self.module.add_function(fn)
+
+    def _skip_body(self, i: int) -> int:
+        while i < len(self.lines):
+            if self.lines[i].strip() == "}":
+                return i + 1
+            i += 1
+        raise IRParseError("unterminated function body: missing closing '}'")
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+
+    def _struct_by_name(self, kw: str, name: str) -> ty.StructType:
+        key = (name, kw == "union")
+        struct = self.structs.get(key)
+        if struct is None:
+            struct = ty.StructType(name, (), kw == "union", complete=False)
+            self.structs[key] = struct
+        return struct
+
+    def _parse_struct_header(self, line: str, lineno: int) -> None:
+        match = re.match(
+            r"%(struct|union)\.(" + _NAME + r")\s*=\s*(opaque|type\s*\{(.*)\})",
+            line,
+        )
+        if not match:
+            raise IRParseError(f"line {lineno}: bad struct header {line!r}")
+        kw, name, body, fields_text = (
+            match.group(1), match.group(2), match.group(3), match.group(4),
+        )
+        struct = self._struct_by_name(kw, name)
+        if body == "opaque":
+            return
+        fields: List[Tuple[str, ty.Type]] = []
+        cur = _Cursor(fields_text or "", f"line {lineno}")
+        if not cur.eof():
+            while True:
+                ftype = self._parse_type(cur)
+                fname = cur.word()
+                fields.append((fname, ftype))
+                if not cur.accept(","):
+                    break
+        struct.define(tuple(fields))
+
+    def _parse_type(self, cur: _Cursor) -> ty.Type:
+        base = self._parse_base_type(cur)
+        while True:
+            cur.skip_ws()
+            if cur.accept("*"):
+                base = ty.ptr(base)
+            elif cur.peek() == "(":
+                cur.expect("(")
+                params: List[ty.Type] = []
+                variadic = False
+                if not cur.accept(")"):
+                    while True:
+                        if cur.accept("..."):
+                            variadic = True
+                            break
+                        params.append(self._parse_type(cur))
+                        if not cur.accept(","):
+                            break
+                    cur.expect(")")
+                base = ty.FunctionType(base, tuple(params), variadic)
+            else:
+                return base
+
+    def _parse_base_type(self, cur: _Cursor) -> ty.Type:
+        cur.skip_ws()
+        if cur.accept("["):
+            count = int(cur.word())
+            cur.expect("x")
+            element = self._parse_type(cur)
+            cur.expect("]")
+            return ty.ArrayType(element, count)
+        word_match = re.match(
+            r"(void|label|struct\.\S+?|union\.\S+?|[iuf]\d+)(?=[\s,*()\[\]{}]|$)",
+            cur.text[cur.pos:].lstrip(),
+        )
+        if not word_match:
+            raise cur.error("expected a type")
+        cur.skip_ws()
+        cur.pos += word_match.end()
+        word = word_match.group(1)
+        if word == "void":
+            return ty.VOID
+        if word == "label":
+            return ty.LABEL
+        if word.startswith("struct.") or word.startswith("union."):
+            kw, _, name = word.partition(".")
+            return self._struct_by_name(kw, name)
+        kind, bits = word[0], int(word[1:])
+        if kind == "i":
+            return ty.IntType(bits)
+        if kind == "u":
+            return ty.IntType(bits, signed=False)
+        return ty.FloatType(bits)
+
+    # ------------------------------------------------------------------
+    # Globals and declarations
+    # ------------------------------------------------------------------
+
+    def _parse_global(self, line: str, lineno: int) -> None:
+        match = re.match(
+            r"@(" + _NAME + r")\s*=\s*(internal|external|import)\s+"
+            r"(global|constant)\s+(.*)$",
+            line,
+        )
+        if not match:
+            raise IRParseError(f"line {lineno}: bad global {line!r}")
+        name, linkage, kind, rest = match.groups()
+        init_text: Optional[str] = None
+        if " = " in rest:
+            type_text, _, init_text = rest.partition(" = ")
+        else:
+            type_text = rest
+        cur = _Cursor(type_text, f"line {lineno}")
+        value_type = self._parse_type(cur)
+        gv = GlobalVariable(
+            value_type, name, linkage, is_constant=(kind == "constant")
+        )
+        self.module.add_global(gv)
+        if init_text is not None:
+            self._pending_inits.append((gv, init_text.strip(), lineno))
+
+    def _parse_signature(
+        self, text: str, lineno: int
+    ) -> Tuple[str, str, ty.FunctionType, List[str]]:
+        match = re.match(
+            r"(internal|external|import)\s+(.*?)\s*@(" + _NAME + r")\((.*)\)\s*$",
+            text,
+        )
+        if not match:
+            raise IRParseError(f"line {lineno}: bad function header {text!r}")
+        linkage, ret_text, name, params_text = match.groups()
+        cur = _Cursor(ret_text, f"line {lineno}")
+        return_type = self._parse_type(cur)
+        params: List[ty.Type] = []
+        arg_names: List[str] = []
+        variadic = False
+        pcur = _Cursor(params_text, f"line {lineno}")
+        if not pcur.eof():
+            while True:
+                if pcur.accept("..."):
+                    variadic = True
+                    break
+                params.append(self._parse_type(pcur))
+                pcur.expect("%")
+                arg_names.append(pcur.word())
+                if not pcur.accept(","):
+                    break
+        fty = ty.FunctionType(return_type, tuple(params), variadic)
+        return linkage, name, fty, arg_names
+
+    def _parse_declare(self, line: str, lineno: int) -> None:
+        linkage, name, fty, _ = self._parse_signature(
+            line[len("declare "):], lineno
+        )
+        self.module.add_function(Function(fty, name, linkage))
+
+    # ------------------------------------------------------------------
+    # Function bodies
+    # ------------------------------------------------------------------
+
+    def _parse_define(self, header: str, i: int) -> int:
+        body_header = header[len("define "):].rstrip()
+        _, name, _, _ = self._parse_signature(body_header[:-1].strip(), i)
+        fn = self.module.functions[name]  # registered in pass 1
+
+        # First pass: split into blocks of raw instruction lines.
+        raw_blocks: List[Tuple[str, List[Tuple[str, int]]]] = []
+        while i < len(self.lines):
+            line = self.lines[i].strip()
+            i += 1
+            if line == "}":
+                break
+            if not line or line.startswith(";"):
+                continue
+            if line.endswith(":"):
+                raw_blocks.append((line[:-1], []))
+            else:
+                if not raw_blocks:
+                    raise IRParseError(f"line {i}: instruction before any block")
+                raw_blocks[-1][1].append((line, i))
+        else:
+            raise IRParseError(f"function @{name}: missing closing '}}'")
+
+        blocks: Dict[str, BasicBlock] = {}
+        for bname, _ in raw_blocks:
+            blocks[bname] = fn.add_block(bname)
+
+        env: Dict[str, Value] = {f"%{a.name}": a for a in fn.args}
+        #: phi incoming fixups: (phi, value_text, block_name, type, lineno)
+        fixups: List[Tuple[Phi, str, str, ty.Type, int]] = []
+        for bname, lines in raw_blocks:
+            block = blocks[bname]
+            for text, lineno in lines:
+                inst = self._parse_instruction(
+                    text, lineno, env, blocks, fixups
+                )
+                inst.parent = block
+                block.instructions.append(inst)
+                if inst.has_result and inst.name:
+                    env[f"%{inst.name}"] = inst
+        for phi, value_text, block_name, vtype, lineno in fixups:
+            value = self._parse_value(
+                _Cursor(value_text, f"line {lineno}"), vtype, env
+            )
+            phi.add_incoming(value, blocks[block_name])
+        return i
+
+    # ------------------------------------------------------------------
+    # Instructions
+    # ------------------------------------------------------------------
+
+    def _parse_instruction(
+        self,
+        text: str,
+        lineno: int,
+        env: Dict[str, Value],
+        blocks: Dict[str, BasicBlock],
+        fixups: List,
+    ) -> Instruction:
+        where = f"line {lineno}"
+        original = text
+        text = text.split(" ; ")[0].rstrip()  # strip trailing comments
+        result_name = ""
+        body = text
+        match = re.match(r"%(" + _NAME + r")\s*=\s*(.*)$", text)
+        if match:
+            result_name, body = match.group(1), match.group(2)
+        cur = _Cursor(body, where)
+        op = cur.word()
+
+        if op == "alloca":
+            allocated = self._parse_type(cur)
+            return Alloca(allocated, result_name)
+        if op == "load":
+            rtype = self._parse_type(cur)
+            cur.expect(",")
+            _ptype = self._parse_type(cur)
+            pointer = self._parse_value(cur, _ptype, env)
+            return Load(rtype, pointer, result_name)
+        if op == "store":
+            vtype = self._parse_type(cur)
+            value = self._parse_value(cur, vtype, env)
+            cur.expect(",")
+            ptype = self._parse_type(cur)
+            pointer = self._parse_value(cur, ptype, env)
+            return Store(value, pointer)
+        if op == "gep":
+            rtype = self._parse_type(cur)
+            cur.expect(",")
+            btype = self._parse_type(cur)
+            base = self._parse_value(cur, btype, env)
+            indices = []
+            while cur.accept(","):
+                itype = self._parse_type(cur)
+                indices.append(self._parse_value(cur, itype, env))
+            offset = None
+            offmatch = re.search(r"; offset=(-?\d+)", original)
+            if offmatch:
+                offset = int(offmatch.group(1))
+            if not isinstance(rtype, ty.PointerType):
+                raise cur.error("gep result must be a pointer")
+            return Gep(rtype, base, indices, result_name, offset)
+        if op in BINOPS:
+            vtype = self._parse_type(cur)
+            lhs = self._parse_value(cur, vtype, env)
+            cur.expect(",")
+            rhs = self._parse_value(cur, vtype, env)
+            return BinOp(op, lhs, rhs, result_name)
+        if op == "cmp":
+            pred = cur.word()
+            if pred not in CMP_PREDICATES:
+                raise cur.error(f"unknown predicate {pred}")
+            vtype = self._parse_type(cur)
+            lhs = self._parse_value(cur, vtype, env)
+            cur.expect(",")
+            rhs = self._parse_value(cur, vtype, env)
+            return Cmp(pred, lhs, rhs, result_name)
+        if op in CAST_KINDS:
+            vtype = self._parse_type(cur)
+            value = self._parse_value(cur, vtype, env)
+            cur.expect("to")
+            to_type = self._parse_type(cur)
+            return Cast(op, value, to_type, result_name)
+        if op == "select":
+            ctype = self._parse_type(cur)
+            cond = self._parse_value(cur, ctype, env)
+            cur.expect(",")
+            ttype = self._parse_type(cur)
+            if_true = self._parse_value(cur, ttype, env)
+            cur.expect(",")
+            ftype = self._parse_type(cur)
+            if_false = self._parse_value(cur, ftype, env)
+            return Select(cond, if_true, if_false, result_name)
+        if op == "phi":
+            vtype = self._parse_type(cur)
+            phi = Phi(vtype, result_name)
+            while cur.accept("["):
+                depth = 1
+                start = cur.pos
+                while depth and cur.pos < len(cur.text):
+                    ch = cur.text[cur.pos]
+                    if ch == "[":
+                        depth += 1
+                    elif ch == "]":
+                        depth -= 1
+                    cur.pos += 1
+                inner = cur.text[start : cur.pos - 1]
+                value_text, _, block_ref = inner.rpartition(",")
+                block_name = block_ref.strip().lstrip("%")
+                fixups.append(
+                    (phi, value_text.strip(), block_name, vtype, lineno)
+                )
+                if not cur.accept(","):
+                    break
+            return phi
+        if op == "call":
+            rtype = self._parse_type(cur)
+            callee = self._parse_value_ref(cur, env)
+            cur.expect("(")
+            args: List[Value] = []
+            if not cur.accept(")"):
+                while True:
+                    atype = self._parse_type(cur)
+                    args.append(self._parse_value(cur, atype, env))
+                    if not cur.accept(","):
+                        break
+                cur.expect(")")
+            return Call(rtype, callee, args, result_name)
+        if op == "memcpy":
+            dtype = self._parse_type(cur)
+            dst = self._parse_value(cur, dtype, env)
+            cur.expect(",")
+            stype = self._parse_type(cur)
+            src = self._parse_value(cur, stype, env)
+            cur.expect(",")
+            ltype = self._parse_type(cur)
+            length = self._parse_value(cur, ltype, env)
+            return Memcpy(dst, src, length)
+        if op == "br":
+            if cur.accept("label"):
+                target = cur.word().lstrip("%")
+                return Br(blocks[target])
+            ctype = self._parse_type(cur)
+            cond = self._parse_value(cur, ctype, env)
+            cur.expect(",")
+            cur.expect("label")
+            t = cur.word().lstrip("%")
+            cur.expect(",")
+            cur.expect("label")
+            f = cur.word().lstrip("%")
+            return Br(blocks[t], cond, blocks[f])
+        if op == "ret":
+            if cur.eof():
+                return Ret()
+            vtype = self._parse_type(cur)
+            if isinstance(vtype, ty.VoidType):
+                return Ret()
+            value = self._parse_value(cur, vtype, env)
+            return Ret(value)
+        if op == "unreachable":
+            return Unreachable()
+        raise cur.error(f"unknown instruction {op!r}")
+
+    # ------------------------------------------------------------------
+    # Values
+    # ------------------------------------------------------------------
+
+    def _parse_value_ref(self, cur: _Cursor, env: Dict[str, Value]) -> Value:
+        cur.skip_ws()
+        if cur.accept("@"):
+            name = cur.word()
+            target = self.module.get(name)
+            if target is None:
+                raise cur.error(f"unknown global @{name}")
+            return target
+        if cur.accept("%"):
+            name = cur.word()
+            value = env.get(f"%{name}")
+            if value is None:
+                raise cur.error(f"unknown value %{name}")
+            return value
+        raise cur.error("expected a value reference")
+
+    def _parse_value(
+        self, cur: _Cursor, vtype: ty.Type, env: Dict[str, Value]
+    ) -> Value:
+        cur.skip_ws()
+        ch = cur.peek()
+        if ch in "%@":
+            return self._parse_value_ref(cur, env)
+        if cur.accept("null"):
+            assert isinstance(vtype, ty.PointerType)
+            return NullConstant(vtype)
+        if cur.accept("undef"):
+            return UndefConstant(vtype)
+        if ch == "{":
+            return self._parse_constant(cur, vtype, env)
+        token = cur.word()
+        if _FLOAT_RE.match(token) or isinstance(vtype, ty.FloatType):
+            assert isinstance(vtype, ty.FloatType)
+            return FloatConstant(vtype, float(token))
+        assert isinstance(vtype, ty.IntType), f"bad literal type {vtype}"
+        return IntConstant(vtype, int(token))
+
+    def _parse_constant(
+        self, cur: _Cursor, vtype: ty.Type, env: Dict[str, Value]
+    ) -> Value:
+        cur.skip_ws()
+        if cur.accept("{"):
+            elements: List[Value] = []
+            if isinstance(vtype, ty.ArrayType):
+                field_types = [vtype.element] * vtype.count
+            elif isinstance(vtype, ty.StructType):
+                field_types = [ft for _, ft in vtype.fields]
+            else:
+                raise cur.error(f"brace initialiser for scalar {vtype}")
+            index = 0
+            if not cur.accept("}"):
+                while True:
+                    ftype = (
+                        field_types[index]
+                        if index < len(field_types)
+                        else field_types[-1]
+                    )
+                    elements.append(self._parse_constant(cur, ftype, env))
+                    index += 1
+                    if not cur.accept(","):
+                        break
+                cur.expect("}")
+            return AggregateConstant(vtype, elements)
+        return self._parse_value(cur, vtype, env)
+
+
+def parse_module(text: str) -> Module:
+    """Parse textual IR (the printer's format) into a Module."""
+    return IRTextParser(text).parse()

@@ -1,0 +1,157 @@
+"""Textual printer for the repro IR (LLVM-flavoured syntax).
+
+The output is meant for debugging, golden tests and documentation; it is
+stable and deterministic for a given module.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import types as ty
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    Gep,
+    Instruction,
+    Load,
+    Memcpy,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import Function, Module
+from .values import GlobalVariable, Value
+
+
+def _v(value: Value) -> str:
+    """Typed reference, e.g. ``i32* %p``."""
+    return f"{value.type} {value.ref()}"
+
+
+def print_instruction(inst: Instruction) -> str:
+    if isinstance(inst, Alloca):
+        return f"{inst.ref()} = alloca {inst.allocated_type}"
+    if isinstance(inst, Load):
+        return f"{inst.ref()} = load {inst.type}, {_v(inst.pointer)}"
+    if isinstance(inst, Store):
+        return f"store {_v(inst.value)}, {_v(inst.pointer)}"
+    if isinstance(inst, Gep):
+        idx = ", ".join(_v(i) for i in inst.indices)
+        off = f" ; offset={inst.constant_offset}" if inst.constant_offset is not None else ""
+        return f"{inst.ref()} = gep {inst.type}, {_v(inst.base)}, {idx}{off}"
+    if isinstance(inst, BinOp):
+        return f"{inst.ref()} = {inst.op} {_v(inst.lhs)}, {inst.rhs.ref()}"
+    if isinstance(inst, Cmp):
+        return f"{inst.ref()} = cmp {inst.predicate} {_v(inst.operands[0])}, {inst.operands[1].ref()}"
+    if isinstance(inst, Cast):
+        return f"{inst.ref()} = {inst.kind} {_v(inst.value)} to {inst.type}"
+    if isinstance(inst, Select):
+        return (
+            f"{inst.ref()} = select {_v(inst.cond)}, {_v(inst.if_true)},"
+            f" {_v(inst.if_false)}"
+        )
+    if isinstance(inst, Phi):
+        parts = ", ".join(f"[{v.ref()}, %{b.name}]" for v, b in inst.incoming)
+        return f"{inst.ref()} = phi {inst.type} {parts}"
+    if isinstance(inst, Call):
+        args = ", ".join(_v(a) for a in inst.args)
+        prefix = f"{inst.ref()} = " if inst.has_result else ""
+        return f"{prefix}call {inst.type} {inst.callee.ref()}({args})"
+    if isinstance(inst, Memcpy):
+        return f"memcpy {_v(inst.dst)}, {_v(inst.src)}, {_v(inst.length)}"
+    if isinstance(inst, Br):
+        if inst.cond is None:
+            return f"br label %{inst.targets[0].name}"
+        return (
+            f"br {_v(inst.cond)}, label %{inst.targets[0].name},"
+            f" label %{inst.targets[1].name}"
+        )
+    if isinstance(inst, Ret):
+        return f"ret {_v(inst.value)}" if inst.value is not None else "ret void"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    raise TypeError(f"unknown instruction {inst!r}")  # pragma: no cover
+
+
+def print_function(fn: Function) -> str:
+    params = ", ".join(_v(a) for a in fn.args)
+    variadic = ", ..." if fn.func_type.variadic else ""
+    header = f"{fn.linkage} {fn.return_type} @{fn.name}({params}{variadic})"
+    if fn.is_declaration:
+        return f"declare {header}"
+    lines: List[str] = [f"define {header} {{"]
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {print_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_global(gv: GlobalVariable) -> str:
+    init = f" = {gv.initializer.ref()}" if gv.initializer is not None else ""
+    kind = "constant" if gv.is_constant else "global"
+    return f"@{gv.name} = {gv.linkage} {kind} {gv.value_type}{init}"
+
+
+def collect_struct_types(module: Module) -> List[ty.StructType]:
+    """All named struct/union types referenced by the module, in a
+    deterministic first-seen order."""
+    seen: List[ty.StructType] = []
+    seen_keys = set()
+
+    def visit(t: ty.Type) -> None:
+        if isinstance(t, ty.StructType):
+            key = (t.name, t.is_union) if t.name else id(t)
+            if key in seen_keys:
+                return
+            seen_keys.add(key)
+            seen.append(t)
+            for _, ft in t.fields:
+                visit(ft)
+        elif isinstance(t, ty.PointerType):
+            visit(t.pointee)
+        elif isinstance(t, ty.ArrayType):
+            visit(t.element)
+        elif isinstance(t, ty.FunctionType):
+            visit(t.return_type)
+            for p in t.params:
+                visit(p)
+
+    for gv in module.globals.values():
+        visit(gv.value_type)
+    for fn in module.functions.values():
+        visit(fn.func_type)
+        for block in fn.blocks:
+            for inst in block.instructions:
+                visit(inst.type)
+                for op in inst.operands:
+                    visit(op.type)
+    return seen
+
+
+def print_struct_def(struct: ty.StructType) -> str:
+    fields = ", ".join(f"{ftype} {fname}" for fname, ftype in struct.fields)
+    kw = "union" if struct.is_union else "struct"
+    name = struct.name or "<anon>"
+    if not struct.complete:
+        return f"%{kw}.{name} = opaque"
+    return f"%{kw}.{name} = type {{ {fields} }}"
+
+
+def print_module(module: Module) -> str:
+    parts: List[str] = [f"; module {module.name}"]
+    for struct in collect_struct_types(module):
+        parts.append(print_struct_def(struct))
+    for gv in module.globals.values():
+        parts.append(print_global(gv))
+    for fn in module.functions.values():
+        parts.append(print_function(fn))
+    return "\n\n".join(parts) + "\n"

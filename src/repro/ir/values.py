@@ -1,0 +1,136 @@
+"""Value hierarchy for the repro IR.
+
+Mirrors the LLVM-style distinction the paper relies on (§II-A): values live
+either in *virtual registers* (instruction results, arguments) which cannot
+be pointed to, or in *memory objects* (allocas, globals, functions, heap
+allocations) which are represented by abstract memory locations in the
+analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import types as ty
+
+
+class Value:
+    """Anything that can appear as an instruction operand."""
+
+    def __init__(self, type_: ty.Type, name: str = ""):
+        self.type = type_
+        self.name = name
+
+    def ref(self) -> str:
+        """Printable reference to this value (used by the IR printer)."""
+        return f"%{self.name}" if self.name else "%<anon>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.ref()}: {self.type}>"
+
+
+class Constant(Value):
+    """Base class for compile-time constants."""
+
+
+class IntConstant(Constant):
+    def __init__(self, type_: ty.IntType, value: int):
+        super().__init__(type_)
+        self.value = value
+
+    def ref(self) -> str:
+        return str(self.value)
+
+
+class FloatConstant(Constant):
+    def __init__(self, type_: ty.FloatType, value: float):
+        super().__init__(type_)
+        self.value = value
+
+    def ref(self) -> str:
+        return repr(self.value)
+
+
+class NullConstant(Constant):
+    """The null pointer of a given pointer type."""
+
+    def __init__(self, type_: ty.PointerType):
+        super().__init__(type_)
+
+    def ref(self) -> str:
+        return "null"
+
+
+class UndefConstant(Constant):
+    """An unspecified value (e.g. an uninitialised local read)."""
+
+    def ref(self) -> str:
+        return "undef"
+
+
+class AggregateConstant(Constant):
+    """A constant struct/array initialiser; elements are Constants."""
+
+    def __init__(self, type_: ty.Type, elements: List[Constant]):
+        super().__init__(type_)
+        self.elements = elements
+
+    def ref(self) -> str:
+        return "{" + ", ".join(e.ref() for e in self.elements) + "}"
+
+
+class Argument(Value):
+    """A formal parameter of a function. Lives in a virtual register."""
+
+    def __init__(self, type_: ty.Type, name: str, index: int):
+        super().__init__(type_, name)
+        self.index = index
+
+
+class GlobalValue(Value):
+    """Base for module-level named memory objects (globals, functions).
+
+    The *value* of a GlobalValue is the address of the object, so its type
+    is always a pointer.  ``linkage`` is one of:
+
+    - ``"internal"``: ``static`` in C — not visible to external modules.
+    - ``"external"``: a definition exported from the module.
+    - ``"import"``: a declaration of a symbol defined elsewhere
+      (``extern`` without a definition in this translation unit).
+    """
+
+    LINKAGES = ("internal", "external", "import")
+
+    def __init__(self, type_: ty.PointerType, name: str, linkage: str):
+        if linkage not in self.LINKAGES:
+            raise ValueError(f"bad linkage {linkage!r}")
+        super().__init__(type_, name)
+        self.linkage = linkage
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+    @property
+    def is_imported(self) -> bool:
+        return self.linkage == "import"
+
+    @property
+    def is_exported(self) -> bool:
+        return self.linkage == "external"
+
+
+class GlobalVariable(GlobalValue):
+    """A module-level variable.  ``value_type`` is the pointee type."""
+
+    def __init__(
+        self,
+        value_type: ty.Type,
+        name: str,
+        linkage: str = "external",
+        initializer: Optional[Constant] = None,
+        is_constant: bool = False,
+    ):
+        super().__init__(ty.ptr(value_type), name, linkage)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.is_constant = is_constant

@@ -1,0 +1,68 @@
+"""Alias-analysis-driven IR optimisations.
+
+The transformations the paper's introduction names as consumers of
+alias information: dead store elimination and (redundant) load
+elimination.  Both take an alias analysis, and optionally mod/ref
+summaries from :mod:`repro.clients`, so the benefit of the sound
+points-to analysis can be measured as *transformations enabled*.
+
+Convenience driver::
+
+    from repro.opt import optimize_module
+    stats = optimize_module(module)   # analyses + both passes
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..alias import AndersenAA, BasicAA, CombinedAA
+from ..analysis import analyze_module
+from ..clients import compute_mod_ref
+from ..ir.module import Module
+from .dse import DSEStats, eliminate_dead_stores
+from .load_elim import LoadElimStats, eliminate_redundant_loads
+from .rewrite import erase_instructions, has_uses, replace_all_uses
+
+
+@dataclass
+class OptStats:
+    dse: DSEStats
+    loads: LoadElimStats
+
+    @property
+    def total_removed(self) -> int:
+        return self.dse.removed + self.loads.removed
+
+
+def optimize_module(
+    module: Module,
+    use_andersen: bool = True,
+) -> OptStats:
+    """Run load elimination then DSE with the configured alias stack."""
+    if use_andersen:
+        result = analyze_module(module)
+        aa = CombinedAA([AndersenAA(result), BasicAA()])
+        modref = compute_mod_ref(result)
+        points_to = result
+    else:
+        aa = BasicAA()
+        modref = None
+        points_to = None
+    loads = eliminate_redundant_loads(module, aa, points_to, modref)
+    dse = eliminate_dead_stores(module, aa, points_to, modref)
+    return OptStats(dse, loads)
+
+
+__all__ = [
+    "optimize_module",
+    "OptStats",
+    "eliminate_dead_stores",
+    "DSEStats",
+    "eliminate_redundant_loads",
+    "LoadElimStats",
+    "replace_all_uses",
+    "erase_instructions",
+    "has_uses",
+]

@@ -1,0 +1,121 @@
+"""Dead store elimination (block-local), driven by alias information.
+
+A store is dead when a later store in the same basic block must write
+the same location and nothing in between may read it.  The quality of
+the alias analysis decides how many intervening instructions "may read":
+BasicAA alone must keep stores alive across unknown calls; with the
+sound Andersen analysis and mod/ref summaries, calls that provably do
+not reference the stored memory no longer block elimination — this is
+exactly the kind of transformation the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..alias.client import _access_size
+from ..alias.result import MUST_ALIAS, NO_ALIAS
+from ..analysis.api import PointsToResult
+from ..ir.instructions import Call, Instruction, Load, Memcpy, Store
+from ..ir.module import Function, Module
+from .rewrite import erase_instructions
+
+
+@dataclass
+class DSEStats:
+    removed: int = 0
+    examined: int = 0
+
+
+def _may_read(
+    inst: Instruction,
+    store: Store,
+    aa,
+    modref,
+    points_to: Optional[PointsToResult],
+) -> bool:
+    """Could ``inst`` observe the value written by ``store``?"""
+    size = _access_size(store.pointer.type)
+    if isinstance(inst, Load):
+        return aa.alias(inst.pointer, _access_size(inst.pointer.type),
+                        store.pointer, size) is not NO_ALIAS
+    if isinstance(inst, Memcpy):
+        return aa.alias(inst.src, None, store.pointer, size) is not NO_ALIAS
+    if isinstance(inst, Call):
+        if modref is None or points_to is None:
+            return True  # unknown call effects
+        from ..clients.modref import call_may_clobber
+
+        # A call that may *read* the location keeps the store alive; the
+        # mod/ref `ref` sets answer that.  Reuse the clobber machinery on
+        # the ref side by checking pointee intersection directly.
+        pointees = points_to.points_to(store.pointer)
+        if not pointees:
+            return True
+        callee = inst.callee
+        summaries = modref
+        from ..ir.module import Function as IRFunction
+
+        if inst.is_direct() and isinstance(callee, IRFunction):
+            summary = summaries.get(callee)
+            if summary is not None:
+                return _ref_intersects(summary.ref, pointees, points_to)
+            # external function
+            external = set(points_to.solution.external) | {"Ω"}
+            return bool(external & pointees)
+        # Indirect call: be conservative unless nothing escapes.
+        return True
+    return False
+
+
+def _ref_intersects(ref, pointees, points_to) -> bool:
+    from ..analysis.omega import OMEGA
+
+    if ref & pointees:
+        return True
+    if OMEGA in ref and set(points_to.solution.external) & set(pointees):
+        return True
+    if OMEGA in pointees and set(points_to.solution.external) & set(ref):
+        return True
+    if OMEGA in ref and OMEGA in pointees:
+        return True
+    return False
+
+
+def eliminate_dead_stores(
+    module: Module,
+    aa,
+    points_to: Optional[PointsToResult] = None,
+    modref: Optional[Dict] = None,
+) -> DSEStats:
+    """Run block-local DSE over every defined function."""
+    stats = DSEStats()
+    for fn in module.defined_functions():
+        dead: List[Store] = []
+        for block in fn.blocks:
+            insts = block.instructions
+            for i, inst in enumerate(insts):
+                if not isinstance(inst, Store):
+                    continue
+                stats.examined += 1
+                size = _access_size(inst.pointer.type)
+                for later in insts[i + 1:]:
+                    if isinstance(later, Store) and later is not inst:
+                        if (
+                            aa.alias(
+                                later.pointer,
+                                _access_size(later.pointer.type),
+                                inst.pointer,
+                                size,
+                            )
+                            is MUST_ALIAS
+                        ):
+                            dead.append(inst)
+                            break
+                    if _may_read(later, inst, aa, modref, points_to):
+                        break
+                    if later.is_terminator():
+                        break
+        stats.removed += erase_instructions(fn, dead)
+    return stats

@@ -1,0 +1,113 @@
+"""Redundant load elimination (block-local), driven by alias information.
+
+Within a basic block:
+
+- a load from a pointer that must-alias an earlier load's pointer, with
+  no intervening may-write of that memory, reuses the earlier value;
+- a load that must-alias an immediately visible earlier *store* forwards
+  the stored value.
+
+Calls in between only block the optimisation when they may write the
+loaded memory — with mod/ref summaries from the sound points-to
+analysis, calls with provably disjoint footprints are transparent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..alias.client import _access_size
+from ..alias.result import MUST_ALIAS, NO_ALIAS
+from ..analysis.api import PointsToResult
+from ..ir.instructions import Call, Instruction, Load, Memcpy, Store
+from ..ir.module import Function, Module
+from ..ir.values import Value
+from .rewrite import erase_instructions, replace_all_uses
+
+
+@dataclass
+class LoadElimStats:
+    removed: int = 0
+    forwarded_stores: int = 0
+    examined: int = 0
+
+
+def _may_write(
+    inst: Instruction,
+    pointer: Value,
+    size: Optional[int],
+    aa,
+    modref,
+    points_to: Optional[PointsToResult],
+) -> bool:
+    if isinstance(inst, Store):
+        return (
+            aa.alias(inst.pointer, _access_size(inst.pointer.type), pointer, size)
+            is not NO_ALIAS
+        )
+    if isinstance(inst, Memcpy):
+        return aa.alias(inst.dst, None, pointer, size) is not NO_ALIAS
+    if isinstance(inst, Call):
+        if modref is None or points_to is None:
+            return True
+        from ..clients.modref import call_may_clobber
+
+        return call_may_clobber(modref, points_to, inst, pointer)
+    return False
+
+
+def eliminate_redundant_loads(
+    module: Module,
+    aa,
+    points_to: Optional[PointsToResult] = None,
+    modref: Optional[Dict] = None,
+) -> LoadElimStats:
+    stats = LoadElimStats()
+    for fn in module.defined_functions():
+        dead: List[Load] = []
+        replacements: List[Tuple[Load, Value]] = []
+        for block in fn.blocks:
+            # available: (pointer, value, size, came-from-store) facts.
+            available: List[Tuple[Value, Value, Optional[int], bool]] = []
+            for inst in block.instructions:
+                if isinstance(inst, Load):
+                    stats.examined += 1
+                    size = _access_size(inst.pointer.type)
+                    hit = None
+                    for ptr, value, _, from_store in reversed(available):
+                        if (
+                            value.type == inst.type
+                            and aa.alias(ptr, size, inst.pointer, size)
+                            is MUST_ALIAS
+                        ):
+                            hit = (value, from_store)
+                            break
+                    if hit is not None:
+                        replacements.append((inst, hit))
+                        dead.append(inst)
+                        continue
+                    available.append((inst.pointer, inst, size, False))
+                elif isinstance(inst, Store):
+                    size = _access_size(inst.pointer.type)
+                    available = [
+                        fact
+                        for fact in available
+                        if aa.alias(inst.pointer, size, fact[0], fact[2])
+                        is NO_ALIAS
+                    ]
+                    available.append((inst.pointer, inst.value, size, True))
+                elif isinstance(inst, (Call, Memcpy)):
+                    available = [
+                        fact
+                        for fact in available
+                        if not _may_write(
+                            inst, fact[0], fact[2], aa, modref, points_to
+                        )
+                    ]
+        for load, (value, from_store) in replacements:
+            if from_store:
+                stats.forwarded_stores += 1
+            replace_all_uses(fn, load, value)
+        stats.removed += erase_instructions(fn, dead)
+    return stats

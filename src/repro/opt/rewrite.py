@@ -1,0 +1,50 @@
+"""IR rewriting utilities shared by the optimisation passes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..ir.instructions import Instruction, Phi
+from ..ir.module import Function, Module
+from ..ir.values import Value
+
+
+def replace_all_uses(fn: Function, old: Value, new: Value) -> int:
+    """Replace every operand reference to ``old`` with ``new``.
+
+    Returns the number of replaced uses.
+    """
+    count = 0
+    for inst in fn.instructions():
+        for i, op in enumerate(inst.operands):
+            if op is old:
+                inst.operands[i] = new
+                count += 1
+        if isinstance(inst, Phi):
+            inst.incoming = [
+                (new if v is old else v, b) for v, b in inst.incoming
+            ]
+    return count
+
+
+def erase_instructions(fn: Function, dead: Iterable[Instruction]) -> int:
+    """Remove instructions from their blocks; returns how many."""
+    dead_set = {id(d) for d in dead}
+    removed = 0
+    for block in fn.blocks:
+        kept: List[Instruction] = []
+        for inst in block.instructions:
+            if id(inst) in dead_set:
+                removed += 1
+            else:
+                kept.append(inst)
+        block.instructions = kept
+    return removed
+
+
+def has_uses(fn: Function, value: Value) -> bool:
+    for inst in fn.instructions():
+        for op in inst.operands:
+            if op is value:
+                return True
+    return False

@@ -1,0 +1,72 @@
+"""RVSDG: the Regionalized Value State Dependence Graph (the paper's
+host IR, via jlm).
+
+This subpackage constructs an RVSDG from the type-annotated C AST
+(structured control flow only), prints it, and generates points-to
+constraints from it — the second, independent phase-1 implementation
+used to validate the flat-IR path.
+
+Use::
+
+    from repro.rvsdg import rvsdg_from_source, print_rvsdg
+    from repro.rvsdg import build_rvsdg_constraints
+
+    g = rvsdg_from_source(open("file.c").read())
+    print(print_rvsdg(g))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .build import RvsdgBuilder, RvsdgUnsupported, build_rvsdg
+from .nodes import (
+    STATE,
+    DeltaNode,
+    GammaNode,
+    ImportNode,
+    LambdaNode,
+    Node,
+    Output,
+    Region,
+    RvsdgModule,
+    SimpleNode,
+    ThetaNode,
+)
+from .pointsto import RvsdgConstraints, build_rvsdg_constraints
+from .printer import print_rvsdg
+
+
+def rvsdg_from_source(
+    source: str,
+    name: str = "module",
+    headers: Optional[Dict[str, str]] = None,
+) -> RvsdgModule:
+    """Parse + analyse C and construct its RVSDG."""
+    from ..frontend import analyse, parse, preprocess
+
+    text = preprocess(source, headers, filename=name)
+    sema = analyse(parse(text, name))
+    return build_rvsdg(sema, name)
+
+
+__all__ = [
+    "RvsdgModule",
+    "Region",
+    "Node",
+    "Output",
+    "SimpleNode",
+    "GammaNode",
+    "ThetaNode",
+    "LambdaNode",
+    "DeltaNode",
+    "ImportNode",
+    "STATE",
+    "RvsdgBuilder",
+    "RvsdgUnsupported",
+    "build_rvsdg",
+    "build_rvsdg_constraints",
+    "RvsdgConstraints",
+    "print_rvsdg",
+    "rvsdg_from_source",
+]

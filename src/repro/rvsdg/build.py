@@ -1,0 +1,685 @@
+"""RVSDG construction from the type-annotated C AST.
+
+Follows the jlm pipeline shape: every C local becomes an ``alloca``
+node, reads and writes thread an explicit memory-state value, and
+structured control flow becomes gamma/theta nests:
+
+- ``if``/``?:``  → :class:`GammaNode` (region 0 = false, 1 = true);
+- ``do-while``   → :class:`ThetaNode` (tail-controlled);
+- ``while``/``for`` → gamma guarding a theta (the standard encoding);
+- ``&&``/``||``  → gammas.
+
+Outer values used inside a subregion are routed automatically through
+entry/loop/context variables by :class:`Router`.
+
+Scope: structured control flow only.  ``goto``, ``switch``, ``break``
+and ``continue`` raise :class:`RvsdgUnsupported` (restructuring
+arbitrary CFGs into regions is the RVSDG literature's own separate
+contribution).  A non-tail ``return`` is modelled by writing to a
+return slot and continuing — observable behaviour differs, but the
+memory/pointer dataflow the points-to analysis consumes is a sound
+superset, which the differential tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..frontend import ast_nodes as ast
+from ..frontend.sema import FunctionInfo, SemaResult, Symbol, _decay
+from ..ir import types as ty
+from .nodes import (
+    STATE,
+    DeltaNode,
+    GammaNode,
+    ImportNode,
+    LambdaNode,
+    Node,
+    Output,
+    Region,
+    RvsdgModule,
+    SimpleNode,
+    ThetaNode,
+)
+
+
+class RvsdgUnsupported(Exception):
+    """Raised for constructs outside the structured-control-flow subset."""
+
+
+class Router:
+    """Resolves Outputs across region boundaries, creating entry /
+    loop / context variables on demand."""
+
+    def __init__(self, region: Region, parent: Optional["Router"], import_fn):
+        self.region = region
+        self.parent = parent
+        self.import_fn = import_fn  # (outer Output) -> inner Output
+        self.cache: Dict[int, Output] = {}
+
+    def _is_local(self, value: Output) -> bool:
+        producer = value.producer
+        if producer is self.region:
+            return True
+        return isinstance(producer, Node) and producer.region is self.region
+
+    def use(self, value: Output) -> Output:
+        if self._is_local(value):
+            return value
+        cached = self.cache.get(id(value))
+        if cached is not None:
+            return cached
+        assert self.parent is not None, f"value {value!r} unreachable"
+        outer = self.parent.use(value)
+        inner = self.import_fn(outer)
+        self.cache[id(value)] = inner
+        self.cache[id(outer)] = inner
+        return inner
+
+
+class _GammaFrame:
+    """Shared entry-var bookkeeping for a gamma's subregion routers."""
+
+    def __init__(self, gamma: GammaNode):
+        self.gamma = gamma
+        self.routed: Dict[int, List[Output]] = {}
+
+    def importer(self, index: int):
+        def import_fn(outer: Output) -> Output:
+            args = self.routed.get(id(outer))
+            if args is None:
+                args = self.gamma.add_entry_var(outer)
+                self.routed[id(outer)] = args
+            return args[index]
+
+        return import_fn
+
+
+class RvsdgBuilder:
+    def __init__(self, sema: SemaResult, name: str = "module"):
+        self.sema = sema
+        self.module = RvsdgModule(name)
+        #: module-level symbol → defining node output
+        self.symbol_outputs: Dict[int, Output] = {}
+        self._anon = 0
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> RvsdgModule:
+        for sym in self.sema.globals.values():
+            self._declare(sym)
+        for sym in self.sema.static_locals:
+            self._declare(sym)
+        for info in self.sema.functions:
+            self._build_function(info)
+        for sym in self.sema.globals.values():
+            if sym.linkage == "external" and id(sym) in self.symbol_outputs:
+                self.module.export(sym.name, self.symbol_outputs[id(sym)])
+        return self.module
+
+    def _declare(self, sym: Symbol) -> None:
+        if id(sym) in self.symbol_outputs:
+            return
+        if isinstance(sym.ctype, ty.FunctionType):
+            if sym.linkage == "import":
+                node = ImportNode(sym.name, sym.ctype, is_function=True)
+                self.module.add(node)
+                self.symbol_outputs[id(sym)] = node.output
+            # defined functions are declared lazily by _build_function;
+            # forward references resolve because all lambdas are added to
+            # the module region before any body references them.
+            else:
+                fn = LambdaNode(sym.name, sym.ctype, sym.linkage)
+                self.module.add(fn)
+                self.symbol_outputs[id(sym)] = fn.output
+        else:
+            name = sym.mangled or sym.name
+            if sym.linkage == "import":
+                node = ImportNode(name, sym.ctype, is_function=False)
+            else:
+                node = DeltaNode(name, sym.ctype, sym.linkage, sym.init)
+            self.module.add(node)
+            self.symbol_outputs[id(sym)] = node.output
+
+    # ------------------------------------------------------------------
+
+    def _build_function(self, info: FunctionInfo) -> None:
+        out = self.symbol_outputs.get(id(info.symbol))
+        assert out is not None and isinstance(out.producer, LambdaNode)
+        fb = _FunctionBuilder(self, out.producer, info)
+        fb.run()
+
+
+class _FunctionBuilder:
+    def __init__(self, parent: RvsdgBuilder, node: LambdaNode, info: FunctionInfo):
+        self.builder = parent
+        self.node = node
+        self.info = info
+        self.region = node.body
+        module_router = Router(parent.module.region, None, lambda v: v)
+        self.router = Router(
+            node.body, module_router, node.add_context_var
+        )
+        #: Symbol → address Output (allocas / routed module symbols)
+        self.addresses: Dict[int, Output] = {}
+        self.state: Output = self.region.add_argument(STATE, "state")
+        self.return_slot: Optional[Output] = None
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        fn_type = self.node.func_type
+        for psym, ptype in zip(self.info.params, fn_type.params):
+            arg = self.region.add_argument(ptype, psym.name)
+            # ".addr" matches the flat-IR lowering's parameter slots so
+            # the two analysis paths name the same memory objects alike.
+            slot = self._alloca(psym.ctype, f"{psym.name}.addr")
+            self._store(slot, arg)
+            self.addresses[id(psym)] = slot
+        if not isinstance(fn_type.return_type, ty.VoidType):
+            self.return_slot = self._alloca(fn_type.return_type, "retval")
+        self._compound(self.info.definition.body)
+        results: List[Output] = [self.state]
+        if self.return_slot is not None:
+            results.insert(0, self._load(self.return_slot, fn_type.return_type))
+        self.region.set_results(results)
+
+    # ------------------------------------------------------------------
+    # Node helpers (all relative to the *current* router/region)
+    # ------------------------------------------------------------------
+
+    def _emit(self, node: Node) -> Node:
+        self.router.region.add_node(node)
+        return node
+
+    def _alloca(self, allocated: ty.Type, name: str) -> Output:
+        node = SimpleNode("alloca", [], [(ty.ptr(allocated), name)], attr=allocated)
+        self._emit(node)
+        return node.output
+
+    def _load(self, address: Output, result_type: ty.Type) -> Output:
+        node = SimpleNode(
+            "load",
+            [self.router.use(address), self.state],
+            [(result_type, ""), (STATE, "state")],
+        )
+        self._emit(node)
+        self.state = node.outputs[1]
+        return node.outputs[0]
+
+    def _store(self, address: Output, value: Output) -> None:
+        node = SimpleNode(
+            "store",
+            [self.router.use(address), self.router.use(value), self.state],
+            [(STATE, "state")],
+        )
+        self._emit(node)
+        self.state = node.outputs[0]
+
+    def _const(self, type_: ty.Type, value) -> Output:
+        node = SimpleNode("const", [], [(type_, "")], attr=value)
+        self._emit(node)
+        return node.output
+
+    def _simple(self, op: str, inputs: Sequence[Output], rtype: ty.Type, attr=None) -> Output:
+        node = SimpleNode(
+            op, [self.router.use(v) for v in inputs], [(rtype, "")], attr
+        )
+        self._emit(node)
+        return node.output
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _compound(self, stmt: ast.Compound) -> None:
+        for item in stmt.items:
+            if isinstance(item, ast.Declaration):
+                self._local_decl(item)
+            else:
+                self._stmt(item)
+
+    def _local_decl(self, decl: ast.Declaration) -> None:
+        if decl.storage == "typedef":
+            return
+        for d in decl.declarators:
+            sym = getattr(d, "symbol", None)
+            if sym is None or sym.kind != "local":
+                continue
+            slot = self._alloca(sym.ctype, d.name)
+            self.addresses[id(sym)] = slot
+            if d.init is not None:
+                self._init(slot, d.init, sym.ctype)
+
+    def _init(self, slot: Output, init: ast.InitItem, target: ty.Type) -> None:
+        if init.expr is not None:
+            if isinstance(target, ty.ArrayType):
+                raise RvsdgUnsupported("array initialiser in RVSDG subset")
+            self._store(slot, self._coerce(self._rvalue(init.expr), target))
+            return
+        assert init.items is not None
+        if isinstance(target, (ty.ArrayType, ty.StructType)):
+            element_types = (
+                [target.element] * target.count
+                if isinstance(target, ty.ArrayType)
+                else [ft for _, ft in target.fields]
+            )
+            offsets = (
+                [i * target.element.sizeof() for i in range(target.count)]
+                if isinstance(target, ty.ArrayType)
+                else [target.field_offset(i) for i in range(len(target.fields))]
+            )
+            for i, item in enumerate(init.items[: len(element_types)]):
+                elem_ptr = self._simple(
+                    "gep",
+                    [slot, self._const(ty.I64, i)],
+                    ty.ptr(element_types[i]),
+                    attr=offsets[i],
+                )
+                self._init(elem_ptr, item, element_types[i])
+        else:
+            self._init(slot, init.items[0], target)
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Compound):
+            self._compound(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._rvalue(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._loop(cond=stmt.cond, body=stmt.body, step=None, do_while=False)
+        elif isinstance(stmt, ast.DoWhile):
+            self._loop(cond=stmt.cond, body=stmt.body, step=None, do_while=True)
+        elif isinstance(stmt, ast.For):
+            if isinstance(stmt.init, ast.Declaration):
+                self._local_decl(stmt.init)
+            elif stmt.init is not None:
+                self._rvalue(stmt.init)
+            self._loop(
+                cond=stmt.cond, body=stmt.body, step=stmt.step, do_while=False
+            )
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None and self.return_slot is not None:
+                value = self._coerce(
+                    self._rvalue(stmt.value), self.node.func_type.return_type
+                )
+                self._store(self.return_slot, value)
+        elif isinstance(stmt, (ast.Break, ast.Continue, ast.Goto, ast.Switch,
+                               ast.Case, ast.Default, ast.Label)):
+            raise RvsdgUnsupported(
+                f"{type(stmt).__name__} is outside the structured RVSDG subset"
+            )
+        else:  # pragma: no cover
+            raise RvsdgUnsupported(f"unhandled statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # Structured control flow
+    # ------------------------------------------------------------------
+
+    def _predicate(self, expr: ast.Expr) -> Output:
+        value = self._rvalue(expr)
+        if value.type == ty.BOOL:
+            return value
+        zero = (
+            self._simple("cast.null", [], value.type)
+            if isinstance(value.type, ty.PointerType)
+            else self._const(value.type, 0)
+        )
+        return self._simple("cmp.ne", [value, zero], ty.BOOL)
+
+    def _enter_gamma(self, predicate: Output) -> Tuple[GammaNode, _GammaFrame]:
+        gamma = GammaNode(self.router.use(predicate), 2)
+        self._emit(gamma)
+        return gamma, _GammaFrame(gamma)
+
+    def _if(self, stmt: ast.If) -> None:
+        predicate = self._predicate(stmt.cond)
+        gamma, frame = self._enter_gamma(predicate)
+        outer_router, outer_state = self.router, self.state
+
+        branch_states: List[Output] = [None, None]  # type: ignore[list-item]
+        for index, branch in ((1, stmt.then), (0, stmt.otherwise)):
+            self.router = Router(
+                gamma.regions[index], outer_router, frame.importer(index)
+            )
+            self.state = self.router.use(outer_state)
+            if branch is not None:
+                self._stmt(branch)
+            branch_states[index] = self.state
+        self.router, self.state = outer_router, outer_state
+        self.state = gamma.add_exit_var(
+            [branch_states[0], branch_states[1]], "state"
+        )
+
+    def _loop(self, cond, body, step, do_while: bool) -> None:
+        """Encode a loop.  While/for loops are wrapped in a guard gamma so
+        the theta (tail-controlled) matches C semantics."""
+        if not do_while and cond is not None:
+            predicate = self._predicate(cond)
+            gamma, frame = self._enter_gamma(predicate)
+            outer_router, outer_state = self.router, self.state
+            # False region: nothing happens.
+            false_state = Router(
+                gamma.regions[0], outer_router, frame.importer(0)
+            ).use(outer_state)
+            # True region: the theta.
+            self.router = Router(gamma.regions[1], outer_router, frame.importer(1))
+            self.state = self.router.use(outer_state)
+            self._theta(cond, body, step)
+            true_state = self.state
+            self.router, self.state = outer_router, outer_state
+            self.state = gamma.add_exit_var([false_state, true_state], "state")
+        else:
+            self._theta(cond, body, step)
+
+    def _theta(self, cond, body, step) -> None:
+        theta = ThetaNode()
+        self._emit(theta)
+        outer_router, outer_state = self.router, self.state
+        self.router = Router(theta.body, outer_router, theta.add_loop_var)
+        self.state = self.router.use(outer_state)
+        self._stmt(body)
+        if step is not None:
+            self._rvalue(step)
+        predicate = (
+            self._predicate(cond) if cond is not None else self._const(ty.BOOL, 1)
+        )
+        # Next-iteration values: each loop variable's current incarnation.
+        # Only the state is mutable through values; routed addresses are
+        # loop-invariant, so they feed back unchanged.
+        next_values: List[Output] = []
+        for arg in theta.body.arguments:
+            next_values.append(self.state if arg.type == STATE and arg is not None
+                               and self._routes_state(theta, arg) else arg)
+        outs = theta.finish(predicate, next_values)
+        self.router, self.state = outer_router, outer_state
+        for arg, out in zip(theta.body.arguments, outs):
+            if self._routes_state(theta, arg):
+                self.state = out
+
+    @staticmethod
+    def _routes_state(theta: ThetaNode, arg: Output) -> bool:
+        return arg.type == STATE
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _coerce(self, value: Output, target: ty.Type) -> Output:
+        src = value.type
+        if src == target or target is None or isinstance(target, ty.VoidType):
+            return value
+        if isinstance(src, ty.PointerType) and isinstance(target, ty.IntType):
+            return self._simple("cast.ptrtoint", [value], target)
+        if isinstance(src, ty.IntType) and isinstance(target, ty.PointerType):
+            producer = value.producer
+            if (
+                isinstance(producer, SimpleNode)
+                and producer.op == "const"
+                and producer.attr == 0
+            ):
+                # The null pointer constant, not a provenance-recreating
+                # integer-to-pointer conversion (§III-C).
+                return self._simple("cast.null", [], target)
+            return self._simple("cast.inttoptr", [value], target)
+        if isinstance(src, ty.PointerType) and isinstance(target, ty.PointerType):
+            return self._simple("cast.bitcast", [value], target)
+        return self._simple("cast.numeric", [value], target)
+
+    def _lvalue(self, expr: ast.Expr) -> Output:
+        if isinstance(expr, ast.Identifier):
+            sym = getattr(expr, "symbol", None)
+            assert sym is not None
+            addr = self.addresses.get(id(sym))
+            if addr is not None:
+                return addr
+            out = self.builder.symbol_outputs.get(id(sym))
+            if out is None:
+                raise RvsdgUnsupported(f"no storage for {expr.name}")
+            return self.router.use(out)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self._rvalue(expr.operand)
+        if isinstance(expr, ast.Index):
+            base = self._rvalue(expr.base)
+            index = self._rvalue(expr.index)
+            assert isinstance(base.type, ty.PointerType)
+            return self._simple("gep", [base, index], base.type)
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                base = self._rvalue(expr.base)
+            else:
+                base = self._lvalue(expr.base)
+            assert isinstance(base.type, ty.PointerType)
+            stype = base.type.pointee
+            assert isinstance(stype, ty.StructType)
+            idx = stype.field_index(expr.name)
+            ftype = stype.fields[idx][1]
+            return self._simple(
+                "gep",
+                [base, self._const(ty.I32, idx)],
+                ty.ptr(ftype),
+                attr=stype.field_offset(idx),
+            )
+        if isinstance(expr, ast.StringLiteral):
+            return self._string(expr.value)
+        raise RvsdgUnsupported(f"lvalue {type(expr).__name__}")
+
+    def _string(self, text: str) -> Output:
+        self.builder._anon += 1
+        delta = DeltaNode(
+            f".str.{self.builder._anon}",
+            ty.ArrayType(ty.I8, len(text) + 1),
+            "internal",
+            initializer=text,
+        )
+        self.builder.module.add(delta)
+        return self.router.use(delta.output)
+
+    def _rvalue(self, expr: ast.Expr) -> Output:
+        t = expr.ctype
+        if isinstance(expr, ast.IntLiteral):
+            return self._const(t or ty.I32, expr.value)
+        if isinstance(expr, ast.CharLiteral):
+            return self._const(ty.I32, expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return self._const(ty.F64, expr.value)
+        if isinstance(expr, ast.StringLiteral):
+            base = self._string(expr.value)
+            return self._simple("gep", [base, self._const(ty.I64, 0)], ty.ptr(ty.I8), attr=0)
+        if isinstance(expr, ast.Identifier):
+            sym = getattr(expr, "symbol", None)
+            assert sym is not None
+            if isinstance(sym.ctype, ty.FunctionType):
+                out = self.builder.symbol_outputs[id(sym)]
+                return self.router.use(out)
+            addr = self._lvalue(expr)
+            if isinstance(sym.ctype, ty.ArrayType):
+                return self._simple(
+                    "gep", [addr, self._const(ty.I64, 0)],
+                    ty.ptr(sym.ctype.element), attr=0,
+                )
+            return self._load(addr, sym.ctype)
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Assignment):
+            return self._assignment(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._conditional(expr)
+        if isinstance(expr, ast.Cast):
+            inner = self._rvalue(expr.operand)
+            return self._coerce(inner, _decay(expr.target_type.ctype))
+        if isinstance(expr, (ast.SizeofType, ast.SizeofExpr)):
+            size = (
+                expr.target_type.ctype.sizeof()
+                if isinstance(expr, ast.SizeofType)
+                else expr.operand.ctype.sizeof()
+            )
+            return self._const(ty.U64, size)
+        if isinstance(expr, ast.CallExpr):
+            return self._call(expr)
+        if isinstance(expr, (ast.Index, ast.Member)):
+            addr = self._lvalue(expr)
+            assert isinstance(addr.type, ty.PointerType)
+            pointee = addr.type.pointee
+            if isinstance(pointee, ty.ArrayType):
+                return self._simple(
+                    "gep", [addr, self._const(ty.I64, 0)],
+                    ty.ptr(pointee.element), attr=0,
+                )
+            return self._load(addr, pointee)
+        if isinstance(expr, ast.Comma):
+            self._rvalue(expr.lhs)
+            return self._rvalue(expr.rhs)
+        raise RvsdgUnsupported(f"expression {type(expr).__name__}")
+
+    def _unary(self, expr: ast.Unary) -> Output:
+        op = expr.op
+        if op == "&":
+            return self._lvalue(expr.operand)
+        if op == "*":
+            ptr = self._rvalue(expr.operand)
+            assert isinstance(ptr.type, ty.PointerType)
+            pointee = ptr.type.pointee
+            if isinstance(pointee, ty.FunctionType):
+                return ptr
+            if isinstance(pointee, ty.ArrayType):
+                return self._simple(
+                    "gep", [ptr, self._const(ty.I64, 0)],
+                    ty.ptr(pointee.element), attr=0,
+                )
+            return self._load(ptr, pointee)
+        if op in ("++", "--", "p++", "p--"):
+            addr = self._lvalue(expr.operand)
+            assert isinstance(addr.type, ty.PointerType)
+            old = self._load(addr, addr.type.pointee)
+            delta = 1 if "+" in op else -1
+            if isinstance(old.type, ty.PointerType):
+                new = self._simple("gep", [old, self._const(ty.I64, delta)], old.type)
+            else:
+                new = self._simple(
+                    "binop.add", [old, self._const(old.type, delta)], old.type
+                )
+            self._store(addr, new)
+            return old if op.startswith("p") else new
+        value = self._rvalue(expr.operand)
+        if op == "+":
+            return value
+        if op == "!":
+            return self._simple("cmp.eq", [value, self._const(value.type, 0)], ty.I32)
+        return self._simple(f"unop.{op}", [value], value.type)
+
+    def _binary(self, expr: ast.Binary) -> Output:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._short_circuit(expr)
+        lhs = self._rvalue(expr.lhs)
+        rhs = self._rvalue(expr.rhs)
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            return self._simple(f"cmp.{op}", [lhs, rhs], ty.I32)
+        if isinstance(lhs.type, ty.PointerType) and isinstance(rhs.type, ty.IntType):
+            return self._simple("gep", [lhs, rhs], lhs.type)
+        if isinstance(rhs.type, ty.PointerType) and isinstance(lhs.type, ty.IntType):
+            return self._simple("gep", [rhs, lhs], rhs.type)
+        if isinstance(lhs.type, ty.PointerType) and isinstance(rhs.type, ty.PointerType):
+            li = self._simple("cast.ptrtoint", [lhs], ty.I64)
+            ri = self._simple("cast.ptrtoint", [rhs], ty.I64)
+            return self._simple("binop.sub", [li, ri], ty.I64)
+        result_type = expr.ctype or lhs.type
+        lhs = self._coerce(lhs, result_type)
+        rhs = self._coerce(rhs, result_type)
+        return self._simple(f"binop.{op}", [lhs, rhs], result_type)
+
+    def _short_circuit(self, expr: ast.Binary) -> Output:
+        predicate = self._predicate(expr.lhs)
+        gamma, frame = self._enter_gamma(predicate)
+        outer_router, outer_state = self.router, self.state
+        is_and = expr.op == "&&"
+        values: List[Output] = [None, None]  # type: ignore[list-item]
+        states: List[Output] = [None, None]  # type: ignore[list-item]
+        for index in (0, 1):
+            self.router = Router(gamma.regions[index], outer_router, frame.importer(index))
+            self.state = self.router.use(outer_state)
+            evaluate_rhs = (index == 1) == is_and
+            if evaluate_rhs:
+                rhs = self._predicate(expr.rhs)
+                values[index] = self._simple("cast.numeric", [rhs], ty.I32)
+            else:
+                values[index] = self._const(ty.I32, 0 if is_and else 1)
+            states[index] = self.state
+        self.router, self.state = outer_router, outer_state
+        result = gamma.add_exit_var(values, "sc")
+        self.state = gamma.add_exit_var(states, "state")
+        return result
+
+    def _conditional(self, expr: ast.Conditional) -> Output:
+        predicate = self._predicate(expr.cond)
+        gamma, frame = self._enter_gamma(predicate)
+        outer_router, outer_state = self.router, self.state
+        target = _decay(expr.ctype) if expr.ctype else ty.I32
+        values: List[Output] = [None, None]  # type: ignore[list-item]
+        states: List[Output] = [None, None]  # type: ignore[list-item]
+        for index, branch in ((1, expr.if_true), (0, expr.if_false)):
+            self.router = Router(gamma.regions[index], outer_router, frame.importer(index))
+            self.state = self.router.use(outer_state)
+            values[index] = self._coerce(self._rvalue(branch), target)
+            states[index] = self.state
+        self.router, self.state = outer_router, outer_state
+        result = gamma.add_exit_var(values, "cond")
+        self.state = gamma.add_exit_var(states, "state")
+        return result
+
+    def _assignment(self, expr: ast.Assignment) -> Output:
+        addr = self._lvalue(expr.target)
+        assert isinstance(addr.type, ty.PointerType)
+        target_t = addr.type.pointee
+        if expr.op == "=":
+            value = self._coerce(self._rvalue(expr.value), target_t)
+        else:
+            old = self._load(addr, target_t)
+            rhs = self._rvalue(expr.value)
+            if isinstance(old.type, ty.PointerType):
+                value = self._simple("gep", [old, rhs], old.type)
+            else:
+                rhs = self._coerce(rhs, old.type)
+                value = self._simple(f"binop.{expr.op[:-1]}", [old, rhs], old.type)
+        self._store(addr, value)
+        return value
+
+    def _call(self, expr: ast.CallExpr) -> Output:
+        callee = self._rvalue(expr.callee)
+        assert isinstance(callee.type, ty.PointerType)
+        fn_type = callee.type.pointee
+        assert isinstance(fn_type, ty.FunctionType)
+        args = []
+        for i, arg in enumerate(expr.args):
+            value = self._rvalue(arg)
+            if i < len(fn_type.params):
+                value = self._coerce(value, fn_type.params[i])
+            args.append(value)
+        outputs: List[Tuple] = []
+        if not isinstance(fn_type.return_type, ty.VoidType):
+            outputs.append((fn_type.return_type, ""))
+        outputs.append((STATE, "state"))
+        node = SimpleNode(
+            "call",
+            [self.router.use(callee)]
+            + [self.router.use(a) for a in args]
+            + [self.state],
+            outputs,
+            attr=fn_type,
+        )
+        self._emit(node)
+        self.state = node.outputs[-1]
+        if not isinstance(fn_type.return_type, ty.VoidType):
+            return node.outputs[0]
+        return self.state  # void calls: a placeholder nobody should use
+
+
+def build_rvsdg(sema: SemaResult, name: str = "module") -> RvsdgModule:
+    """Construct the RVSDG for an analysed translation unit."""
+    return RvsdgBuilder(sema, name).build()

@@ -1,0 +1,285 @@
+"""RVSDG node model (Reissmann et al., the paper's host IR).
+
+The Regionalized Value State Dependence Graph represents a program as
+nested *regions* of dataflow nodes.  Control flow becomes structural
+nodes:
+
+- :class:`GammaNode` — a decision: one predicate, N subregions with
+  matching signatures (C ``if``/``?:``/``switch``);
+- :class:`ThetaNode` — a tail-controlled loop: one subregion whose
+  results feed its own arguments plus a continue-predicate (C loops);
+- :class:`LambdaNode` — a function: a subregion whose arguments are the
+  parameters (plus captured context variables) and whose results are the
+  return values;
+- :class:`DeltaNode` — a global variable;
+- :class:`RvsdgModule` — the translation unit (the RVSDG literature's
+  ω-node; renamed here to avoid clashing with the points-to Ω).
+
+Side effects are sequentialised by threading an explicit **memory
+state** value through loads, stores and calls, so the graph needs no
+instruction ordering — exactly the property the paper relies on when it
+says LLVM instructions relevant to points-to analysis map one-to-one
+onto RVSDG nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..ir import types as ty
+
+#: pseudo-type of memory-state values
+STATE = "state"
+
+TypeLike = Union[ty.Type, str]
+
+
+class Output:
+    """One value produced by a node or region argument."""
+
+    __slots__ = ("producer", "index", "type", "name")
+
+    def __init__(self, producer, index: int, type_: TypeLike, name: str = ""):
+        self.producer = producer
+        self.index = index
+        self.type = type_
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        who = getattr(self.producer, "label", type(self.producer).__name__)
+        return f"<{who}:{self.index} {self.name or self.type}>"
+
+
+class Region:
+    """A nested dataflow scope: arguments → nodes → results."""
+
+    def __init__(self, owner: Optional["Node"] = None, name: str = ""):
+        self.owner = owner
+        self.name = name
+        self.arguments: List[Output] = []
+        self.nodes: List[Node] = []
+        self.results: List[Output] = []
+
+    def add_argument(self, type_: TypeLike, name: str = "") -> Output:
+        out = Output(self, len(self.arguments), type_, name)
+        self.arguments.append(out)
+        return out
+
+    def set_results(self, results: Sequence[Output]) -> None:
+        self.results = list(results)
+
+    def add_node(self, node: "Node") -> "Node":
+        node.region = self
+        self.nodes.append(node)
+        return node
+
+    def walk(self) -> Iterator["Node"]:
+        """All nodes in this region and its subregions (pre-order)."""
+        for node in self.nodes:
+            yield node
+            for sub in node.subregions():
+                yield from sub.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Region {self.name or '?'} [{len(self.nodes)} nodes]>"
+
+
+class Node:
+    """Base RVSDG node: consumes Outputs, produces Outputs."""
+
+    label = "<node>"
+
+    def __init__(self, inputs: Sequence[Output], output_types: Sequence[Tuple[TypeLike, str]]):
+        self.inputs: List[Output] = list(inputs)
+        self.outputs: List[Output] = [
+            Output(self, i, t, n) for i, (t, n) in enumerate(output_types)
+        ]
+        self.region: Optional[Region] = None
+
+    def subregions(self) -> Sequence[Region]:
+        return ()
+
+    @property
+    def output(self) -> Output:
+        assert len(self.outputs) == 1, f"{self.label} has {len(self.outputs)} outputs"
+        return self.outputs[0]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{self.label} ({len(self.inputs)}→{len(self.outputs)})>"
+
+
+class SimpleNode(Node):
+    """An operation node (one IR instruction's worth of behaviour).
+
+    ``op`` is a small string language: ``const``, ``undef``, ``null``,
+    ``alloca``, ``load``, ``store``, ``gep``, ``binop.<op>``,
+    ``cmp.<pred>``, ``cast.<kind>``, ``call``, ``malloc``, ``free``,
+    ``memcpy``, ``addrof`` (address of a module-level symbol).
+    """
+
+    def __init__(
+        self,
+        op: str,
+        inputs: Sequence[Output],
+        output_types: Sequence[Tuple[TypeLike, str]],
+        attr=None,
+    ):
+        super().__init__(inputs, output_types)
+        self.op = op
+        self.attr = attr
+
+    @property
+    def label(self) -> str:  # type: ignore[override]
+        return self.op
+
+
+class GammaNode(Node):
+    """Decision node: predicate + entry variables; N matching regions."""
+
+    label = "gamma"
+
+    def __init__(self, predicate: Output, n_regions: int):
+        super().__init__([predicate], [])
+        self.entry_vars: List[Output] = []  # appended to self.inputs too
+        self.regions: List[Region] = [
+            Region(self, f"gamma[{i}]") for i in range(n_regions)
+        ]
+
+    def add_entry_var(self, value: Output) -> List[Output]:
+        """Route an outer value in; returns the per-region arguments."""
+        self.inputs.append(value)
+        self.entry_vars.append(value)
+        name = value.name
+        return [r.add_argument(value.type, name) for r in self.regions]
+
+    def add_exit_var(self, per_region: Sequence[Output], name: str = "") -> Output:
+        """Merge one result from every region into an output."""
+        assert len(per_region) == len(self.regions)
+        for region, value in zip(self.regions, per_region):
+            region.results.append(value)
+        out = Output(self, len(self.outputs), per_region[0].type, name)
+        self.outputs.append(out)
+        return out
+
+    def subregions(self) -> Sequence[Region]:
+        return self.regions
+
+    @property
+    def predicate(self) -> Output:
+        return self.inputs[0]
+
+
+class ThetaNode(Node):
+    """Tail-controlled loop.  Loop variables: input → region argument →
+    region result → (next iteration | output).  The first region result
+    is the continue-predicate."""
+
+    label = "theta"
+
+    def __init__(self):
+        super().__init__([], [])
+        self.body = Region(self, "theta")
+        self.predicate: Optional[Output] = None
+
+    def add_loop_var(self, init: Output, name: str = "") -> Output:
+        self.inputs.append(init)
+        return self.body.add_argument(init.type, name or init.name)
+
+    def finish(self, predicate: Output, next_values: Sequence[Output]) -> List[Output]:
+        """Set the continue predicate and per-variable next values;
+        returns the post-loop outputs (one per loop variable)."""
+        assert len(next_values) == len(self.inputs)
+        self.predicate = predicate
+        self.body.results = [predicate, *next_values]
+        outs = []
+        for i, arg in enumerate(self.body.arguments):
+            out = Output(self, i, arg.type, arg.name)
+            self.outputs.append(out)
+            outs.append(out)
+        return outs
+
+    def subregions(self) -> Sequence[Region]:
+        return (self.body,)
+
+
+class LambdaNode(Node):
+    """A function definition."""
+
+    label = "lambda"
+
+    def __init__(self, name: str, func_type: ty.FunctionType, linkage: str):
+        super().__init__([], [(ty.ptr(func_type), name)])
+        self.name = name
+        self.func_type = func_type
+        self.linkage = linkage
+        self.body = Region(self, f"lambda {name}")
+        #: context variables: (outer Output, inner argument)
+        self.context_vars: List[Tuple[Output, Output]] = []
+
+    def add_context_var(self, value: Output) -> Output:
+        self.inputs.append(value)
+        arg = self.body.add_argument(value.type, value.name)
+        self.context_vars.append((value, arg))
+        return arg
+
+    def subregions(self) -> Sequence[Region]:
+        return (self.body,)
+
+
+class DeltaNode(Node):
+    """A global variable definition."""
+
+    label = "delta"
+
+    def __init__(self, name: str, value_type: ty.Type, linkage: str, initializer=None):
+        super().__init__([], [(ty.ptr(value_type), name)])
+        self.name = name
+        self.value_type = value_type
+        self.linkage = linkage
+        self.initializer = initializer  # IR-style constant tree or None
+
+
+class ImportNode(Node):
+    """An imported symbol (external function or global)."""
+
+    label = "import"
+
+    def __init__(self, name: str, value_type: ty.Type, is_function: bool):
+        pointee = value_type
+        super().__init__([], [(ty.ptr(pointee), name)])
+        self.name = name
+        self.value_type = value_type
+        self.is_function = is_function
+
+
+class RvsdgModule:
+    """The translation unit: the RVSDG literature's ω-node."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.region = Region(None, "module")
+        self.exports: Dict[str, Output] = {}
+
+    def add(self, node: Node) -> Node:
+        return self.region.add_node(node)
+
+    def export(self, name: str, value: Output) -> None:
+        self.exports[name] = value
+
+    def lambdas(self) -> List[LambdaNode]:
+        return [n for n in self.region.nodes if isinstance(n, LambdaNode)]
+
+    def deltas(self) -> List[DeltaNode]:
+        return [n for n in self.region.nodes if isinstance(n, DeltaNode)]
+
+    def imports(self) -> List[ImportNode]:
+        return [n for n in self.region.nodes if isinstance(n, ImportNode)]
+
+    def walk(self) -> Iterator[Node]:
+        yield from self.region.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<RvsdgModule {self.name}: {len(self.lambdas())} lambdas,"
+            f" {len(self.deltas())} deltas, {len(self.imports())} imports>"
+        )

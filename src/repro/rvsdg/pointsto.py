@@ -1,0 +1,388 @@
+"""Points-to constraint generation from the RVSDG.
+
+The paper's analysis runs inside jlm on the RVSDG; this module is the
+RVSDG equivalent of :mod:`repro.analysis.frontend` (which works on the
+flat IR).  Both produce a :class:`repro.analysis.constraints
+.ConstraintProgram`, and the differential tests check that both paths
+yield the same points-to facts for every named memory object —
+demonstrating the paper's remark that the relevant instructions have a
+one-to-one RVSDG representation.
+
+Mapping:
+
+=====================  =============================================
+alloca/delta/import    abstract memory location; the node's output is
+                       a register with a base constraint
+lambda                 function memory location + Func constraint
+gamma entry/exit vars  simple constraints (value routing)
+theta loop vars        simple constraints (init, back edge, exit)
+load/store             load/store constraints (or the §III-C scalar
+                       smuggling flags)
+gep / bitcast          simple constraints (field-insensitive)
+ptrtoint / inttoptr    Ω ⊒ p / p ⊒ Ω (§III-C)
+call                   Call constraint; malloc/free/memcpy summarised
+                       when the callee provably is that import
+=====================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.constraints import ConstraintProgram
+from ..frontend import ast_nodes as ast
+from ..ir import types as ty
+from .nodes import (
+    STATE,
+    DeltaNode,
+    GammaNode,
+    ImportNode,
+    LambdaNode,
+    Node,
+    Output,
+    Region,
+    RvsdgModule,
+    SimpleNode,
+    ThetaNode,
+)
+
+SUMMARISED = ("malloc", "free", "memcpy")
+
+
+@dataclass
+class RvsdgConstraints:
+    module: RvsdgModule
+    program: ConstraintProgram
+    var_of_output: Dict[int, int] = field(default_factory=dict)
+    memloc_of_node: Dict[int, int] = field(default_factory=dict)
+
+
+def _pc(type_) -> bool:
+    return isinstance(type_, ty.Type) and type_.is_pointer_compatible()
+
+
+class RvsdgConstraintBuilder:
+    def __init__(self, module: RvsdgModule):
+        self.module = module
+        self.program = ConstraintProgram(module.name)
+        self.built = RvsdgConstraints(module, self.program)
+        self._heap_count = 0
+        self._fn_prefix = ""
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> RvsdgConstraints:
+        # Module-level memory objects first.
+        for node in self.module.region.nodes:
+            if isinstance(node, DeltaNode):
+                loc = self.program.add_memory(
+                    node.name,
+                    pointer_compatible=node.value_type.is_pointer_compatible(),
+                )
+                self.built.memloc_of_node[id(node)] = loc
+                if node.linkage == "external":
+                    self.program.mark_externally_accessible(loc)
+            elif isinstance(node, LambdaNode):
+                loc = self.program.add_var(
+                    node.name, pointer_compatible=False, is_memory=True
+                )
+                self.built.memloc_of_node[id(node)] = loc
+                if node.linkage == "external":
+                    self.program.mark_externally_accessible(loc)
+            elif isinstance(node, ImportNode):
+                loc = self.program.add_var(
+                    node.name,
+                    pointer_compatible=(
+                        not node.is_function
+                        and node.value_type.is_pointer_compatible()
+                    ),
+                    is_memory=True,
+                )
+                self.built.memloc_of_node[id(node)] = loc
+                self.program.mark_externally_accessible(loc)
+                if node.is_function and node.name not in SUMMARISED:
+                    self.program.mark_imported_function(loc)
+        # Base constraints for the address-valued outputs.
+        for node in self.module.region.nodes:
+            loc = self.built.memloc_of_node.get(id(node))
+            if loc is None:
+                continue
+            reg = self._var(node.outputs[0], f"&{getattr(node, 'name', '?')}")
+            if reg is not None:
+                self.program.add_base(reg, loc)
+        # Delta initialisers.
+        for node in self.module.deltas():
+            self._delta_init(node)
+        # Function bodies.
+        for node in self.module.lambdas():
+            self._lambda(node)
+        return self.built
+
+    # ------------------------------------------------------------------
+
+    def _var(self, output: Output, name: str = "") -> Optional[int]:
+        if output.type == STATE or not _pc(output.type):
+            return None
+        existing = self.built.var_of_output.get(id(output))
+        if existing is not None:
+            return existing
+        var = self.program.add_register(
+            name or f"{self._fn_prefix}%{output.name or 'v'}.{len(self.built.var_of_output)}"
+        )
+        self.built.var_of_output[id(output)] = var
+        return var
+
+    def _delta_init(self, node: DeltaNode) -> None:
+        init = node.initializer
+        loc = self.built.memloc_of_node[id(node)]
+        if init is None or isinstance(init, str):
+            return  # no pointees (string payloads are characters)
+        self._init_targets(loc, init)
+
+    def _init_targets(self, holder: int, init: ast.InitItem) -> None:
+        if init.items is not None:
+            for item in init.items:
+                self._init_targets(holder, item)
+            return
+        expr = init.expr
+        target = self._address_in_const(expr)
+        if target is not None:
+            self.program.add_base(holder, target)
+
+    def _address_in_const(self, expr) -> Optional[int]:
+        """&symbol (possibly through casts/members) in an initialiser."""
+        if isinstance(expr, ast.Cast):
+            return self._address_in_const(expr.operand)
+        if isinstance(expr, ast.Unary) and expr.op == "&":
+            return self._address_in_const(expr.operand)
+        if isinstance(expr, (ast.Index, ast.Member)):
+            return self._address_in_const(expr.base)
+        if isinstance(expr, ast.Identifier):
+            sym = getattr(expr, "symbol", None)
+            if sym is None:
+                return None
+            for node in self.module.region.nodes:
+                if getattr(node, "name", None) in (sym.name, sym.mangled):
+                    loc = self.built.memloc_of_node.get(id(node))
+                    if loc is not None and (
+                        isinstance(sym.ctype, (ty.ArrayType, ty.FunctionType))
+                        or isinstance(expr, ast.Identifier)
+                    ):
+                        return loc
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _lambda(self, node: LambdaNode) -> None:
+        program = self.program
+        self._fn_prefix = f"{node.name}."
+        floc = self.built.memloc_of_node[id(node)]
+        # Context variables: inner arg ⊇ outer value.
+        for outer, inner in node.context_vars:
+            self._copy(inner, outer)
+        # Func constraint from parameter arguments / return result.
+        body = node.body
+        n_params = len(node.func_type.params)
+        param_args = [
+            a for a in body.arguments if a.type != STATE
+        ][:n_params]
+        args = [self._var(a, f"{node.name}.{a.name}") for a in param_args]
+        ret_var: Optional[int] = None
+        if not isinstance(node.func_type.return_type, ty.VoidType):
+            ret_out = body.results[0]
+            ret_var = self._var(ret_out, f"{node.name}.ret")
+        program.add_func(floc, ret_var, args, variadic=node.func_type.variadic)
+        self._region(body)
+        self._fn_prefix = ""
+
+    def _copy(self, dst: Output, src: Output) -> None:
+        dv, sv = self._var(dst), self._var(src)
+        if dv is not None and sv is not None:
+            self.program.add_simple(dv, sv)
+        elif sv is not None:
+            self.program.mark_pointees_escape(sv)
+        elif dv is not None and src.type != STATE and not _pc(src.type):
+            self.program.mark_points_to_external(dv)
+
+    def _region(self, region: Region) -> None:
+        for node in region.nodes:
+            if isinstance(node, SimpleNode):
+                self._simple_node(node)
+            elif isinstance(node, GammaNode):
+                self._gamma(node)
+            elif isinstance(node, ThetaNode):
+                self._theta(node)
+            else:  # pragma: no cover - nested lambdas unsupported in C
+                raise NotImplementedError(type(node).__name__)
+
+    def _gamma(self, node: GammaNode) -> None:
+        # Entry vars: inputs[1:] pair with each region's arguments.
+        for i, outer in enumerate(node.inputs[1:]):
+            for region in node.regions:
+                self._copy(region.arguments[i], outer)
+        for region in node.regions:
+            self._region(region)
+        # Exit vars: output ⊇ each region's corresponding result.
+        for index, out in enumerate(node.outputs):
+            for region in node.regions:
+                self._copy(out, region.results[index])
+
+    def _theta(self, node: ThetaNode) -> None:
+        body = node.body
+        for i, outer in enumerate(node.inputs):
+            self._copy(body.arguments[i], outer)  # initial value
+        self._region(body)
+        # results[0] is the predicate; value results follow.
+        for i, arg in enumerate(body.arguments):
+            result = body.results[1 + i]
+            self._copy(arg, result)  # back edge
+            self._copy(node.outputs[i], result)  # exit value
+
+    # ------------------------------------------------------------------
+
+    def _simple_node(self, node: SimpleNode) -> None:
+        program = self.program
+        op = node.op
+        if op == "alloca":
+            allocated = node.attr
+            loc = program.add_memory(
+                f"{self._fn_prefix}{node.outputs[0].name or 'tmp'}",
+                pointer_compatible=allocated.is_pointer_compatible(),
+            )
+            self.built.memloc_of_node[id(node)] = loc
+            reg = self._var(node.outputs[0])
+            if reg is not None:
+                program.add_base(reg, loc)
+            return
+        if op == "load":
+            ptr = self._input_var(node, 0)
+            if ptr is None:
+                return
+            out = self._var(node.outputs[0])
+            if out is not None:
+                program.add_load(out, ptr)
+            else:
+                program.mark_load_scalar(ptr)
+            return
+        if op == "store":
+            ptr = self._input_var(node, 0)
+            if ptr is None:
+                return
+            value = node.inputs[1]
+            if _pc(value.type):
+                vv = self._input_var(node, 1)
+                if vv is not None:
+                    program.add_store(ptr, vv)
+            else:
+                program.mark_store_scalar(ptr)
+            return
+        if op == "gep":
+            out = self._var(node.outputs[0])
+            base = self._input_var(node, 0)
+            if out is not None and base is not None:
+                program.add_simple(out, base)
+            return
+        if op.startswith("cast."):
+            kind = op.split(".", 1)[1]
+            if kind == "bitcast":
+                out = self._var(node.outputs[0])
+                src = self._input_var(node, 0)
+                if out is not None and src is not None:
+                    program.add_simple(out, src)
+            elif kind == "ptrtoint":
+                src = self._input_var(node, 0)
+                if src is not None:
+                    program.mark_pointees_escape(src)
+            elif kind == "inttoptr":
+                out = self._var(node.outputs[0])
+                if out is not None:
+                    program.mark_points_to_external(out)
+            return
+        if op == "call":
+            self._call(node)
+            return
+        # const/undef/binop/cmp/unop: no pointer flow.
+
+    def _input_var(self, node: SimpleNode, index: int) -> Optional[int]:
+        value = node.inputs[index]
+        return self.built.var_of_output.get(id(value)) or self._var(value)
+
+    # ------------------------------------------------------------------
+
+    def _origin(self, output: Output) -> Optional[Node]:
+        """Trace a value through routing back to its defining node."""
+        seen = 0
+        while seen < 64:
+            seen += 1
+            producer = output.producer
+            if isinstance(producer, Region):
+                owner = producer.owner
+                if isinstance(owner, LambdaNode):
+                    for outer, inner in owner.context_vars:
+                        if inner is output:
+                            output = outer
+                            break
+                    else:
+                        return None  # a parameter
+                elif isinstance(owner, GammaNode):
+                    index = output.index
+                    if index < len(owner.inputs) - 1:
+                        output = owner.inputs[1 + index]
+                    else:
+                        return None
+                elif isinstance(owner, ThetaNode):
+                    output = owner.inputs[output.index]
+                else:
+                    return None
+                continue
+            return producer if isinstance(producer, Node) else None
+        return None
+
+    def _call(self, node: SimpleNode) -> None:
+        program = self.program
+        fn_type = node.attr
+        assert isinstance(fn_type, ty.FunctionType)
+        callee_origin = self._origin(node.inputs[0])
+        args = node.inputs[1:-1]  # drop callee and state
+        value_outputs = [o for o in node.outputs if o.type != STATE]
+        result = value_outputs[0] if value_outputs else None
+
+        if isinstance(callee_origin, ImportNode) and callee_origin.name in SUMMARISED:
+            name = callee_origin.name
+            if name == "malloc":
+                site = program.add_memory(
+                    f"heap.{self._heap_count}", pointer_compatible=True
+                )
+                self._heap_count += 1
+                if result is not None:
+                    reg = self._var(result)
+                    if reg is not None:
+                        program.add_base(reg, site)
+            elif name == "memcpy" and len(args) >= 2:
+                dst = self.built.var_of_output.get(id(args[0])) or self._var(args[0])
+                src = self.built.var_of_output.get(id(args[1])) or self._var(args[1])
+                if dst is not None and src is not None:
+                    tmp = program.add_register("memcpy.tmp")
+                    program.add_load(tmp, src)
+                    program.add_store(dst, tmp)
+            # free: nothing
+            return
+
+        target = self._var(node.inputs[0])
+        if target is None:
+            return
+        arg_vars: List[Optional[int]] = []
+        for value in args:
+            if _pc(value.type):
+                var = self.built.var_of_output.get(id(value)) or self._var(value)
+                arg_vars.append(var)
+            else:
+                arg_vars.append(None)
+        ret_var = self._var(result) if result is not None else None
+        program.add_call(target, ret_var, arg_vars)
+
+
+def build_rvsdg_constraints(module: RvsdgModule) -> RvsdgConstraints:
+    """Phase 1 of the analysis, on the RVSDG."""
+    return RvsdgConstraintBuilder(module).build()

@@ -1,0 +1,109 @@
+"""Textual dump of an RVSDG (for debugging and golden tests)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .nodes import (
+    STATE,
+    DeltaNode,
+    GammaNode,
+    ImportNode,
+    LambdaNode,
+    Node,
+    Output,
+    Region,
+    RvsdgModule,
+    SimpleNode,
+    ThetaNode,
+)
+
+
+class _Namer:
+    def __init__(self) -> None:
+        self.names: Dict[int, str] = {}
+        self.counter = 0
+
+    def name(self, output: Output) -> str:
+        key = id(output)
+        if key not in self.names:
+            self.counter += 1
+            base = output.name or "v"
+            self.names[key] = f"%{base}{self.counter}"
+        return self.names[key]
+
+
+def print_rvsdg(module: RvsdgModule) -> str:
+    namer = _Namer()
+    lines: List[str] = [f"rvsdg module {module.name} {{"]
+    for node in module.region.nodes:
+        lines.extend(_print_node(node, namer, indent=1))
+    for name, value in module.exports.items():
+        lines.append(f"  export {name} = {namer.name(value)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _type_str(t) -> str:
+    return "state" if t == STATE else str(t)
+
+
+def _io(node: Node, namer: _Namer) -> str:
+    ins = ", ".join(namer.name(v) for v in node.inputs)
+    outs = ", ".join(
+        f"{namer.name(o)}:{_type_str(o.type)}" for o in node.outputs
+    )
+    arrow = f"({ins})" if ins else "()"
+    return f"{arrow} -> ({outs})"
+
+
+def _print_region(region: Region, namer: _Namer, indent: int) -> List[str]:
+    pad = "  " * indent
+    args = ", ".join(
+        f"{namer.name(a)}:{_type_str(a.type)}" for a in region.arguments
+    )
+    lines = [f"{pad}region {region.name or ''}({args}) {{"]
+    for node in region.nodes:
+        lines.extend(_print_node(node, namer, indent + 1))
+    results = ", ".join(namer.name(r) for r in region.results)
+    lines.append(f"{pad}  yield ({results})")
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def _print_node(node: Node, namer: _Namer, indent: int) -> List[str]:
+    pad = "  " * indent
+    if isinstance(node, SimpleNode):
+        attr = f" [{node.attr}]" if node.attr is not None else ""
+        return [f"{pad}{node.op}{attr} {_io(node, namer)}"]
+    if isinstance(node, DeltaNode):
+        return [
+            f"{pad}delta {node.name} : {node.value_type} ({node.linkage})"
+            f" -> {namer.name(node.outputs[0])}"
+        ]
+    if isinstance(node, ImportNode):
+        kind = "function" if node.is_function else "variable"
+        return [
+            f"{pad}import {kind} {node.name} : {node.value_type}"
+            f" -> {namer.name(node.outputs[0])}"
+        ]
+    if isinstance(node, LambdaNode):
+        lines = [
+            f"{pad}lambda {node.name} : {node.func_type} ({node.linkage})"
+            f" -> {namer.name(node.outputs[0])} {{"
+        ]
+        lines.extend(_print_region(node.body, namer, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(node, GammaNode):
+        lines = [f"{pad}gamma on {namer.name(node.predicate)} {_io(node, namer)} {{"]
+        for region in node.regions:
+            lines.extend(_print_region(region, namer, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(node, ThetaNode):
+        lines = [f"{pad}theta {_io(node, namer)} {{"]
+        lines.extend(_print_region(node.body, namer, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"unknown node {node!r}")  # pragma: no cover

@@ -1,0 +1,177 @@
+"""Unit tests for the constraint program, Ω lowering, and Solution API."""
+
+import pytest
+
+from repro.analysis import (
+    OMEGA,
+    ConstraintProgram,
+    Solution,
+    lower_to_explicit,
+    parse_name,
+    run_configuration,
+)
+
+
+class TestNormalisation:
+    """§V-B: constraints mixing pointer-compatible and incompatible
+    variables are rewritten into Ω flags at construction."""
+
+    def test_pointer_into_integer_simple(self):
+        cp = ConstraintProgram()
+        p = cp.add_register("p")
+        s = cp.add_memory("s", pointer_compatible=False)
+        cp.add_simple(s, p)  # s ⊇ p : pointees of p escape
+        assert cp.flag_pe[p]
+        assert not cp.simple_out[p]
+
+    def test_integer_into_pointer_simple(self):
+        cp = ConstraintProgram()
+        p = cp.add_register("p")
+        s = cp.add_memory("s", pointer_compatible=False)
+        cp.add_simple(p, s)  # p ⊇ s : p gains unknown origin
+        assert cp.flag_pte[p]
+
+    def test_scalar_to_scalar_ignored(self):
+        cp = ConstraintProgram()
+        a = cp.add_memory("a", pointer_compatible=False)
+        b = cp.add_memory("b", pointer_compatible=False)
+        cp.add_simple(a, b)
+        assert cp.num_constraints() == 0
+
+    def test_self_edge_dropped(self):
+        cp = ConstraintProgram()
+        p = cp.add_register("p")
+        cp.add_simple(p, p)
+        assert not cp.simple_out[p]
+
+    def test_base_into_untracked_escapes_target(self):
+        cp = ConstraintProgram()
+        s = cp.add_memory("s", pointer_compatible=False)
+        x = cp.add_memory("x")
+        cp.add_base(s, x)  # address stored into untracked storage
+        assert cp.flag_ea[x]
+
+    def test_base_target_must_be_memory(self):
+        cp = ConstraintProgram()
+        p = cp.add_register("p")
+        q = cp.add_register("q")
+        with pytest.raises(ValueError):
+            cp.add_base(p, q)
+
+    def test_scalar_load_flag(self):
+        cp = ConstraintProgram()
+        p = cp.add_register("p")
+        s = cp.add_memory("s", pointer_compatible=False)
+        cp.add_load(s, p)  # loading into untracked: Ω ⊒ *p
+        assert cp.flag_lscalar[p]
+
+    def test_scalar_store_flag(self):
+        cp = ConstraintProgram()
+        p = cp.add_register("p")
+        s = cp.add_memory("s", pointer_compatible=False)
+        cp.add_store(p, s)  # storing untracked value: *p ⊒ Ω
+        assert cp.flag_sscalar[p]
+
+    def test_load_through_untracked_pointer(self):
+        cp = ConstraintProgram()
+        p = cp.add_register("p")
+        s = cp.add_memory("s", pointer_compatible=False)
+        cp.add_load(p, s)  # loading through an integer: unknown origin
+        assert cp.flag_pte[p]
+
+    def test_flags_on_non_pointers_are_noops(self):
+        cp = ConstraintProgram()
+        s = cp.add_memory("s", pointer_compatible=False)
+        cp.mark_points_to_external(s)
+        cp.mark_pointees_escape(s)
+        assert not cp.flag_pte[s] and not cp.flag_pe[s]
+
+    def test_dump_lists_everything(self):
+        cp = ConstraintProgram("d")
+        x = cp.add_memory("x")
+        p = cp.add_register("p")
+        cp.add_base(p, x)
+        cp.add_load(p, p)
+        cp.mark_externally_accessible(x)
+        text = cp.dump()
+        assert "p ⊇ {x}" in text
+        assert "Ω ⊒ {x}" in text
+
+
+class TestOmegaLowering:
+    def test_lowering_clears_flags(self):
+        cp = ConstraintProgram()
+        x = cp.add_memory("x")
+        p = cp.add_register("p")
+        cp.mark_externally_accessible(x)
+        cp.mark_points_to_external(p)
+        ep = lower_to_explicit(cp)
+        assert ep.omega is not None
+        assert not any(ep.flag_ea)
+        assert not any(ep.flag_pte)
+        # Original program untouched.
+        assert cp.flag_ea[x] and cp.flag_pte[p]
+        assert cp.omega is None
+
+    def test_omega_self_constraints(self):
+        cp = ConstraintProgram()
+        ep = lower_to_explicit(cp)
+        om = ep.omega
+        assert om in ep.base[om]
+        assert om in ep.load_from[om]
+        assert om in ep.store_into[om]
+        assert ep.flag_extcall[om] and ep.flag_extfunc[om]
+
+    def test_double_lowering_rejected(self):
+        cp = ConstraintProgram()
+        ep = lower_to_explicit(cp)
+        with pytest.raises(ValueError):
+            lower_to_explicit(ep)
+
+    def test_impfunc_becomes_extfunc(self):
+        cp = ConstraintProgram()
+        f = cp.add_var("f", pointer_compatible=False, is_memory=True)
+        cp.mark_imported_function(f)
+        ep = lower_to_explicit(cp)
+        assert ep.flag_extfunc[f]
+        assert not ep.flag_impfunc[f]
+
+
+class TestSolutionAPI:
+    def make(self):
+        cp = ConstraintProgram("s")
+        x = cp.add_memory("x")
+        y = cp.add_memory("y")
+        p = cp.add_register("p")
+        q = cp.add_register("q")
+        cp.add_base(p, x)
+        cp.mark_externally_accessible(y)
+        cp.mark_points_to_external(q)
+        return cp, run_configuration(cp, parse_name("IP+WL(FIFO)"))
+
+    def test_points_to_name(self):
+        cp, sol = self.make()
+        assert sol.names(sol.points_to_name("p")) == {"x"}
+
+    def test_may_point_to_external(self):
+        cp, sol = self.make()
+        q = cp.var_names.index("q")
+        p = cp.var_names.index("p")
+        assert sol.may_point_to_external(q)
+        assert not sol.may_point_to_external(p)
+
+    def test_total_pointees(self):
+        cp, sol = self.make()
+        assert sol.total_pointees() >= 3  # p:{x}, q:{y,Ω}, y:{y,Ω}
+
+    def test_equality_and_diff(self):
+        cp, sol = self.make()
+        cp2, sol2 = self.make()
+        # Different program objects, same structure: canonical equality
+        # compares indexes, which align here.
+        assert sol == sol2
+        assert sol.diff(sol2) == "<identical>"
+
+    def test_eq_other_type(self):
+        cp, sol = self.make()
+        assert (sol == 42) is False

@@ -1,0 +1,104 @@
+"""Differential validation: all solver configurations agree (paper §V-A).
+
+"The solution is validated to ensure that all configurations produce the
+exact same solution."  We replicate that here: random constraint programs
+covering every constraint kind are solved by every configuration family
+and compared against the independent naive IP oracle.
+"""
+
+import pytest
+
+from repro.analysis import (
+    enumerate_configurations,
+    parse_name,
+    run_configuration,
+    validate_identical,
+)
+from repro.analysis.testing import random_program
+
+# A representative slice of the configuration space: both
+# representations, every order, every technique, several combinations.
+REPRESENTATIVE = [
+    "IP+Naive",
+    "EP+Naive",
+    "IP+OVS+Naive",
+    "EP+OVS+Naive",
+    "IP+WL(FIFO)",
+    "IP+WL(LIFO)",
+    "IP+WL(LRF)",
+    "IP+WL(2LRF)",
+    "IP+WL(TOPO)",
+    "EP+WL(FIFO)",
+    "EP+WL(LIFO)",
+    "EP+WL(LRF)",
+    "EP+WL(2LRF)",
+    "EP+WL(TOPO)",
+    "IP+WL(FIFO)+PIP",
+    "IP+WL(LRF)+PIP",
+    "IP+WL(TOPO)+PIP",
+    "IP+WL(FIFO)+OCD",
+    "IP+WL(FIFO)+HCD",
+    "IP+WL(FIFO)+LCD",
+    "IP+WL(FIFO)+HCD+LCD",
+    "IP+WL(FIFO)+DP",
+    "IP+WL(FIFO)+LCD+DP",
+    "IP+WL(FIFO)+OCD+DP",
+    "EP+WL(FIFO)+OCD",
+    "EP+WL(FIFO)+HCD",
+    "EP+WL(FIFO)+LCD",
+    "EP+WL(FIFO)+HCD+LCD+DP",
+    "EP+OVS+WL(LRF)+OCD",
+    "IP+OVS+WL(FIFO)+PIP",
+    "IP+OVS+WL(LRF)+OCD+PIP",
+    "IP+WL(LRF)+OCD+PIP",
+    "IP+WL(2LRF)+HCD+LCD+DP+PIP",
+    "IP+OVS+WL(TOPO)+LCD+DP+PIP",
+    "EP+OVS+WL(2LRF)+HCD+LCD+DP",
+]
+
+SEEDS = [1, 2, 3, 7, 11, 23, 42, 99, 1234, 90210]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_representative_configs_agree(seed):
+    program = random_program(seed, n_vars=35, n_constraints=70)
+    oracle = run_configuration(program, parse_name("IP+Naive"))
+    for name in REPRESENTATIVE:
+        sol = run_configuration(program, parse_name(name))
+        assert sol == oracle, f"{name} diverged on seed {seed}:\n{oracle.diff(sol)}"
+
+
+@pytest.mark.parametrize("seed", [5, 17])
+def test_all_304_configurations_agree(seed):
+    """The full configuration space on a small program."""
+    program = random_program(seed, n_vars=18, n_constraints=36)
+    solutions = []
+    for config in enumerate_configurations():
+        solutions.append(run_configuration(program, config))
+    validate_identical(solutions)
+
+
+def test_validate_identical_reports_divergence():
+    from repro.analysis import ConstraintProgram
+    from repro.analysis.solution import Solution
+
+    cp = ConstraintProgram("tiny")
+    x = cp.add_memory("x")
+    p = cp.add_register("p")
+    a = Solution(cp, {p: frozenset({x})}, frozenset())
+    b = Solution(cp, {p: frozenset()}, frozenset())
+    with pytest.raises(AssertionError):
+        validate_identical([a, b])
+    assert "Sol(p)" in a.diff(b)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_stats_monotonicity(seed):
+    """PIP never produces more explicit pointees than plain IP, and EP
+    never produces fewer than IP (Table VI shape)."""
+    program = random_program(seed, n_vars=35, n_constraints=70)
+    ip = run_configuration(program, parse_name("IP+WL(FIFO)"))
+    pip = run_configuration(program, parse_name("IP+WL(FIFO)+PIP"))
+    ep = run_configuration(program, parse_name("EP+WL(FIFO)"))
+    assert pip.stats.explicit_pointees <= ip.stats.explicit_pointees
+    assert ep.stats.explicit_pointees >= ip.stats.explicit_pointees

@@ -1,0 +1,227 @@
+"""End-to-end constraint-level tests built from the paper's own examples.
+
+The Figure 1 incomplete program is the paper's running example; its
+expected facts are spelled out in the introduction: pointers p, q and r
+"may target x, z, or any memory object defined in external modules, but
+never y.  Only r may target w."
+"""
+
+import pytest
+
+from repro.analysis import (
+    OMEGA,
+    Configuration,
+    ConstraintProgram,
+    run_configuration,
+)
+
+
+def build_figure1_program() -> ConstraintProgram:
+    """The incomplete program of Fig. 1, hand-translated to constraints.
+
+    .. code-block:: c
+
+        static int x, y;
+        int z;
+        extern int* getPtr();
+        int* p = &x;
+
+        void callMe(int* q) {
+            int w;
+            int* r = getPtr();
+            if (r == NULL)
+                r = &w;
+        }
+    """
+    cp = ConstraintProgram("figure1")
+    x = cp.add_memory("x", pointer_compatible=False)
+    y = cp.add_memory("y", pointer_compatible=False)
+    z = cp.add_memory("z", pointer_compatible=False)
+    p = cp.add_memory("p", pointer_compatible=True)
+    get_ptr = cp.add_var("getPtr", pointer_compatible=False, is_memory=True)
+    call_me = cp.add_var("callMe", pointer_compatible=False, is_memory=True)
+    q = cp.add_register("q")
+    w = cp.add_memory("w", pointer_compatible=False)
+    r = cp.add_register("r")
+    h = cp.add_register("&getPtr")  # dummy pointer for the direct call
+
+    cp.add_base(p, x)  # int* p = &x;
+    cp.add_func(call_me, None, [q])
+    cp.add_base(h, get_ptr)
+    cp.add_call(h, r, [])  # r = getPtr();
+    cp.add_base(r, w)  # r = &w;
+
+    # Linkage: z, p, callMe exported; getPtr imported.
+    for symbol in (z, p, call_me, get_ptr):
+        cp.mark_externally_accessible(symbol)
+    cp.mark_imported_function(get_ptr)
+    return cp
+
+
+NAMED_CONFIGS = [
+    "IP+WL(FIFO)",
+    "IP+WL(FIFO)+PIP",
+    "IP+WL(FIFO)+LCD+DP",
+    "IP+WL(LRF)+OCD+PIP",
+    "EP+OVS+WL(LRF)+OCD",
+    "EP+Naive",
+    "IP+Naive",
+]
+
+
+class TestFigure1:
+    @pytest.fixture(params=NAMED_CONFIGS)
+    def solution(self, request):
+        from repro.analysis import parse_name
+
+        cp = build_figure1_program()
+        return run_configuration(cp, parse_name(request.param))
+
+    def test_p_targets_x(self, solution):
+        assert "x" in solution.names(solution.points_to_name("p"))
+
+    def test_p_q_r_target_externals(self, solution):
+        for ptr in ("p", "q", "r"):
+            sol = solution.names(solution.points_to_name(ptr))
+            assert OMEGA in sol, f"{ptr} must have unknown-origin values"
+            assert "z" in sol, f"{ptr} may target exported z"
+            assert "x" in sol, f"{ptr} may target escaped x"
+
+    def test_nobody_targets_y(self, solution):
+        for ptr in ("p", "q", "r"):
+            assert "y" not in solution.names(solution.points_to_name(ptr))
+        assert "y" not in solution.names(solution.external)
+
+    def test_only_r_targets_w(self, solution):
+        assert "w" in solution.names(solution.points_to_name("r"))
+        for ptr in ("p", "q"):
+            assert "w" not in solution.names(solution.points_to_name(ptr))
+
+    def test_w_does_not_escape(self, solution):
+        assert "w" not in solution.names(solution.external)
+
+    def test_x_escapes_via_p(self, solution):
+        # x ∈ Sol(p) and p escaped, so x is externally accessible.
+        assert "x" in solution.names(solution.external)
+
+
+class TestBasicInference:
+    """TRANS / LOAD / STORE rules of Fig. 2 on a complete program."""
+
+    def build(self):
+        cp = ConstraintProgram("basic")
+        x = cp.add_memory("x")
+        y = cp.add_memory("y")
+        p = cp.add_register("p")
+        q = cp.add_register("q")
+        s = cp.add_register("s")
+        t = cp.add_register("t")
+        cp.add_base(q, x)  # q ⊇ {x}
+        cp.add_simple(p, q)  # p ⊇ q
+        cp.add_store(p, s)  # *p ⊇ s
+        cp.add_base(s, y)  # s ⊇ {y}
+        cp.add_load(t, p)  # t ⊇ *p
+        return cp
+
+    @pytest.mark.parametrize("config", NAMED_CONFIGS)
+    def test_rules(self, config):
+        from repro.analysis import parse_name
+
+        sol = run_configuration(self.build(), parse_name(config))
+        assert solset(sol, "p") == {"x"}
+        assert solset(sol, "q") == {"x"}
+        # STORE: *p ⊇ s with x ∈ Sol(p) gives x ⊇ s, so Sol(x) ∋ y.
+        assert solset(sol, "x") == {"y"}
+        # LOAD: t ⊇ *p with x ∈ Sol(p) gives t ⊇ x, so Sol(t) ∋ y.
+        assert solset(sol, "t") == {"y"}
+        # Nothing escapes in a program with no external linkage.
+        assert sol.external == frozenset()
+
+
+class TestIndirectCall:
+    """The CALL rule (Fig. 5 style): an indirect call through a phi."""
+
+    def build(self):
+        cp = ConstraintProgram("fig5")
+        a_loc = cp.add_memory("a")
+        b_loc = cp.add_memory("b")
+        f1 = cp.add_var("f1", pointer_compatible=False, is_memory=True)
+        f2 = cp.add_var("f2", pointer_compatible=False, is_memory=True)
+        f1_arg = cp.add_register("f1.arg")
+        f1_ret = cp.add_register("f1.ret")
+        f2_ret = cp.add_register("f2.ret")
+        cp.add_func(f1, f1_ret, [f1_arg])
+        cp.add_simple(f1_ret, f1_arg)  # f1 returns its argument
+        cp.add_func(f2, f2_ret, [])
+        cp.add_base(f2_ret, b_loc)  # f2 returns &b
+        fp = cp.add_register("fp")
+        cp.add_base(fp, f1)
+        cp.add_base(fp, f2)
+        arg = cp.add_register("arg")
+        cp.add_base(arg, a_loc)
+        ret = cp.add_register("ret")
+        cp.add_call(fp, ret, [arg])
+        return cp
+
+    @pytest.mark.parametrize("config", NAMED_CONFIGS)
+    def test_call_rule(self, config):
+        from repro.analysis import parse_name
+
+        sol = run_configuration(self.build(), parse_name(config))
+        # ret receives f1's return (= the argument &a) and f2's (&b).
+        assert solset(sol, "ret") == {"a", "b"}
+        assert solset(sol, "f1.arg") == {"a"}
+        assert sol.external == frozenset()
+
+
+class TestUnknownPointerProperties:
+    """Loading through an unknown pointer yields another unknown pointer;
+    storing through one makes the stored pointees escape."""
+
+    @pytest.mark.parametrize("config", NAMED_CONFIGS)
+    def test_load_from_unknown(self, config):
+        from repro.analysis import parse_name
+
+        cp = ConstraintProgram("load-unknown")
+        cp.add_memory("x")
+        p = cp.add_register("p")
+        t = cp.add_register("t")
+        cp.mark_points_to_external(p)
+        cp.add_load(t, p)
+        sol = run_configuration(cp, parse_name(config))
+        assert OMEGA in sol.points_to_name("t")
+        # x never escapes and is not targeted.
+        assert "x" not in sol.names(sol.points_to_name("t"))
+
+    @pytest.mark.parametrize("config", NAMED_CONFIGS)
+    def test_store_through_unknown(self, config):
+        from repro.analysis import parse_name
+
+        cp = ConstraintProgram("store-unknown")
+        x = cp.add_memory("x")
+        p = cp.add_register("p")
+        q = cp.add_register("q")
+        cp.mark_points_to_external(p)
+        cp.add_base(q, x)
+        cp.add_store(p, q)  # *p = q with p unknown ⇒ x escapes
+        sol = run_configuration(cp, parse_name(config))
+        assert "x" in sol.names(sol.external)
+
+    @pytest.mark.parametrize("config", NAMED_CONFIGS)
+    def test_escaped_memory_receives_unknown(self, config):
+        from repro.analysis import parse_name
+
+        cp = ConstraintProgram("escaped-receives")
+        m = cp.add_memory("m", pointer_compatible=True)
+        cp.mark_externally_accessible(m)
+        sol = run_configuration(cp, parse_name(config))
+        # External modules may store unknown pointers into escaped m.
+        assert OMEGA in sol.points_to_name("m")
+        assert "m" in sol.names(sol.points_to_name("m"))
+
+
+def solset(solution, name):
+    """Names of the explicit pointees of a variable (no OMEGA)."""
+    return {
+        v for v in solution.names(solution.points_to_name(name)) if v != OMEGA
+    }

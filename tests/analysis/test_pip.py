@@ -1,0 +1,93 @@
+"""PIP-specific unit tests (paper §IV), including the ablation switches."""
+
+import pytest
+
+from repro.analysis import ConstraintProgram, parse_name, run_configuration
+from repro.analysis.solvers.worklist import WorklistSolver
+from repro.analysis.testing import random_program
+
+
+def escaped_web(n_cells: int = 20) -> ConstraintProgram:
+    """An escaped pointer table: every explicit pointee is doubled-up."""
+    cp = ConstraintProgram("web")
+    cells = []
+    table = cp.add_memory("table")
+    cp.mark_externally_accessible(table)
+    for i in range(n_cells):
+        t = cp.add_memory(f"t{i}", pointer_compatible=False)
+        c = cp.add_register(f"&t{i}")
+        cp.add_base(c, t)
+        cp.add_store(cp_reg_with_base(cp, table, f"tabptr{i}"), c)
+        cells.append(c)
+    return cp
+
+
+def cp_reg_with_base(cp, loc, name):
+    reg = cp.add_register(name)
+    cp.add_base(reg, loc)
+    return reg
+
+
+class TestPIPBehaviour:
+    def test_doubled_up_sets_cleared(self):
+        cp = escaped_web()
+        solver = WorklistSolver(cp, order="FIFO", pip=True)
+        solution = solver.solve()
+        st = solver.state
+        table = cp.var_names.index("table")
+        assert st.pte[st.find(table)] and st.pe[st.find(table)]
+        assert not st.sol[st.find(table)]
+        # Either the set was cleared after filling, or PIP elided the
+        # edges early enough that it never filled at all.
+        assert (
+            solution.stats.pip_sets_cleared >= 1
+            or solution.stats.pip_edges_elided >= 1
+        )
+
+    def test_solution_unchanged(self):
+        cp = escaped_web()
+        pip = WorklistSolver(cp, order="FIFO", pip=True).solve()
+        plain = WorklistSolver(cp, order="FIFO").solve()
+        assert pip == plain
+
+    def test_edges_elided(self):
+        cp = escaped_web()
+        pip = WorklistSolver(cp, order="FIFO", pip=True).solve()
+        plain = WorklistSolver(cp, order="FIFO").solve()
+        assert pip.stats.edges_added < plain.stats.edges_added
+        assert pip.stats.pip_edges_elided > 0
+
+    def test_fewer_explicit_pointees(self):
+        cp = escaped_web()
+        pip = WorklistSolver(cp, order="FIFO", pip=True).solve()
+        plain = WorklistSolver(cp, order="FIFO").solve()
+        assert pip.stats.explicit_pointees < plain.stats.explicit_pointees
+
+
+class TestAblation:
+    @pytest.mark.parametrize(
+        "additions", [(), (1,), (2,), (3,), (4,), (1, 2), (2, 3, 4), (1, 2, 3, 4)]
+    )
+    @pytest.mark.parametrize("seed", [3, 17, 88])
+    def test_every_subset_preserves_solution(self, additions, seed):
+        program = random_program(seed, n_vars=30, n_constraints=70)
+        baseline = run_configuration(program, parse_name("IP+Naive"))
+        solver = WorklistSolver(
+            program,
+            order="FIFO",
+            pip=bool(additions),
+            pip_additions=additions or None,
+        )
+        assert solver.solve() == baseline
+
+    def test_unknown_addition_rejected(self):
+        program = random_program(1, n_vars=8, n_constraints=10)
+        with pytest.raises(ValueError):
+            WorklistSolver(program, pip=True, pip_additions=(5,))
+
+    def test_pip_rejected_in_ep_mode(self):
+        from repro.analysis import lower_to_explicit
+
+        program = lower_to_explicit(random_program(1, 8, 10))
+        with pytest.raises(ValueError):
+            WorklistSolver(program, pip=True)

@@ -1,0 +1,140 @@
+"""Property-based tests over random constraint programs (hypothesis).
+
+These encode the paper's core guarantees as executable properties:
+identical solutions across configurations (§V-A), soundness of the
+incomplete-program extension (§III), and PIP's postconditions (§IV).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    OMEGA,
+    parse_name,
+    run_configuration,
+)
+from repro.analysis.testing import random_program
+
+CONFIGS = [
+    "IP+Naive",
+    "EP+Naive",
+    "IP+WL(FIFO)+PIP",
+    "EP+OVS+WL(LRF)+OCD",
+    "IP+WL(2LRF)+HCD+LCD+DP",
+    "IP+OVS+WL(TOPO)+PIP",
+]
+
+program_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=6, max_value=30),  # vars
+    st.integers(min_value=5, max_value=60),  # constraints
+)
+
+
+class TestConfigurationAgreement:
+    @given(program_params)
+    @settings(max_examples=40, deadline=None)
+    def test_all_families_agree(self, params):
+        seed, n_vars, n_constraints = params
+        program = random_program(seed, n_vars, n_constraints)
+        oracle = run_configuration(program, parse_name("IP+Naive"))
+        for name in CONFIGS[1:]:
+            sol = run_configuration(program, parse_name(name))
+            assert sol == oracle, f"{name}:\n{oracle.diff(sol)}"
+
+
+class TestSoundnessInvariants:
+    @given(program_params)
+    @settings(max_examples=40, deadline=None)
+    def test_escape_closure(self, params):
+        """x ∈ Sol_e(y) and y externally accessible ⇒ x externally
+        accessible (the paper's fourth escape rule)."""
+        seed, n_vars, n_constraints = params
+        program = random_program(seed, n_vars, n_constraints)
+        sol = run_configuration(program, parse_name("IP+WL(FIFO)"))
+        external = sol.external
+        for y in external:
+            if not program.in_p[y]:
+                continue
+            for x in sol.points_to(y):
+                if x == OMEGA:
+                    continue
+                assert x in external, (
+                    f"{program.var_names[x]} pointed to by escaped "
+                    f"{program.var_names[y]} but not escaped"
+                )
+
+    @given(program_params)
+    @settings(max_examples=40, deadline=None)
+    def test_unknown_origin_expansion(self, params):
+        """Ω ∈ Sol(p) ⇒ every externally accessible location ∈ Sol(p)."""
+        seed, n_vars, n_constraints = params
+        program = random_program(seed, n_vars, n_constraints)
+        sol = run_configuration(program, parse_name("IP+WL(LIFO)"))
+        for p in sol.pointers():
+            s = sol.points_to(p)
+            if OMEGA in s:
+                assert sol.external <= s
+
+    @given(program_params)
+    @settings(max_examples=40, deadline=None)
+    def test_solution_is_monotone_in_constraints(self, params):
+        """Adding an escape flag can only grow the solution."""
+        seed, n_vars, n_constraints = params
+        base = random_program(seed, n_vars, n_constraints)
+        sol_before = run_configuration(base, parse_name("IP+Naive"))
+        extended = random_program(seed, n_vars, n_constraints)
+        memories = extended.memory_locations()
+        if not memories:
+            return
+        extended.mark_externally_accessible(memories[0])
+        sol_after = run_configuration(extended, parse_name("IP+Naive"))
+        assert sol_before.external <= sol_after.external
+        for p in sol_before.pointers():
+            assert sol_before.points_to(p) <= sol_after.points_to(p)
+
+    @given(program_params)
+    @settings(max_examples=30, deadline=None)
+    def test_pointees_are_memory_locations(self, params):
+        seed, n_vars, n_constraints = params
+        program = random_program(seed, n_vars, n_constraints)
+        sol = run_configuration(program, parse_name("IP+WL(FIFO)+PIP"))
+        for p in sol.pointers():
+            for x in sol.points_to(p):
+                if x != OMEGA:
+                    assert program.in_m[x]
+
+
+class TestPIPPostconditions:
+    @given(program_params)
+    @settings(max_examples=40, deadline=None)
+    def test_pip_never_increases_pointees(self, params):
+        seed, n_vars, n_constraints = params
+        program = random_program(seed, n_vars, n_constraints)
+        plain = run_configuration(program, parse_name("IP+WL(FIFO)"))
+        pip = run_configuration(program, parse_name("IP+WL(FIFO)+PIP"))
+        assert pip.stats.explicit_pointees <= plain.stats.explicit_pointees
+        assert pip == plain
+
+    @given(program_params)
+    @settings(max_examples=30, deadline=None)
+    def test_externally_accessible_have_empty_explicit_sets_under_pip(
+        self, params
+    ):
+        """PIP guarantee: nodes marked both x ⊒ Ω and Ω ⊒ x end with an
+        empty Sol_e — their pointees are all implicit (paper §IV)."""
+        from repro.analysis.config import prepare_program
+        from repro.analysis.solvers.worklist import WorklistSolver
+
+        seed, n_vars, n_constraints = params
+        program = random_program(seed, n_vars, n_constraints)
+        solver = WorklistSolver(program, order="FIFO", pip=True)
+        solver.solve()
+        st_ = solver.state
+        for v in range(program.num_vars):
+            r = st_.find(v)
+            if st_.pte[r] and st_.pe[r]:
+                assert not st_.sol[r], (
+                    f"{program.var_names[v]} is ⊒Ω and Ω⊒ but has explicit"
+                    f" pointees"
+                )

@@ -1,0 +1,93 @@
+"""SolverState unit tests: union merging, adjacency canonicalisation."""
+
+import pytest
+
+from repro.analysis import ConstraintProgram
+from repro.analysis.solvers.base import SolverState
+
+
+def program_with_edges():
+    cp = ConstraintProgram()
+    x = cp.add_memory("x")
+    a = cp.add_register("a")
+    b = cp.add_register("b")
+    c = cp.add_register("c")
+    cp.add_base(a, x)
+    cp.add_simple(b, a)  # a -> b
+    cp.add_simple(c, b)  # b -> c
+    cp.add_load(b, a)  # b ⊇ *a
+    cp.add_store(c, a)  # *c ⊇ a
+    return cp, (x, a, b, c)
+
+
+class TestUnion:
+    def test_merges_sol_and_edges(self):
+        cp, (x, a, b, c) = program_with_edges()
+        st = SolverState(cp)
+        survivor = st.union(a, b)
+        dead = b if survivor == a else a
+        assert st.sol[survivor] == {x}
+        assert not st.sol[dead]
+        # b's out-edge to c survives on the representative.
+        assert c in st.canonical_succ(survivor)
+
+    def test_merges_complex_constraints(self):
+        cp, (x, a, b, c) = program_with_edges()
+        st = SolverState(cp)
+        survivor = st.union(a, c)
+        assert st.stores[survivor]  # c's store list moved over
+        assert st.loads[survivor]  # a's load list moved over
+
+    def test_flags_ored(self):
+        cp, (x, a, b, c) = program_with_edges()
+        cp.mark_points_to_external(a)
+        st = SolverState(cp)
+        survivor = st.union(a, b)
+        assert st.pte[survivor]
+
+    def test_union_idempotent(self):
+        cp, (x, a, b, c) = program_with_edges()
+        st = SolverState(cp)
+        r1 = st.union(a, b)
+        r2 = st.union(a, b)
+        assert r1 == r2
+        assert st.stats.unifications == 1
+
+    def test_on_union_hook(self):
+        cp, (x, a, b, c) = program_with_edges()
+        st = SolverState(cp)
+        calls = []
+        st.on_union = lambda s, d: calls.append((s, d))
+        st.union(a, b)
+        assert len(calls) == 1
+
+    def test_any_unions_flag(self):
+        cp, (x, a, b, c) = program_with_edges()
+        st = SolverState(cp)
+        assert not st.any_unions
+        assert st.find(b) == b
+        st.union(a, b)
+        assert st.any_unions
+        assert st.find(a) == st.find(b)
+
+
+class TestAdjacency:
+    def test_canonical_succ_drops_self_edges_after_union(self):
+        cp, (x, a, b, c) = program_with_edges()
+        st = SolverState(cp)
+        survivor = st.union(a, b)  # a->b becomes a self edge
+        assert survivor not in st.canonical_succ(survivor)
+
+    def test_add_edge_deduplicates(self):
+        cp, (x, a, b, c) = program_with_edges()
+        st = SolverState(cp)
+        assert not st.add_edge(a, b)  # already present
+        assert st.add_edge(a, c)
+        assert not st.add_edge(a, c)
+
+    def test_count_explicit_pointees_counts_shared_once(self):
+        cp, (x, a, b, c) = program_with_edges()
+        st = SolverState(cp)
+        before = st.count_explicit_pointees()
+        st.union(a, b)
+        assert st.count_explicit_pointees() == before  # shared set counted once

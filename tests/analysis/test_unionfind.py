@@ -1,0 +1,102 @@
+"""Union-find tests, including property-based ones (paper §V-B: cycle
+unification uses union-find with path compression and union by rank)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import UnionFind
+
+
+class TestBasics:
+    def test_initial_singletons(self):
+        uf = UnionFind(5)
+        assert [uf.find(i) for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_union_connects(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert uf.same(0, 1)
+        assert not uf.same(0, 2)
+
+    def test_union_returns_survivor(self):
+        uf = UnionFind(3)
+        r = uf.union(0, 1)
+        assert uf.find(0) == r and uf.find(1) == r
+
+    def test_add_extends(self):
+        uf = UnionFind(2)
+        idx = uf.add()
+        assert idx == 2
+        assert uf.find(idx) == idx
+
+    def test_groups(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        groups = uf.groups()
+        assert sorted(map(sorted, groups.values())) == [[0, 1, 2], [3], [4]]
+
+    def test_roots(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        roots = set(uf.roots())
+        assert len(roots) == 3
+        assert uf.find(0) in roots
+
+
+@st.composite
+def union_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    k = draw(st.integers(min_value=0, max_value=60))
+    pairs = [
+        (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+        for _ in range(k)
+    ]
+    return n, pairs
+
+
+class TestProperties:
+    @given(union_sequences())
+    @settings(max_examples=200)
+    def test_find_idempotent_and_transitive(self, seq):
+        n, pairs = seq
+        uf = UnionFind(n)
+        for a, b in pairs:
+            uf.union(a, b)
+        for i in range(n):
+            root = uf.find(i)
+            assert uf.find(root) == root  # idempotent
+        for a, b in pairs:
+            assert uf.same(a, b)  # unions stick
+
+    @given(union_sequences())
+    @settings(max_examples=200)
+    def test_matches_naive_partition(self, seq):
+        n, pairs = seq
+        uf = UnionFind(n)
+        naive = {i: {i} for i in range(n)}
+        lookup = list(range(n))
+        for a, b in pairs:
+            uf.union(a, b)
+            ra, rb = lookup[a], lookup[b]
+            if ra != rb:
+                naive[ra] |= naive.pop(rb)
+                for member in naive[ra]:
+                    lookup[member] = ra
+        for i in range(n):
+            for j in range(n):
+                assert uf.same(i, j) == (lookup[i] == lookup[j])
+
+    @given(union_sequences())
+    @settings(max_examples=100)
+    def test_rank_bounds_tree_height(self, seq):
+        n, pairs = seq
+        uf = UnionFind(n)
+        for a, b in pairs:
+            uf.union(a, b)
+        # After full compression every node points at its root.
+        for i in range(n):
+            uf.find(i)
+        for i in range(n):
+            parent = uf.parent[i]
+            assert uf.parent[parent] == parent

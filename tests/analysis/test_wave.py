@@ -1,0 +1,65 @@
+"""Wave-propagation solver tests (extension beyond the paper's space)."""
+
+import pytest
+
+from repro.analysis import (
+    enumerate_configurations,
+    parse_name,
+    run_configuration,
+)
+from repro.analysis.testing import random_program
+from tests.analysis.test_paper_examples import build_figure1_program
+
+
+class TestWave:
+    @pytest.mark.parametrize(
+        "config", ["IP+Wave", "EP+Wave", "IP+OVS+Wave", "EP+OVS+Wave"]
+    )
+    @pytest.mark.parametrize("seed", [1, 9, 33, 77, 123])
+    def test_agrees_with_oracle(self, config, seed):
+        program = random_program(seed, n_vars=35, n_constraints=80)
+        oracle = run_configuration(program, parse_name("IP+Naive"))
+        sol = run_configuration(program, parse_name(config))
+        assert sol == oracle, oracle.diff(sol)
+
+    def test_figure1(self):
+        cp = build_figure1_program()
+        sol = run_configuration(cp, parse_name("IP+Wave"))
+        assert "x" in sol.names(sol.external)
+        assert "y" not in sol.names(sol.external)
+
+    def test_collapses_cycles(self):
+        from repro.analysis import ConstraintProgram
+        from repro.analysis.solvers.wave import WaveSolver
+
+        cp = ConstraintProgram("cycle")
+        loc = cp.add_memory("loc")
+        a = cp.add_register("a")
+        b = cp.add_register("b")
+        c = cp.add_register("c")
+        cp.add_base(a, loc)
+        cp.add_simple(b, a)
+        cp.add_simple(c, b)
+        cp.add_simple(a, c)
+        solver = WaveSolver(cp)
+        solution = solver.solve()
+        assert solver.state.find(a) == solver.state.find(b) == solver.state.find(c)
+        assert solution.names(solution.points_to_name("c")) == {"loc"}
+
+    def test_visits_bounded_by_waves(self):
+        program = random_program(5, n_vars=40, n_constraints=90)
+        sol = run_configuration(program, parse_name("IP+Wave"))
+        # Each wave visits each live node at most once.
+        assert sol.stats.visits <= sol.stats.passes * program.num_vars
+
+    def test_not_in_paper_enumeration_by_default(self):
+        names = {c.name for c in enumerate_configurations()}
+        assert "IP+Wave" not in names
+        extended = {c.name for c in enumerate_configurations(include_extensions=True)}
+        assert "IP+Wave" in extended and "EP+OVS+Wave" in extended
+
+    def test_wave_rejects_worklist_techniques(self):
+        from repro.analysis import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            parse_name("IP+Wave+PIP")

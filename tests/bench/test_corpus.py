@@ -1,0 +1,92 @@
+"""Corpus generator tests: determinism, compilability, profile shapes."""
+
+import pytest
+
+from repro.analysis import build_constraints
+from repro.bench.corpus import (
+    PROFILES,
+    FileSpec,
+    generate_c_source,
+    specs_for_profile,
+)
+from repro.bench.suite import build_corpus, build_file, flatten
+from repro.frontend import compile_c
+
+
+class TestDeterminism:
+    def test_same_spec_same_source(self):
+        spec = FileSpec(name="a.c", seed=123, size=60)
+        assert generate_c_source(spec) == generate_c_source(spec)
+
+    def test_different_seed_different_source(self):
+        a = generate_c_source(FileSpec(name="a.c", seed=1, size=60))
+        b = generate_c_source(FileSpec(name="a.c", seed=2, size=60))
+        assert a != b
+
+    def test_specs_for_profile_deterministic(self):
+        profile = PROFILES["557.xz"]
+        s1 = specs_for_profile(profile, seed=5)
+        s2 = specs_for_profile(profile, seed=5)
+        assert s1 == s2
+
+
+class TestCompilability:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_files_compile_and_analyse(self, seed):
+        spec = FileSpec(name=f"s{seed}.c", seed=seed, size=70)
+        module = compile_c(generate_c_source(spec), spec.name)
+        built = build_constraints(module)
+        assert built.program.num_vars > 10
+
+    def test_pathological_files_compile(self):
+        spec = FileSpec(name="p.c", seed=9, size=120, pathological=True)
+        module = compile_c(generate_c_source(spec), spec.name)
+        assert module.instruction_count() > 100
+
+    @pytest.mark.parametrize("profile", ["505.mcf", "557.xz"])
+    def test_profile_files_build(self, profile):
+        for spec in specs_for_profile(PROFILES[profile], seed=2):
+            file = build_file(spec)
+            assert file.stats()["num_constraints"] > 0
+
+
+class TestProfiles:
+    def test_all_table3_rows_present(self):
+        expected = {
+            "500.perlbench", "502.gcc", "505.mcf", "507.cactuBSSN",
+            "525.x264", "526.blender", "538.imagick", "544.nab", "557.xz",
+            "emacs-29.4", "gdb-15.2", "ghostscript-10.04", "sendmail-8.18.1",
+        }
+        assert set(PROFILES) == expected
+
+    def test_relative_sizes_follow_table3(self):
+        # perlbench files are much larger than mcf files on average.
+        perl = specs_for_profile(PROFILES["500.perlbench"], seed=1)
+        mcf = specs_for_profile(PROFILES["505.mcf"], seed=1)
+        mean = lambda specs: sum(s.size for s in specs) / len(specs)
+        assert mean(perl) > 3 * mean(mcf)
+
+    def test_file_counts_scale(self):
+        blender = specs_for_profile(PROFILES["526.blender"], files_scale=0.01, seed=1)
+        mcf = specs_for_profile(PROFILES["505.mcf"], files_scale=0.01, seed=1)
+        assert len(blender) >= len(mcf)
+
+    def test_build_corpus_subset(self):
+        corpus = build_corpus(
+            files_scale=0.002, size_scale=0.004, profiles=["505.mcf"]
+        )
+        assert set(corpus) == {"505.mcf"}
+        files = flatten(corpus)
+        assert len(files) >= 2
+        for f in files:
+            assert f.module.instruction_count() > 0
+
+    def test_ep_program_lazily_built_and_cached(self):
+        corpus = build_corpus(
+            files_scale=0.002, size_scale=0.004, profiles=["505.mcf"]
+        )
+        f = flatten(corpus)[0]
+        ep1 = f.ep_program
+        assert ep1 is f.ep_program
+        assert ep1.omega is not None
+        assert f.program.omega is None

@@ -1,0 +1,35 @@
+"""Cross-process corpus determinism.
+
+``hash(str)`` is randomised per Python process; a regression here once
+made the "deterministic" corpus differ between runs (and thus between
+recorded and reproduced results).  This test pins the fix by comparing
+corpus fingerprints computed in subprocesses with different hash seeds.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+CODE = (
+    "from repro.bench.corpus import PROFILES, specs_for_profile, generate_c_source;"
+    "import hashlib;"
+    "specs=[s for p in PROFILES.values() for s in specs_for_profile(p, seed=7)];"
+    "text=''.join(generate_c_source(s) for s in specs[:6]);"
+    "print(hashlib.md5((str(specs)+text).encode()).hexdigest())"
+)
+
+
+def fingerprint(hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    out = subprocess.run(
+        [sys.executable, "-c", CODE], capture_output=True, text=True, env=env,
+        timeout=120,
+    )
+    assert out.returncode == 0, out.stderr
+    return out.stdout.strip()
+
+
+def test_corpus_identical_across_hash_seeds():
+    assert fingerprint("0") == fingerprint("424242")

@@ -1,0 +1,103 @@
+"""Call-graph client tests."""
+
+import pytest
+
+from repro.analysis import analyze_module
+from repro.clients import EXTERNAL, build_call_graph
+from repro.frontend import compile_c
+
+
+def graph_for(src):
+    module = compile_c(src, "t.c")
+    result = analyze_module(module)
+    return module, build_call_graph(result)
+
+
+class TestDirectCalls:
+    def test_direct_edge(self):
+        m, g = graph_for(
+            "static int leaf(void) { return 1; }\n"
+            "int root(void) { return leaf(); }"
+        )
+        assert g.may_call(m.functions["root"], m.functions["leaf"])
+
+    def test_external_call_edge(self):
+        m, g = graph_for(
+            "extern int out(void);\nint root(void) { return out(); }"
+        )
+        assert g.may_call(m.functions["root"], EXTERNAL)
+
+    def test_recursion(self):
+        m, g = graph_for("int f(int n) { return n ? f(n - 1) : 0; }")
+        f = m.functions["f"]
+        assert g.may_call(f, f)
+
+
+class TestIndirectCalls:
+    SRC = """
+    static int add(int* p) { return *p + 1; }
+    static int sub(int* p) { return *p - 1; }
+    static int mul(int* p) { return *p * 2; }
+    int dispatch(int which, int* v) {
+        int (*op)(int*) = which ? add : sub;
+        return op(v);
+    }
+    """
+
+    def test_indirect_resolves_to_candidates(self):
+        m, g = graph_for(self.SRC)
+        dispatch = m.functions["dispatch"]
+        callees = g.callees_of(dispatch)
+        assert m.functions["add"] in callees
+        assert m.functions["sub"] in callees
+        # mul's address is never taken: provably not a target.
+        assert m.functions["mul"] not in callees
+
+    def test_unknown_pointer_reaches_external(self):
+        m, g = graph_for(
+            "extern void (*hook)(void);\n"
+            "void fire(void) { hook(); }"
+        )
+        fire = m.functions["fire"]
+        assert EXTERNAL in g.callees_of(fire)
+
+    def test_escaped_function_callable_from_outside(self):
+        m, g = graph_for(
+            "static void priv(void) {}\n"
+            "void pub(void) { priv(); }"
+        )
+        assert m.functions["pub"] in g.externally_callable
+        assert m.functions["priv"] not in g.externally_callable
+        assert g.may_call(EXTERNAL, m.functions["pub"])
+
+    def test_function_pointer_passed_out_makes_it_externally_callable(self):
+        m, g = graph_for(
+            "extern void register_cb(void (*cb)(void));\n"
+            "static void callback(void) {}\n"
+            "void setup(void) { register_cb(callback); }"
+        )
+        assert m.functions["callback"] in g.externally_callable
+
+    def test_callers_of(self):
+        m, g = graph_for(
+            "static void leaf(void) {}\n"
+            "static void a(void) { leaf(); }\n"
+            "void b(void) { leaf(); a(); }"
+        )
+        callers = g.callers_of(m.functions["leaf"])
+        assert m.functions["a"] in callers and m.functions["b"] in callers
+
+    def test_reachable_from(self):
+        m, g = graph_for(
+            "static void c(void) {}\n"
+            "static void b(void) { c(); }\n"
+            "void a(void) { b(); }"
+        )
+        reach = g.reachable_from([m.functions["a"]])
+        assert m.functions["c"] in reach
+
+    def test_call_sites_recorded(self):
+        m, g = graph_for(self.SRC)
+        indirect = [s for s in g.sites if not s.is_direct]
+        assert len(indirect) == 1
+        assert len(indirect[0].callees) == 2

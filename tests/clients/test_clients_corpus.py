@@ -1,0 +1,70 @@
+"""Clients exercised over the synthetic corpus: smoke + invariants."""
+
+import pytest
+
+from repro.analysis import analyze_module
+from repro.bench.corpus import FileSpec, generate_c_source
+from repro.clients import EXTERNAL, build_call_graph, compute_mod_ref
+from repro.frontend import compile_c
+
+
+@pytest.fixture(scope="module", params=[11, 57, 200])
+def analysed(request):
+    spec = FileSpec(name=f"c{request.param}.c", seed=request.param, size=60)
+    module = compile_c(generate_c_source(spec), spec.name)
+    result = analyze_module(module)
+    return module, result
+
+
+class TestCallGraphInvariants:
+    def test_every_call_site_resolved(self, analysed):
+        module, result = analysed
+        graph = build_call_graph(result)
+        for site in graph.sites:
+            # Every site resolves to at least one callee or external.
+            assert site.callees or not site.may_call_external
+
+    def test_exported_functions_externally_callable(self, analysed):
+        module, result = analysed
+        graph = build_call_graph(result)
+        for fn in module.defined_functions():
+            if fn.is_exported:
+                assert fn in graph.externally_callable
+
+    def test_edges_subset_of_nodes(self, analysed):
+        module, result = analysed
+        graph = build_call_graph(result)
+        defined = set(module.defined_functions()) | {EXTERNAL}
+        for caller, callees in graph.edges.items():
+            assert caller in defined
+            for callee in callees:
+                assert callee in defined
+
+    def test_reachability_includes_external_world(self, analysed):
+        module, result = analysed
+        graph = build_call_graph(result)
+        exported = [f for f in module.defined_functions() if f.is_exported]
+        if exported:
+            reach = graph.reachable_from([EXTERNAL])
+            for fn in exported:
+                assert fn in reach
+
+
+class TestModRefInvariants:
+    def test_every_function_summarised(self, analysed):
+        module, result = analysed
+        summaries = compute_mod_ref(result)
+        assert set(summaries) == set(module.defined_functions())
+
+    def test_caller_superset_of_internal_callees(self, analysed):
+        module, result = analysed
+        graph = build_call_graph(result)
+        summaries = compute_mod_ref(result, graph)
+        for caller, callees in graph.edges.items():
+            if caller == EXTERNAL or caller not in summaries:
+                continue
+            for callee in callees:
+                if callee == EXTERNAL or callee not in summaries:
+                    continue
+                assert summaries[callee].mod <= summaries[caller].mod
+                assert summaries[callee].ref <= summaries[caller].ref

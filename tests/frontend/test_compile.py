@@ -1,0 +1,395 @@
+"""End-to-end frontend tests: C source → verified IR.
+
+Each test compiles a realistic snippet and checks structural facts about
+the produced module.  `compile_c` runs the verifier, so every test also
+asserts IR well-formedness.
+"""
+
+import pytest
+
+from repro.frontend import ParseError, SemaError, compile_c
+from repro.ir import (
+    Alloca, Call, Cast, Gep, Load, Memcpy, Phi, Store, print_module, types as ty,
+)
+
+
+def instructions(module, fn_name, cls=None):
+    fn = module.functions[fn_name]
+    out = list(fn.instructions())
+    if cls is not None:
+        out = [i for i in out if isinstance(i, cls)]
+    return out
+
+
+class TestGlobals:
+    def test_linkage(self):
+        m = compile_c(
+            "static int a; int b; extern int c; extern int d; int d = 1;"
+        )
+        assert m.globals["a"].linkage == "internal"
+        assert m.globals["b"].linkage == "external"
+        assert m.globals["c"].linkage == "import"
+        assert m.globals["d"].linkage == "external"
+
+    def test_pointer_global_initializer(self):
+        m = compile_c("int x; int* p = &x;")
+        assert m.globals["p"].initializer is m.globals["x"]
+
+    def test_array_global(self):
+        m = compile_c("int arr[4];")
+        assert m.globals["arr"].value_type == ty.ArrayType(ty.I32, 4)
+
+    def test_array_size_from_initializer(self):
+        m = compile_c("int arr[] = {1, 2, 3};")
+        assert m.globals["arr"].value_type.count == 3
+
+    def test_string_global(self):
+        m = compile_c('char* greeting = "hi";')
+        strs = [g for g in m.globals.values() if g.name.startswith(".str")]
+        assert len(strs) == 1
+        assert m.globals["greeting"].initializer is strs[0]
+
+    def test_char_array_from_string(self):
+        m = compile_c('char msg[] = "abc";')
+        assert m.globals["msg"].value_type.count == 4  # includes NUL
+
+    def test_function_pointer_global(self):
+        m = compile_c("int f(void) { return 1; }\nint (*fp)(void) = f;")
+        assert m.globals["fp"].initializer is m.functions["f"]
+
+    def test_struct_global_with_pointer_init(self):
+        m = compile_c(
+            "int target;\nstruct box { int tag; int* p; };\n"
+            "struct box b = { 1, &target };"
+        )
+        init = m.globals["b"].initializer
+        assert init.elements[1] is m.globals["target"]
+
+
+class TestFunctions:
+    def test_static_function_linkage(self):
+        m = compile_c("static void helper(void) {}\nvoid api(void) { helper(); }")
+        assert m.functions["helper"].linkage == "internal"
+        assert m.functions["api"].linkage == "external"
+
+    def test_declaration_only_is_import(self):
+        m = compile_c("int external_fn(int);\nint use(void) { return external_fn(1); }")
+        fn = m.functions["external_fn"]
+        assert fn.is_declaration
+
+    def test_params_get_allocas(self):
+        m = compile_c("int add(int a, int b) { return a + b; }")
+        allocas = instructions(m, "add", Alloca)
+        assert len(allocas) == 2
+
+    def test_implicit_return_in_void(self):
+        m = compile_c("void nothing(void) {}")
+        fn = m.functions["nothing"]
+        assert fn.blocks[-1].is_terminated()
+
+    def test_main_returns_zero_implicitly(self):
+        m = compile_c("int main(void) {}")
+        term = m.functions["main"].blocks[-1].terminator
+        assert term.value is not None and term.value.value == 0
+
+    def test_variadic_function_type(self):
+        m = compile_c("int log_msg(char* fmt, ...);")
+        assert m.functions["log_msg"].func_type.variadic
+
+    def test_implicit_declaration(self):
+        # C89: calling an undeclared function implicitly declares it.
+        m = compile_c("int use(void) { return mystery(); }")
+        assert "mystery" in m.functions
+        assert m.functions["mystery"].is_declaration
+
+    def test_recursive_function(self):
+        m = compile_c("int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }")
+        calls = instructions(m, "fib", Call)
+        assert len(calls) == 2
+
+
+class TestPointers:
+    def test_address_of_and_deref(self):
+        m = compile_c("int deref(void) { int v = 7; int* p = &v; return *p; }")
+        loads = instructions(m, "deref", Load)
+        stores = instructions(m, "deref", Store)
+        assert loads and stores
+
+    def test_pointer_to_pointer(self):
+        m = compile_c(
+            "int** addr(int** pp, int* p) { *pp = p; return pp; }"
+        )
+        assert instructions(m, "addr", Store)
+
+    def test_pointer_arithmetic_is_gep(self):
+        m = compile_c("int* advance(int* p, int n) { return p + n; }")
+        assert instructions(m, "advance", Gep)
+
+    def test_pointer_difference(self):
+        m = compile_c("long span(int* a, int* b) { return a - b; }")
+        casts = instructions(m, "span", Cast)
+        assert any(c.kind == "ptrtoint" for c in casts)
+
+    def test_array_indexing(self):
+        m = compile_c("int nth(int* a, int i) { return a[i]; }")
+        assert instructions(m, "nth", Gep)
+
+    def test_ptrtoint_cast(self):
+        m = compile_c("unsigned long addr(int* p) { return (unsigned long)p; }")
+        assert any(c.kind == "ptrtoint" for c in instructions(m, "addr", Cast))
+
+    def test_inttoptr_cast(self):
+        m = compile_c("int* back(unsigned long v) { return (int*)v; }")
+        assert any(c.kind == "inttoptr" for c in instructions(m, "back", Cast))
+
+    def test_pointer_bitcast(self):
+        m = compile_c("char* reinterpret(int* p) { return (char*)p; }")
+        assert any(c.kind == "bitcast" for c in instructions(m, "reinterpret", Cast))
+
+    def test_function_pointer_call(self):
+        m = compile_c(
+            "int apply(int (*op)(int), int v) { return op(v); }"
+        )
+        calls = instructions(m, "apply", Call)
+        assert len(calls) == 1 and not calls[0].is_direct()
+
+    def test_explicit_deref_function_pointer_call(self):
+        m = compile_c("int apply(int (*op)(int)) { return (*op)(1); }")
+        assert instructions(m, "apply", Call)
+
+
+class TestStructs:
+    SRC = """
+    struct node { struct node* next; int value; };
+    int total(struct node* head) {
+        int sum = 0;
+        while (head) { sum += head->value; head = head->next; }
+        return sum;
+    }
+    """
+
+    def test_recursive_struct(self):
+        m = compile_c(self.SRC)
+        assert instructions(m, "total", Gep)
+
+    def test_member_offsets(self):
+        m = compile_c(self.SRC)
+        geps = instructions(m, "total", Gep)
+        offsets = {g.constant_offset for g in geps}
+        assert 0 in offsets and 8 in offsets  # next at 0, value at 8
+
+    def test_dot_access(self):
+        m = compile_c(
+            "struct point { int x, y; };\n"
+            "int getx(void) { struct point p; p.x = 3; return p.x; }"
+        )
+        assert instructions(m, "getx", Gep)
+
+    def test_typedef_struct(self):
+        m = compile_c(
+            "typedef struct pair { int a, b; } pair_t;\n"
+            "int first(pair_t* p) { return p->a; }"
+        )
+        assert "first" in m.functions
+
+    def test_union(self):
+        m = compile_c(
+            "union u { int i; float f; int* p; };\n"
+            "int geti(union u* v) { return v->i; }"
+        )
+        geps = instructions(m, "geti", Gep)
+        assert all(g.constant_offset == 0 for g in geps)
+
+    def test_anonymous_struct_member(self):
+        m = compile_c(
+            "struct outer { struct { int inner; }; int tail; };\n"
+            "int get(struct outer* o) { return o->inner; }"
+        )
+        assert "get" in m.functions
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(SemaError):
+            compile_c(
+                "struct s { int a; };\nint f(struct s* p) { return p->b; }"
+            )
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        m = compile_c("int sel(int c) { if (c) return 1; else return 2; }")
+        names = [b.name for b in m.functions["sel"].blocks]
+        assert any("if.then" in n for n in names)
+        assert any("if.else" in n for n in names)
+
+    def test_while_loop(self):
+        m = compile_c("int count(int n) { int i = 0; while (i < n) i++; return i; }")
+        assert any("while.cond" in b.name for b in m.functions["count"].blocks)
+
+    def test_do_while(self):
+        m = compile_c("int f(int n) { int i = 0; do { i++; } while (i < n); return i; }")
+        assert any("do.body" in b.name for b in m.functions["f"].blocks)
+
+    def test_for_loop_with_decl(self):
+        m = compile_c(
+            "int sum(int* a, int n) { int s = 0;"
+            " for (int i = 0; i < n; i++) s += a[i]; return s; }"
+        )
+        assert any("for.step" in b.name for b in m.functions["sum"].blocks)
+
+    def test_break_continue(self):
+        m = compile_c(
+            "int f(int n) { int i, s = 0; for (i = 0; i < n; i++) {"
+            " if (i == 3) continue; if (i == 7) break; s += i; } return s; }"
+        )
+        assert "f" in m.functions
+
+    def test_switch(self):
+        m = compile_c(
+            "int digit(int c) { switch (c) {"
+            " case 0: return 10; case 1: case 2: return 20;"
+            " default: return -1; } }"
+        )
+        names = [b.name for b in m.functions["digit"].blocks]
+        assert any("case" in n for n in names)
+        assert any("default" in n for n in names)
+
+    def test_switch_fallthrough_and_break(self):
+        m = compile_c(
+            "int f(int c) { int r = 0; switch (c) { case 1: r += 1;"
+            " case 2: r += 2; break; case 3: r = 9; } return r; }"
+        )
+        assert "f" in m.functions
+
+    def test_goto_and_labels(self):
+        m = compile_c(
+            "int f(int n) { int i = 0;\n"
+            "again: i++; if (i < n) goto again; return i; }"
+        )
+        assert any("label.again" in b.name for b in m.functions["f"].blocks)
+
+    def test_short_circuit_and(self):
+        m = compile_c("int f(int* p) { return p && *p; }")
+        assert instructions(m, "f", Phi)
+
+    def test_short_circuit_or(self):
+        m = compile_c("int f(int a, int b) { return a || b; }")
+        assert instructions(m, "f", Phi)
+
+    def test_conditional_expression(self):
+        m = compile_c("int max(int a, int b) { return a > b ? a : b; }")
+        assert instructions(m, "max", Phi)
+
+    def test_conditional_with_pointers(self):
+        m = compile_c("int* pick(int c, int* a, int* b) { return c ? a : b; }")
+        assert instructions(m, "pick", Phi)
+
+    def test_comma_operator(self):
+        m = compile_c("int f(int a) { int b; return (b = a, b + 1); }")
+        assert "f" in m.functions
+
+
+class TestExpressions:
+    def test_compound_assignment(self):
+        m = compile_c("int f(int a) { a += 2; a <<= 1; a |= 4; return a; }")
+        assert "f" in m.functions
+
+    def test_pre_post_increment(self):
+        m = compile_c("int f(int a) { int b = ++a; int c = a--; return b + c; }")
+        assert "f" in m.functions
+
+    def test_pointer_increment(self):
+        m = compile_c("char* f(char* p) { p++; return p; }")
+        assert instructions(m, "f", Gep)
+
+    def test_sizeof(self):
+        m = compile_c("unsigned long s(void) { return sizeof(int) + sizeof(long); }")
+        assert "s" in m.functions
+
+    def test_sizeof_expr(self):
+        m = compile_c("unsigned long s(int* p) { return sizeof *p; }")
+        assert "s" in m.functions
+
+    def test_unary_minus_and_not(self):
+        m = compile_c("int f(int a) { return -a + !a + ~a; }")
+        assert "f" in m.functions
+
+    def test_float_arithmetic(self):
+        m = compile_c("double f(double a, float b) { return a * b - 1.5; }")
+        assert "f" in m.functions
+
+    def test_mixed_int_float(self):
+        m = compile_c("double f(int a) { return a / 2.0; }")
+        assert "f" in m.functions
+
+    def test_unsigned_division(self):
+        m = compile_c("unsigned f(unsigned a, unsigned b) { return a / b; }")
+        fn = m.functions["f"]
+        assert any(getattr(i, "op", "") == "udiv" for i in fn.instructions())
+
+    def test_hex_and_char_constants(self):
+        m = compile_c("int f(void) { return 0xFF + 'a'; }")
+        assert "f" in m.functions
+
+
+class TestTypedefsAndEnums:
+    def test_typedef_chain(self):
+        m = compile_c(
+            "typedef int myint;\ntypedef myint* intp;\n"
+            "myint deref(intp p) { return *p; }"
+        )
+        assert "deref" in m.functions
+
+    def test_typedef_function_pointer(self):
+        m = compile_c(
+            "typedef void (*callback_t)(int);\n"
+            "void invoke(callback_t cb) { cb(1); }"
+        )
+        calls = instructions(m, "invoke", Call)
+        assert calls and not calls[0].is_direct()
+
+    def test_enum_constants(self):
+        m = compile_c(
+            "enum color { RED, GREEN = 5, BLUE };\n"
+            "int f(void) { return RED + GREEN + BLUE; }"
+        )
+        assert "f" in m.functions
+
+    def test_enum_in_array_size(self):
+        m = compile_c("enum { N = 8 };\nint buf[N];")
+        assert m.globals["buf"].value_type.count == 8
+
+
+class TestErrors:
+    def test_syntax_error(self):
+        with pytest.raises(ParseError):
+            compile_c("int f( {")
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemaError):
+            compile_c("int f(void) { return missing_var; }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(SemaError):
+            compile_c("int f(int a) { return *a; }")
+
+    def test_address_of_rvalue(self):
+        with pytest.raises(SemaError):
+            compile_c("int* f(int a) { return &(a + 1); }")
+
+    def test_bitfields_rejected(self):
+        with pytest.raises(ParseError):
+            compile_c("struct s { int flag : 1; };")
+
+    def test_designated_initialisers_rejected(self):
+        with pytest.raises(ParseError):
+            compile_c("struct s { int a; };\nstruct s v = { .a = 1 };")
+
+
+class TestRoundTrip:
+    def test_print_module_is_stable(self):
+        src = "int g;\nint* get(void) { return &g; }"
+        m = compile_c(src)
+        text1 = print_module(m)
+        text2 = print_module(m)
+        assert text1 == text2
+        assert "@g" in text1 and "define" in text1

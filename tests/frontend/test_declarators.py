@@ -1,0 +1,130 @@
+"""Declarator torture tests: the infamous corner of C syntax."""
+
+import pytest
+
+from repro.frontend import compile_c, parse
+from repro.frontend.cparser import ParseError
+from repro.ir import types as ty
+
+
+def type_of_global(src, name):
+    module = compile_c(src)
+    return module.globals[name].value_type
+
+
+def type_of_function(src, name):
+    module = compile_c(src)
+    return module.functions[name].func_type
+
+
+class TestDeclarators:
+    def test_pointer_to_pointer(self):
+        t = type_of_global("int** pp;", "pp")
+        assert t == ty.ptr(ty.ptr(ty.I32))
+
+    def test_array_of_pointers(self):
+        t = type_of_global("int* arr[4];", "arr")
+        assert isinstance(t, ty.ArrayType)
+        assert t.element == ty.ptr(ty.I32)
+
+    def test_pointer_to_array(self):
+        t = type_of_global("int (*pa)[4];", "pa")
+        assert isinstance(t, ty.PointerType)
+        assert isinstance(t.pointee, ty.ArrayType)
+        assert t.pointee.count == 4
+
+    def test_function_pointer(self):
+        t = type_of_global("int (*fp)(int, char*);", "fp")
+        assert isinstance(t, ty.PointerType)
+        fn = t.pointee
+        assert isinstance(fn, ty.FunctionType)
+        assert fn.return_type == ty.I32
+        assert fn.params == (ty.I32, ty.ptr(ty.I8))
+
+    def test_array_of_function_pointers(self):
+        t = type_of_global("void (*handlers[8])(int);", "handlers")
+        assert isinstance(t, ty.ArrayType) and t.count == 8
+        assert isinstance(t.element, ty.PointerType)
+        assert isinstance(t.element.pointee, ty.FunctionType)
+
+    def test_function_returning_function_pointer(self):
+        fn = type_of_function("int (*select(int which))(int) { return 0; }", "select")
+        ret = fn.return_type
+        assert isinstance(ret, ty.PointerType)
+        assert isinstance(ret.pointee, ty.FunctionType)
+        assert ret.pointee.return_type == ty.I32
+
+    def test_pointer_to_function_returning_pointer_to_array(self):
+        t = type_of_global("int (*(*crazy)(void))[3];", "crazy")
+        # crazy: pointer to function returning pointer to int[3]
+        assert isinstance(t, ty.PointerType)
+        fn = t.pointee
+        assert isinstance(fn, ty.FunctionType)
+        assert isinstance(fn.return_type, ty.PointerType)
+        assert isinstance(fn.return_type.pointee, ty.ArrayType)
+        assert fn.return_type.pointee.count == 3
+
+    def test_two_dimensional_array(self):
+        t = type_of_global("int grid[3][5];", "grid")
+        assert isinstance(t, ty.ArrayType) and t.count == 3
+        assert isinstance(t.element, ty.ArrayType) and t.element.count == 5
+
+    def test_const_qualifiers_dropped(self):
+        t = type_of_global("const char* const msg;", "msg")
+        assert t == ty.ptr(ty.I8)
+
+    def test_multi_declarator_mixed(self):
+        module = compile_c("int a, *b, c[2], (*d)(void);")
+        assert module.globals["a"].value_type == ty.I32
+        assert module.globals["b"].value_type == ty.ptr(ty.I32)
+        assert isinstance(module.globals["c"].value_type, ty.ArrayType)
+        assert isinstance(module.globals["d"].value_type, ty.PointerType)
+
+    def test_array_size_constant_expression(self):
+        t = type_of_global("int buf[4 * 2 + 1];", "buf")
+        assert t.count == 9
+
+    def test_array_size_sizeof(self):
+        t = type_of_global("char raw[sizeof(long) * 2];", "raw")
+        assert t.count == 16
+
+    def test_param_array_decays(self):
+        fn = type_of_function("int f(int a[10]) { return a[0]; }", "f")
+        assert fn.params == (ty.ptr(ty.I32),)
+
+    def test_param_function_decays(self):
+        fn = type_of_function("int f(int g(void)) { return g(); }", "f")
+        assert isinstance(fn.params[0], ty.PointerType)
+        assert isinstance(fn.params[0].pointee, ty.FunctionType)
+
+    def test_unsigned_combinations(self):
+        module = compile_c(
+            "unsigned u; unsigned int ui; unsigned long ul;"
+            " unsigned char uc; signed char sc; unsigned short us;"
+        )
+        assert module.globals["u"].value_type == ty.U32
+        assert module.globals["ui"].value_type == ty.U32
+        assert module.globals["ul"].value_type == ty.U64
+        assert module.globals["uc"].value_type == ty.U8
+        assert module.globals["sc"].value_type == ty.I8
+        assert module.globals["us"].value_type == ty.U16
+
+    def test_long_long(self):
+        t = type_of_global("long long big;", "big")
+        assert t == ty.I64
+
+    def test_typedefed_declarator(self):
+        module = compile_c(
+            "typedef int (*binop_t)(int, int);\n"
+            "binop_t table[2];"
+        )
+        t = module.globals["table"].value_type
+        assert isinstance(t.element.pointee, ty.FunctionType)
+
+    def test_conflicting_storage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("static extern int x;")
+
+    def test_signed_unsigned_conflict_rejected(self):
+        with pytest.raises(ParseError):
+            parse("signed unsigned int x;")

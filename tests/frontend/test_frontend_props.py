@@ -1,0 +1,97 @@
+"""Property-based frontend tests (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.lexer import LexError, tokenize
+from repro.frontend.preproc import preprocess
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,12}", fullmatch=True)
+
+
+class TestLexerProperties:
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_integer_literals_roundtrip(self, value):
+        toks = tokenize(str(value))
+        assert toks[0].kind == "int" and toks[0].value == value
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_hex_literals_roundtrip(self, value):
+        toks = tokenize(hex(value))
+        assert toks[0].value == value
+
+    @given(
+        st.floats(
+            min_value=0.001, max_value=1e12, allow_nan=False, allow_infinity=False
+        )
+    )
+    def test_float_literals_roundtrip(self, value):
+        text = repr(float(value))
+        toks = tokenize(text)
+        assert toks[0].kind == "float"
+        assert abs(toks[0].value - float(text)) < 1e-9 * max(1.0, abs(value))
+
+    @given(identifiers)
+    def test_identifiers_roundtrip(self, name):
+        toks = tokenize(name)
+        assert toks[0].kind in ("id", "keyword")
+        assert toks[0].text == name
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=40))
+    def test_string_literals_roundtrip(self, text):
+        # Escape backslashes and quotes so the literal is well-formed.
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        toks = tokenize(f'"{escaped}"')
+        assert toks[0].kind == "string"
+        assert toks[0].value == text
+
+    @given(st.lists(identifiers, min_size=1, max_size=8))
+    def test_token_count_stable(self, names):
+        source = " ".join(names)
+        toks = tokenize(source)
+        assert len(toks) == len(names) + 1  # + eof
+
+    @given(st.text(alphabet="+-*/%&|^<>=!~", min_size=1, max_size=6))
+    def test_operator_soup_never_hangs(self, soup):
+        # Any operator soup either lexes or raises LexError — never loops.
+        try:
+            toks = tokenize(soup)
+            assert toks[-1].kind == "eof"
+        except LexError:
+            pass
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1), identifiers)
+    def test_lexer_position_reporting(self, value, name):
+        toks = tokenize(f"{name}\n{value}")
+        assert toks[0].line == 1 and toks[1].line == 2
+
+
+class TestPreprocessorProperties:
+    @given(identifiers, st.integers(min_value=0, max_value=10**6))
+    def test_define_substitutes_everywhere(self, name, value):
+        if name in ("defined",):
+            return
+        out = preprocess(f"#define {name} {value}\nint x = {name} + {name};")
+        assert out.count(str(value)) >= 2
+
+    @given(st.integers(min_value=-1000, max_value=1000),
+           st.integers(min_value=-1000, max_value=1000))
+    def test_if_arithmetic_matches_python(self, a, b):
+        out = preprocess(f"#if ({a}) + ({b}) > 0\nYES\n#else\nNO\n#endif")
+        expected = "YES" if a + b > 0 else "NO"
+        assert expected in out
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=6))
+    def test_nested_conditional_nesting(self, takes):
+        src_lines = []
+        for i, take in enumerate(takes):
+            src_lines.append(f"#if {1 if take else 0}")
+            src_lines.append(f"LEVEL{i}")
+        for _ in takes:
+            src_lines.append("#endif")
+        out = preprocess("\n".join(src_lines))
+        # LEVELi appears iff all takes[0..i] are true.
+        alive = True
+        for i, take in enumerate(takes):
+            alive = alive and take
+            assert (f"LEVEL{i}" in out) == alive

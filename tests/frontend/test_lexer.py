@@ -1,0 +1,106 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.frontend.lexer import LexError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("int foo _bar baz2") == [
+            ("keyword", "int"), ("id", "foo"), ("id", "_bar"), ("id", "baz2"),
+        ]
+
+    def test_all_punctuation_longest_match(self):
+        assert [t for _, t in kinds("a <<= b >>= c ... -> ++ >= <<")] == [
+            "a", "<<=", "b", ">>=", "c", "...", "->", "++", ">=", "<<",
+        ]
+
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\n  c")
+        assert [(t.line, t.col) for t in toks[:-1]] == [(1, 1), (2, 1), (3, 3)]
+
+
+class TestNumbers:
+    def test_decimal(self):
+        tok = tokenize("42")[0]
+        assert tok.kind == "int" and tok.value == 42
+
+    def test_hex(self):
+        assert tokenize("0xFF")[0].value == 255
+
+    def test_octal_zero(self):
+        assert tokenize("0")[0].value == 0
+
+    def test_suffixes(self):
+        assert tokenize("42UL")[0].value == 42
+        assert tokenize("7u")[0].value == 7
+
+    def test_float(self):
+        tok = tokenize("3.25")[0]
+        assert tok.kind == "float" and tok.value == 3.25
+
+    def test_float_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-1")[0].value == 0.25
+
+    def test_float_suffix(self):
+        tok = tokenize("1.5f")[0]
+        assert tok.kind == "float"
+
+    def test_leading_dot(self):
+        assert tokenize(".5")[0].value == 0.5
+
+
+class TestStringsAndChars:
+    def test_simple_string(self):
+        assert tokenize('"hello"')[0].value == "hello"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\nb\tc\\d"')[0].value == "a\nb\tc\\d"
+
+    def test_hex_escape(self):
+        assert tokenize(r'"\x41"')[0].value == "A"
+
+    def test_octal_escape(self):
+        assert tokenize(r'"\101"')[0].value == "A"
+
+    def test_adjacent_concatenation(self):
+        assert tokenize('"foo" "bar"')[0].value == "foobar"
+
+    def test_char_literal(self):
+        assert tokenize("'A'")[0].value == 65
+
+    def test_char_escape(self):
+        assert tokenize(r"'\n'")[0].value == 10
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_multichar_char_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("'ab'")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("id", "a"), ("id", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("id", "a"), ("id", "b")]
+
+    def test_unterminated_block(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_division_not_comment(self):
+        assert kinds("a / b") == [("id", "a"), ("punct", "/"), ("id", "b")]

@@ -1,0 +1,153 @@
+"""Semantic-analysis tests: scoping, linkage, conversions, diagnostics."""
+
+import pytest
+
+from repro.frontend import SemaError, analyse, compile_c, parse
+from repro.ir import types as ty
+
+
+def sema(src):
+    return analyse(parse(src))
+
+
+class TestScoping:
+    def test_block_shadows_outer(self):
+        m = compile_c(
+            "int v;\n"
+            "int f(void) { int v = 1; { int v = 2; return v; } }"
+        )
+        # Three distinct storages: the global plus two locals.
+        fn = m.functions["f"]
+        allocas = [i for i in fn.instructions() if i.opcode == "alloca"]
+        assert len(allocas) == 2
+        assert "v" in m.globals
+
+    def test_for_scope_variable_dies(self):
+        with pytest.raises(SemaError):
+            compile_c("int f(void) { for (int i = 0; i < 3; i++) {} return i; }")
+
+    def test_param_shadowed_by_local(self):
+        m = compile_c("int f(int a) { int a2 = a; { int a = 9; a2 += a; } return a2; }")
+        assert "f" in m.functions
+
+    def test_use_before_declaration_rejected(self):
+        with pytest.raises(SemaError):
+            compile_c("int f(void) { int a = b; int b = 1; return a; }")
+
+    def test_function_scope_extern(self):
+        m = compile_c(
+            "int f(void) { extern int shared; return shared; }"
+        )
+        assert m.globals["shared"].linkage == "import"
+
+
+class TestLinkage:
+    def test_tentative_definition(self):
+        m = compile_c("int t;\nint t;")
+        assert m.globals["t"].linkage == "external"
+
+    def test_extern_then_definition(self):
+        m = compile_c("extern int x;\nint x = 5;")
+        assert m.globals["x"].linkage == "external"
+        assert m.globals["x"].initializer is not None
+
+    def test_static_then_static(self):
+        m = compile_c("static int s;\nstatic int s2 = 1;")
+        assert m.globals["s"].linkage == "internal"
+
+    def test_declaration_then_static_function(self):
+        m = compile_c(
+            "static int helper(void);\n"
+            "int api(void) { return helper(); }\n"
+            "static int helper(void) { return 7; }"
+        )
+        assert m.functions["helper"].linkage == "internal"
+        assert not m.functions["helper"].is_declaration
+
+    def test_block_scope_static_promoted(self):
+        m = compile_c("int next_id(void) { static int id; return ++id; }")
+        statics = [g for g in m.globals.values() if "id" in g.name]
+        assert len(statics) == 1
+        assert statics[0].linkage == "internal"
+
+    def test_two_functions_with_same_static_local(self):
+        m = compile_c(
+            "int a(void) { static int c; return ++c; }\n"
+            "int b(void) { static int c; return ++c; }"
+        )
+        statics = [g for g in m.globals.values() if ".c." in g.name]
+        assert len(statics) == 2
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(SemaError):
+            compile_c("int x = 1;\nint x = 2;")
+
+    def test_function_redefinition_rejected(self):
+        with pytest.raises(SemaError):
+            compile_c("int f(void) { return 1; }\nint f(void) { return 2; }")
+
+    def test_conflicting_types_rejected(self):
+        with pytest.raises(SemaError):
+            compile_c("int x;\nlong x;")
+
+
+class TestTypeAnnotations:
+    def test_pointer_arith_types(self):
+        result = sema("long f(int* p, int n) { return *(p + n); }")
+        assert result.functions[0].symbol.ctype.return_type == ty.I64
+
+    def test_array_decay_in_call(self):
+        m = compile_c(
+            "static int sum(int* a) { return a[0]; }\n"
+            "int f(void) { int arr[3]; return sum(arr); }"
+        )
+        assert "f" in m.functions
+
+    def test_void_function_value_rejected(self):
+        with pytest.raises(SemaError):
+            compile_c("void v(void) {}\nint f(void) { return v() + 1; }")
+
+    def test_return_value_in_void_function_rejected(self):
+        with pytest.raises(SemaError):
+            compile_c("void f(void) { return 3; }")
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(SemaError):
+            compile_c("int f(void) { int a[3]; int b[3]; a = b; return 0; }")
+
+    def test_conditional_merges_pointer_and_zero(self):
+        m = compile_c("int* f(int c, int* p) { return c ? p : 0; }")
+        assert "f" in m.functions
+
+    def test_implicit_int_to_pointer_permissive(self):
+        # Production compilers warn; the analysis must stay sound, so the
+        # frontend accepts and routes it through inttoptr.
+        m = compile_c("int* f(long bits) { int* p = (int*)bits; return p; }")
+        assert "f" in m.functions
+
+    def test_unsigned_comparison_predicate(self):
+        m = compile_c("int f(unsigned a, unsigned b) { return a < b; }")
+        fn = m.functions["f"]
+        cmps = [i for i in fn.instructions() if i.opcode == "cmp"]
+        assert any(c.predicate == "ult" for c in cmps)
+
+    def test_signed_comparison_predicate(self):
+        m = compile_c("int f(int a, int b) { return a < b; }")
+        cmps = [i for i in m.functions["f"].instructions() if i.opcode == "cmp"]
+        assert any(c.predicate == "slt" for c in cmps)
+
+
+class TestImplicitDeclarations:
+    def test_implicit_function_gets_variadic_int_type(self):
+        result = sema("int f(void) { return mystery(1, 2); }")
+        sym = result.globals["mystery"]
+        assert isinstance(sym.ctype, ty.FunctionType)
+        assert sym.ctype.variadic
+        assert not sym.defined
+
+    def test_later_definition_refines(self):
+        m = compile_c(
+            "int f(void) { return helper(); }\n"
+            "int helper(void) { return 3; }"
+        )
+        assert not m.functions["helper"].is_declaration

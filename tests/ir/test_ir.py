@@ -1,0 +1,238 @@
+"""IR construction, verification and printing tests."""
+
+import pytest
+
+from repro.ir import (
+    Alloca,
+    Argument,
+    BasicBlock,
+    Function,
+    GlobalVariable,
+    IRBuilder,
+    IntConstant,
+    Load,
+    Module,
+    NullConstant,
+    Store,
+    VerificationError,
+    compute_address_taken,
+    print_function,
+    print_instruction,
+    print_module,
+    types as ty,
+    verify_module,
+)
+
+
+def make_builder():
+    module = Module("test")
+    fn = module.add_function(Function(ty.FunctionType(ty.I32, (ty.I32,)), "f"))
+    builder = IRBuilder(module)
+    builder.set_function(fn)
+    builder.position_at_end(fn.add_block("entry"))
+    return module, fn, builder
+
+
+class TestBuilder:
+    def test_alloca_load_store_roundtrip(self):
+        module, fn, b = make_builder()
+        slot = b.alloca(ty.I32, "x")
+        b.store(b.const_int(42), slot)
+        value = b.load(slot)
+        b.ret(value)
+        verify_module(module)
+        assert isinstance(slot.type, ty.PointerType)
+        assert value.type == ty.I32
+
+    def test_load_from_non_pointer_rejected(self):
+        module, fn, b = make_builder()
+        with pytest.raises(TypeError):
+            b.load(b.const_int(1))
+
+    def test_store_to_non_pointer_rejected(self):
+        module, fn, b = make_builder()
+        with pytest.raises(TypeError):
+            b.store(b.const_int(1), b.const_int(2))
+
+    def test_call_through_non_function_rejected(self):
+        module, fn, b = make_builder()
+        slot = b.alloca(ty.I32)
+        with pytest.raises(TypeError):
+            b.call(slot, [])
+
+    def test_names_unique(self):
+        module, fn, b = make_builder()
+        a = b.alloca(ty.I32)
+        c = b.alloca(ty.I32)
+        assert a.name != c.name
+
+    def test_terminated_block_rejects_instructions(self):
+        module, fn, b = make_builder()
+        b.ret(b.const_int(0))
+        with pytest.raises(ValueError):
+            b.alloca(ty.I32)
+
+    def test_cond_br_targets(self):
+        module, fn, b = make_builder()
+        t = fn.add_block("t")
+        f = fn.add_block("f")
+        cond = b.cmp("eq", b.const_int(1), b.const_int(2))
+        br = b.cond_br(cond, t, f)
+        assert br.targets == [t, f]
+        assert t in fn.blocks[0].successors()
+
+
+class TestModule:
+    def test_duplicate_global_rejected(self):
+        m = Module()
+        m.add_global(GlobalVariable(ty.I32, "g"))
+        with pytest.raises(ValueError):
+            m.add_global(GlobalVariable(ty.I32, "g"))
+
+    def test_duplicate_function_vs_global_namespace(self):
+        m = Module()
+        m.add_global(GlobalVariable(ty.I32, "x"))
+        with pytest.raises(ValueError):
+            m.add_function(Function(ty.FunctionType(ty.VOID, ()), "x"))
+
+    def test_exported_and_imported_symbols(self):
+        m = Module()
+        m.add_global(GlobalVariable(ty.I32, "a", linkage="external"))
+        m.add_global(GlobalVariable(ty.I32, "b", linkage="internal"))
+        m.add_global(GlobalVariable(ty.I32, "c", linkage="import"))
+        fn = m.add_function(Function(ty.FunctionType(ty.VOID, ()), "f"))
+        fn.add_block("entry")
+        exported = {v.name for v in m.exported_symbols()}
+        imported = {v.name for v in m.imported_symbols()}
+        assert exported == {"a", "f"}
+        assert imported == {"c"}
+
+    def test_unique_block_names(self):
+        fn = Function(ty.FunctionType(ty.VOID, ()), "f")
+        b1 = fn.add_block("bb")
+        b2 = fn.add_block("bb")
+        assert b1.name != b2.name
+
+    def test_instruction_count(self):
+        module, fn, b = make_builder()
+        b.alloca(ty.I32)
+        b.ret(b.const_int(0))
+        assert module.instruction_count() == 2
+
+
+class TestVerifier:
+    def test_missing_terminator(self):
+        module, fn, b = make_builder()
+        b.alloca(ty.I32)  # no terminator
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_module(module)
+
+    def test_ret_type_mismatch(self):
+        module, fn, b = make_builder()
+        b.ret()  # bare ret in i32 function
+        with pytest.raises(VerificationError, match="bare ret"):
+            verify_module(module)
+
+    def test_load_type_mismatch(self):
+        module, fn, b = make_builder()
+        slot = b.alloca(ty.I64)
+        bad = Load(ty.I32, slot, "bad")
+        b.block.append(bad)
+        b.ret(bad)
+        with pytest.raises(VerificationError, match="load type"):
+            verify_module(module)
+
+    def test_undefined_operand(self):
+        module, fn, b = make_builder()
+        other = Alloca(ty.I32, "phantom")  # never inserted
+        b.block.append(Store(IntConstant(ty.I32, 1), other))
+        b.ret(b.const_int(0))
+        with pytest.raises(VerificationError, match="undefined operand"):
+            verify_module(module)
+
+    def test_call_arity_checked(self):
+        module, fn, b = make_builder()
+        callee = module.add_function(
+            Function(ty.FunctionType(ty.I32, (ty.I32, ty.I32)), "g")
+        )
+        b.call(callee, [b.const_int(1)])
+        b.ret(b.const_int(0))
+        with pytest.raises(VerificationError, match="args"):
+            verify_module(module)
+
+    def test_bad_cast_kinds(self):
+        module, fn, b = make_builder()
+        with_errors = b.cast("ptrtoint", b.const_int(1), ty.I64)
+        b.ret(b.const_int(0))
+        with pytest.raises(VerificationError, match="ptrtoint"):
+            verify_module(module)
+
+
+class TestAddressTaken:
+    def test_plain_local_not_address_taken(self):
+        module, fn, b = make_builder()
+        slot = b.alloca(ty.I32)
+        b.store(b.const_int(1), slot)
+        v = b.load(slot)
+        b.ret(v)
+        compute_address_taken(module)
+        assert not slot.address_taken
+
+    def test_stored_address_is_taken(self):
+        module, fn, b = make_builder()
+        slot = b.alloca(ty.I32)
+        holder = b.alloca(ty.ptr(ty.I32))
+        b.store(slot, holder)  # stores the ADDRESS of slot
+        b.ret(b.const_int(0))
+        compute_address_taken(module)
+        assert slot.address_taken
+        assert not holder.address_taken
+
+    def test_address_passed_to_call_is_taken(self):
+        module, fn, b = make_builder()
+        callee = module.add_function(
+            Function(ty.FunctionType(ty.VOID, (ty.ptr(ty.I32),)), "sink")
+        )
+        slot = b.alloca(ty.I32)
+        b.call(callee, [slot])
+        b.ret(b.const_int(0))
+        compute_address_taken(module)
+        assert slot.address_taken
+
+
+class TestPrinter:
+    def test_print_instruction_forms(self):
+        module, fn, b = make_builder()
+        slot = b.alloca(ty.I32, "x")
+        b.store(b.const_int(7), slot)
+        loaded = b.load(slot, "v")
+        summed = b.binop("add", loaded, b.const_int(1))
+        b.ret(summed)
+        text = print_function(fn)
+        assert "%x = alloca i32" in text
+        assert "store i32 7" in text
+        assert "load i32" in text
+        assert "add" in text
+        assert text.startswith("define")
+
+    def test_print_declaration(self):
+        fn = Function(ty.FunctionType(ty.I32, (ty.ptr(ty.I8),)), "puts", "import")
+        assert print_function(fn).startswith("declare")
+
+    def test_print_module_contains_globals(self):
+        m = Module("demo")
+        m.add_global(
+            GlobalVariable(ty.I32, "g", initializer=IntConstant(ty.I32, 3))
+        )
+        text = print_module(m)
+        assert "@g" in text and "= 3" in text
+
+    def test_print_null_and_gep(self):
+        module, fn, b = make_builder()
+        slot = b.alloca(ty.ptr(ty.I32), "p")
+        b.store(NullConstant(ty.ptr(ty.I32)), slot)
+        g = b.gep(slot, [b.const_int(0, ty.I64)], constant_offset=0)
+        b.ret(b.const_int(0))
+        text = print_function(fn)
+        assert "null" in text
+        assert "gep" in text and "offset=0" in text

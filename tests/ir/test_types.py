@@ -1,0 +1,117 @@
+"""Tests for the IR type system, especially pointer compatibility."""
+
+import pytest
+
+from repro.ir import types as ty
+
+
+class TestScalarTypes:
+    def test_int_sizes(self):
+        assert ty.I8.sizeof() == 1
+        assert ty.I16.sizeof() == 2
+        assert ty.I32.sizeof() == 4
+        assert ty.I64.sizeof() == 8
+
+    def test_bool_is_one_byte_minimum(self):
+        assert ty.BOOL.sizeof() == 1
+
+    def test_float_sizes(self):
+        assert ty.F32.sizeof() == 4
+        assert ty.F64.sizeof() == 8
+
+    def test_void_has_no_size(self):
+        with pytest.raises(TypeError):
+            ty.VOID.sizeof()
+
+    def test_integers_are_not_pointer_compatible(self):
+        assert not ty.I64.is_pointer_compatible()
+        assert not ty.U64.is_pointer_compatible()
+
+    def test_floats_are_not_pointer_compatible(self):
+        assert not ty.F64.is_pointer_compatible()
+
+    def test_equality_is_structural(self):
+        assert ty.IntType(32) == ty.I32
+        assert ty.IntType(32, signed=False) != ty.I32
+
+
+class TestPointerTypes:
+    def test_pointer_is_pointer_compatible(self):
+        assert ty.ptr(ty.I32).is_pointer_compatible()
+
+    def test_pointer_to_pointer(self):
+        pp = ty.ptr(ty.ptr(ty.I8))
+        assert pp.is_pointer_compatible()
+        assert str(pp) == "i8**"
+
+    def test_pointer_size(self):
+        assert ty.ptr(ty.VOID).sizeof() == 8
+
+
+class TestArrayTypes:
+    def test_array_of_ints_not_pointer_compatible(self):
+        assert not ty.ArrayType(ty.I32, 10).is_pointer_compatible()
+
+    def test_array_of_pointers_is_pointer_compatible(self):
+        assert ty.ArrayType(ty.ptr(ty.I32), 4).is_pointer_compatible()
+
+    def test_array_size(self):
+        assert ty.ArrayType(ty.I32, 10).sizeof() == 40
+
+    def test_nested_array(self):
+        inner = ty.ArrayType(ty.ptr(ty.I8), 2)
+        outer = ty.ArrayType(inner, 3)
+        assert outer.is_pointer_compatible()
+        assert outer.sizeof() == 48
+
+
+class TestStructTypes:
+    def test_struct_without_pointer_fields(self):
+        s = ty.StructType("point", (("x", ty.I32), ("y", ty.I32)))
+        assert not s.is_pointer_compatible()
+        assert s.sizeof() == 8
+
+    def test_struct_with_pointer_field(self):
+        s = ty.StructType("node", (("next", ty.ptr(ty.I8)), ("v", ty.I32)))
+        assert s.is_pointer_compatible()
+
+    def test_struct_with_nested_pointer(self):
+        inner = ty.StructType(None, (("p", ty.ptr(ty.I32)),))
+        outer = ty.StructType("wrap", (("inner", inner),))
+        assert outer.is_pointer_compatible()
+
+    def test_field_lookup(self):
+        s = ty.StructType("s", (("a", ty.I8), ("b", ty.I64)))
+        assert s.field_index("b") == 1
+        assert s.field_type("a") == ty.I8
+        with pytest.raises(KeyError):
+            s.field_index("missing")
+
+    def test_field_offsets_packed(self):
+        s = ty.StructType("s", (("a", ty.I8), ("b", ty.I64)))
+        assert s.field_offset(0) == 0
+        assert s.field_offset(1) == 1
+
+    def test_union_layout(self):
+        u = ty.StructType("u", (("a", ty.I8), ("b", ty.I64)), is_union=True)
+        assert u.field_offset(1) == 0
+        assert u.sizeof() == 8
+
+    def test_incomplete_struct_has_no_size(self):
+        s = ty.StructType("fwd", (), complete=False)
+        with pytest.raises(TypeError):
+            s.sizeof()
+
+
+class TestFunctionTypes:
+    def test_function_type_not_pointer_compatible(self):
+        fty = ty.FunctionType(ty.VOID, (ty.I32,))
+        assert not fty.is_pointer_compatible()
+
+    def test_pointer_to_function_is_pointer_compatible(self):
+        fty = ty.FunctionType(ty.I32, ())
+        assert ty.ptr(fty).is_pointer_compatible()
+
+    def test_str_variadic(self):
+        fty = ty.FunctionType(ty.I32, (ty.ptr(ty.I8),), variadic=True)
+        assert "..." in str(fty)

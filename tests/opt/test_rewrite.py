@@ -1,0 +1,62 @@
+"""Rewrite-utility tests (replace_all_uses / erase_instructions)."""
+
+from repro.frontend import compile_c
+from repro.ir import Load, Ret, verify_module
+from repro.opt import erase_instructions, has_uses, replace_all_uses
+
+
+def setup_module_fn():
+    m = compile_c("int f(int* p) { int a = *p; return a + a; }")
+    return m, m.functions["f"]
+
+
+class TestReplaceAllUses:
+    def test_replaces_every_operand(self):
+        m, fn = setup_module_fn()
+        loads = [i for i in fn.instructions() if isinstance(i, Load)]
+        deref = next(l for l in loads if str(l.type) == "i32")
+        replacement = loads[0]  # any same-typed value would do
+        # count uses first
+        uses_before = sum(
+            1 for i in fn.instructions() for op in i.operands if op is deref
+        )
+        assert uses_before >= 1
+        replaced = replace_all_uses(fn, deref, deref)  # no-op self swap
+        assert replaced == uses_before
+
+    def test_phi_incoming_rewritten(self):
+        m = compile_c("int f(int c, int a, int b) { return c ? a : b; }")
+        fn = m.functions["f"]
+        phis = [i for i in fn.instructions() if i.opcode == "phi"]
+        assert phis
+        phi = phis[0]
+        old_value = phi.incoming[0][0]
+        replace_all_uses(fn, old_value, phi.incoming[1][0])
+        assert all(v is not old_value for v, _ in phi.incoming)
+
+
+class TestEraseInstructions:
+    def test_erases_and_counts(self):
+        m, fn = setup_module_fn()
+        loads = [i for i in fn.instructions() if isinstance(i, Load)]
+        count_before = sum(1 for _ in fn.instructions())
+        removed = erase_instructions(fn, [loads[-1]])
+        assert removed == 1
+        assert sum(1 for _ in fn.instructions()) == count_before - 1
+
+    def test_erasing_nothing(self):
+        m, fn = setup_module_fn()
+        assert erase_instructions(fn, []) == 0
+
+
+class TestHasUses:
+    def test_used_value(self):
+        m, fn = setup_module_fn()
+        loads = [i for i in fn.instructions() if isinstance(i, Load)]
+        deref = next(l for l in loads if str(l.type) == "i32")
+        assert has_uses(fn, deref)
+
+    def test_unused_value(self):
+        m, fn = setup_module_fn()
+        ret = next(i for i in fn.instructions() if isinstance(i, Ret))
+        assert not has_uses(fn, ret)

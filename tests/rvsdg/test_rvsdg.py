@@ -1,0 +1,210 @@
+"""RVSDG tests: construction, printing, and the flat-IR differential."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import (
+    OMEGA,
+    analyze_module,
+    build_constraints,
+    parse_name,
+    run_configuration,
+)
+from repro.frontend import compile_c
+from repro.rvsdg import (
+    GammaNode,
+    LambdaNode,
+    RvsdgUnsupported,
+    ThetaNode,
+    build_rvsdg_constraints,
+    print_rvsdg,
+    rvsdg_from_source,
+)
+
+FIG1 = r"""
+static int x, y;
+int z;
+extern int* getPtr(void);
+int* p = &x;
+
+void callMe(int* q) {
+    int w;
+    int* r = getPtr();
+    if (r == 0)
+        r = &w;
+}
+"""
+
+
+class TestConstruction:
+    def test_module_structure(self):
+        g = rvsdg_from_source(FIG1, "fig1.c")
+        assert {d.name for d in g.deltas()} == {"x", "y", "z", "p"}
+        assert [i.name for i in g.imports()] == ["getPtr"]
+        assert [l.name for l in g.lambdas()] == ["callMe"]
+        assert set(g.exports) == {"z", "p", "callMe"}
+
+    def test_if_becomes_gamma(self):
+        g = rvsdg_from_source(FIG1)
+        gammas = [n for n in g.walk() if isinstance(n, GammaNode)]
+        assert len(gammas) == 1
+        assert len(gammas[0].regions) == 2
+
+    def test_while_becomes_guarded_theta(self):
+        g = rvsdg_from_source(
+            "int sum(int* a, int n) {\n"
+            "    int s = 0;\n"
+            "    while (n) { s += *a; a++; n--; }\n"
+            "    return s;\n"
+            "}"
+        )
+        gammas = [n for n in g.walk() if isinstance(n, GammaNode)]
+        thetas = [n for n in g.walk() if isinstance(n, ThetaNode)]
+        assert len(thetas) == 1
+        assert len(gammas) == 1  # the entry guard
+        # The theta sits inside the gamma's true region.
+        assert thetas[0].region in gammas[0].regions
+
+    def test_do_while_is_bare_theta(self):
+        g = rvsdg_from_source(
+            "int f(int n) { int i = 0; do { i++; } while (i < n); return i; }"
+        )
+        assert not [n for n in g.walk() if isinstance(n, GammaNode)]
+        assert len([n for n in g.walk() if isinstance(n, ThetaNode)]) == 1
+
+    def test_state_threading(self):
+        g = rvsdg_from_source("int f(int* p) { *p = 1; return *p; }")
+        lam = g.lambdas()[0]
+        stores = [n for n in lam.body.nodes if getattr(n, "op", "") == "store"]
+        loads = [n for n in lam.body.nodes if getattr(n, "op", "") == "load"]
+        # The load after the store must consume the store's state output.
+        assert any(
+            any(inp is s.outputs[0] for s in stores) for l in loads for inp in l.inputs
+        )
+
+    def test_context_vars_for_globals(self):
+        g = rvsdg_from_source("static int g;\nint bump(void) { return ++g; }")
+        lam = g.lambdas()[0]
+        assert lam.context_vars  # &g routed into the body
+
+    def test_unsupported_constructs_raise(self):
+        for src in (
+            "int f(int n) { while (n) { if (n == 3) break; n--; } return n; }",
+            "int f(int n) { switch (n) { default: return 1; } }",
+            "int f(void) { goto out; out: return 1; }",
+        ):
+            with pytest.raises(RvsdgUnsupported):
+                rvsdg_from_source(src)
+
+    def test_printer_stable(self):
+        g = rvsdg_from_source(FIG1)
+        text = print_rvsdg(g)
+        assert "lambda callMe" in text
+        assert "gamma on" in text
+        assert text == print_rvsdg(g)
+
+
+def named_facts(solution, program, pointers_and_memory_only=True):
+    """name → normalised pointee-name sets, plus the external set."""
+
+    def norm(names):
+        out = set()
+        for n in names:
+            s = str(n)
+            if s.startswith("heap."):
+                out.add("<heap>")
+            elif s.startswith(".str"):
+                out.add("<str>")
+            else:
+                out.add(s)
+        return frozenset(out)
+
+    facts = {}
+    for v in range(program.num_vars):
+        if not (program.in_m[v] and program.in_p[v]):
+            continue
+        name = program.var_names[v]
+        if name.startswith("heap.") or name.startswith(".str"):
+            continue
+        facts[name] = norm(solution.names(solution.points_to(v)))
+    return facts, norm(solution.names(solution.external))
+
+
+def facts_for(src):
+    # Flat-IR path.
+    module = compile_c(src, "t.c")
+    flat = build_constraints(module)
+    flat_sol = run_configuration(flat.program, parse_name("IP+WL(FIFO)+PIP"))
+    flat_facts, flat_ext = named_facts(flat_sol, flat.program)
+    # RVSDG path.
+    g = rvsdg_from_source(src, "t.c")
+    rv = build_rvsdg_constraints(g)
+    rv_sol = run_configuration(rv.program, parse_name("IP+WL(FIFO)+PIP"))
+    rv_facts, rv_ext = named_facts(rv_sol, rv.program)
+    return (flat_facts, flat_ext), (rv_facts, rv_ext)
+
+
+DIFFERENTIAL_PROGRAMS = [
+    FIG1,
+    # locals, address-of, loops
+    "int acc(int* a, int n) { int s = 0; int* p = &s;"
+    " while (n) { *p += a[n]; n--; } return s; }",
+    # heap + escaped global
+    "extern void* malloc(unsigned long);\n"
+    "int** table;\n"
+    "void fill(void) { table = malloc(8); if (table) *table = malloc(4); }",
+    # function pointers + indirect calls
+    "static int inc(int* p) { return *p + 1; }\n"
+    "static int dec(int* p) { return *p - 1; }\n"
+    "int apply(int which, int* v) {\n"
+    "    int (*op)(int*) = which ? inc : dec;\n"
+    "    return op(v);\n"
+    "}",
+    # pointer/integer casts
+    "static int hidden;\n"
+    "int* keep;\n"
+    "unsigned long expose(void) { keep = &hidden; return (unsigned long)keep; }\n"
+    "int* recover(unsigned long bits) { return (int*)bits; }",
+    # structs and linked traversal
+    "struct node { struct node* next; int v; };\n"
+    "int total(struct node* head) {\n"
+    "    int s = 0;\n"
+    "    while (head) { s += head->v; head = head->next; }\n"
+    "    return s;\n"
+    "}",
+    # escaped pointers via external calls
+    "extern void publish(int* p);\n"
+    "extern int* obtain(void);\n"
+    "static int mine;\n"
+    "int trade(void) { publish(&mine); int* got = obtain(); return *got; }",
+]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("index", range(len(DIFFERENTIAL_PROGRAMS)))
+    def test_flat_and_rvsdg_agree_on_named_memory(self, index):
+        src = DIFFERENTIAL_PROGRAMS[index]
+        (flat_facts, flat_ext), (rv_facts, rv_ext) = facts_for(src)
+        assert flat_ext == rv_ext, (
+            f"external sets differ:\nflat: {sorted(flat_ext)}\n"
+            f"rvsdg: {sorted(rv_ext)}"
+        )
+        common = set(flat_facts) & set(rv_facts)
+        assert common, "no common named memory objects"
+        for name in sorted(common):
+            assert flat_facts[name] == rv_facts[name], (
+                f"Sol({name}) differs:\nflat: {sorted(flat_facts[name])}\n"
+                f"rvsdg: {sorted(rv_facts[name])}"
+            )
+
+    @pytest.mark.parametrize("fname", ["hashtable.c", "arena.c"])
+    def test_realistic_corpus_agrees(self, fname):
+        path = (
+            pathlib.Path(__file__).parent / ".." / ".." / "examples" / "corpus" / fname
+        ).resolve()
+        src = path.read_text()
+        (flat_facts, flat_ext), (rv_facts, rv_ext) = facts_for(src)
+        assert flat_ext == rv_ext
+        for name in set(flat_facts) & set(rv_facts):
+            assert flat_facts[name] == rv_facts[name], name

@@ -1,0 +1,61 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+SRC = """
+static int x;
+extern int* getPtr(void);
+int* p = &x;
+int use(void) { return *getPtr(); }
+"""
+
+
+@pytest.fixture
+def cfile(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(SRC)
+    return str(path)
+
+
+class TestCLI:
+    def test_compile(self, cfile, capsys):
+        assert main(["compile", cfile]) == 0
+        out = capsys.readouterr().out
+        assert "@p" in out and "define" in out
+
+    def test_analyze(self, cfile, capsys):
+        assert main(["analyze", cfile]) == 0
+        out = capsys.readouterr().out
+        assert "externally accessible" in out
+        assert "getPtr" in out
+        assert "Sol(" in out
+
+    def test_analyze_with_config_and_dump(self, cfile, capsys):
+        assert main(
+            ["analyze", cfile, "--config", "EP+Naive", "--dump-constraints"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "EP+Naive" in out
+        assert "ImpFunc" in out  # from the constraint dump
+
+    def test_sweep(self, cfile, capsys):
+        assert main(["sweep", cfile]) == 0
+        out = capsys.readouterr().out
+        assert "identical solution" in out
+
+    def test_configs(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "IP+WL(FIFO)+PIP" in out.splitlines()
+
+    def test_include_dir(self, tmp_path, capsys):
+        (tmp_path / "api.h").write_text("extern int api(void);\n")
+        source = tmp_path / "m.c"
+        source.write_text('#include "api.h"\nint f(void) { return api(); }\n')
+        assert main(
+            ["analyze", str(source), "--include", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "api" in out
