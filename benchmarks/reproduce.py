@@ -51,6 +51,13 @@ def main(argv=None) -> int:
     parser.add_argument("--size-scale", type=float, default=0.02)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument(
+        "--pts-backend",
+        choices=("set", "bitset"),
+        default=None,
+        help="points-to-set representation for every configuration"
+        " (default: each configuration's own, i.e. set)",
+    )
     args = parser.parse_args(argv)
     args.outdir.mkdir(parents=True, exist_ok=True)
 
@@ -80,6 +87,7 @@ def main(argv=None) -> int:
         files,
         TABLE5_CONFIGS + EP_ORACLE_CONFIGS,
         repetitions=args.repetitions,
+        pts_backend=args.pts_backend,
     )
     print(f"  done in {time.time() - t0:.0f}s")
     write("configuration-runtimes-table.txt", table5(results))

@@ -18,6 +18,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import sys
 import time
@@ -56,6 +57,8 @@ def cmd_compile(args) -> int:
 def cmd_analyze(args) -> int:
     module = _load_module(args.file, args.include)
     config = parse_name(args.config) if args.config else DEFAULT_CONFIGURATION
+    if args.pts_backend:
+        config = dataclasses.replace(config, pts=args.pts_backend)
     result = analyze_module(module, config)
     program = result.built.program
     solution = result.solution
@@ -92,6 +95,8 @@ def cmd_sweep(args) -> int:
     print(f"{'configuration':>24}  {'time':>10}  {'explicit pointees':>18}")
     for name in names:
         config = parse_name(name)
+        if args.pts_backend:
+            config = dataclasses.replace(config, pts=args.pts_backend)
         prepared = prepare_program(built.program, config)
         start = time.perf_counter()
         solution = solve_prepared(prepared, config)
@@ -125,12 +130,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("file")
     p.add_argument("--include", default=None)
     p.add_argument("--config", default=None, help="e.g. IP+WL(FIFO)+PIP")
+    p.add_argument(
+        "--pts-backend",
+        choices=("set", "bitset"),
+        default=None,
+        help="points-to-set representation (default: the config's, i.e. set)",
+    )
     p.add_argument("--dump-constraints", action="store_true")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("sweep", help="compare solver configurations")
     p.add_argument("file")
     p.add_argument("--include", default=None)
+    p.add_argument(
+        "--pts-backend",
+        choices=("set", "bitset"),
+        default=None,
+        help="points-to-set representation applied to every configuration",
+    )
     p.add_argument("configs", nargs="*", default=None)
     p.set_defaults(func=cmd_sweep)
 

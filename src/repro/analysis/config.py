@@ -9,6 +9,13 @@ A configuration picks one choice per axis:
 - **Worklist iteration order** (WL only): FIFO, LIFO, LRF, 2LRF, TOPO.
 - **Worklist online techniques** (WL only): PIP, OCD, HCD, LCD, DP.
 
+Orthogonally, every configuration carries a **points-to-set backend**
+(``pts``: ``set`` or ``bitset``, see :mod:`repro.analysis.pts`).  The
+backend changes only the in-memory representation — both produce the
+identical solution — so it is *not* part of the enumerated space; it
+appears in configuration names as a ``PTS(...)`` suffix only when it is
+not the default.
+
 Validity rules (our reading of the paper's Fig. 8 flowchart, whose image
 is not in the text):
 
@@ -33,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .constraints import ConstraintProgram
 from .omega import lower_to_explicit
+from .pts import DEFAULT_PTS_BACKEND, PTS_BACKENDS
 from .solution import Solution
 from .solvers.cycles import (
     CombinedDetector,
@@ -69,6 +77,9 @@ class Configuration:
     hcd: bool = False
     lcd: bool = False
     dp: bool = False
+    #: points-to-set backend (orthogonal to the paper's axes; never
+    #: enumerated — both backends produce identical solutions)
+    pts: str = DEFAULT_PTS_BACKEND
 
     def __post_init__(self) -> None:
         self.validate()
@@ -76,6 +87,11 @@ class Configuration:
     def validate(self) -> None:
         if self.representation not in REPRESENTATIONS:
             raise ConfigurationError(f"unknown representation {self.representation!r}")
+        if self.pts not in PTS_BACKENDS:
+            raise ConfigurationError(
+                f"unknown points-to-set backend {self.pts!r};"
+                f" available: {', '.join(sorted(PTS_BACKENDS))}"
+            )
         if self.solver not in SOLVERS:
             raise ConfigurationError(f"unknown solver {self.solver!r}")
         if self.solver == "WL":
@@ -115,6 +131,8 @@ class Configuration:
         ):
             if flag:
                 parts.append(label)
+        if self.pts != DEFAULT_PTS_BACKEND:
+            parts.append(f"PTS({self.pts})")
         return "+".join(parts)
 
     def __str__(self) -> str:
@@ -133,6 +151,7 @@ def parse_name(name: str) -> Configuration:
         "hcd": False,
         "lcd": False,
         "dp": False,
+        "pts": DEFAULT_PTS_BACKEND,
     }
     for part in name.replace(" ", "").split("+"):
         if part in REPRESENTATIONS:
@@ -146,6 +165,8 @@ def parse_name(name: str) -> Configuration:
         elif part.startswith("WL(") and part.endswith(")"):
             kwargs["solver"] = "WL"
             kwargs["order"] = part[3:-1]
+        elif part.startswith("PTS(") and part.endswith(")"):
+            kwargs["pts"] = part[4:-1]
         elif part in ("PIP", "OCD", "HCD", "LCD", "DP"):
             kwargs[part.lower()] = True
         else:
@@ -225,11 +246,11 @@ def solve_prepared(
     """
     unions = compute_ovs_groups(prepared) if config.ovs else None
     if config.solver == "Naive":
-        return NaiveSolver(prepared, presolve_unions=unions).solve()
+        return NaiveSolver(prepared, presolve_unions=unions, pts=config.pts).solve()
     if config.solver == "Wave":
         from .solvers.wave import WaveSolver
 
-        return WaveSolver(prepared, presolve_unions=unions).solve()
+        return WaveSolver(prepared, presolve_unions=unions, pts=config.pts).solve()
     solver = WorklistSolver(
         prepared,
         order=config.order or "FIFO",
@@ -237,6 +258,7 @@ def solve_prepared(
         dp=config.dp,
         cycle_detector=_make_detector(config, prepared),
         presolve_unions=unions,
+        pts=config.pts,
     )
     return solver.solve()
 

@@ -1,0 +1,94 @@
+"""The backend contract of the ``pts`` layer.
+
+A backend is a stateless factory for *pointee-set values*.  Values are
+set-like: solvers manipulate them only through the operations below, so
+any representation that honours the contract plugs in without solver
+changes.
+
+Value contract (``S`` denotes a value of the backend's type, holding
+small non-negative ints — constraint-variable indexes):
+
+======================  ================================================
+expression              meaning
+======================  ================================================
+``S |= T`` / ``S | T``  union (in place / new value)
+``S -= T`` / ``S - T``  difference
+``S &= T`` / ``S & T``  intersection (``T`` may be a *mask*, see below)
+``x in S``              membership
+``len(S)``              cardinality
+``bool(S)``             non-emptiness
+``iter(S)``             members, in unspecified order
+``S.add(x)``            insert one member
+======================  ================================================
+
+Masks are immutable values produced by :meth:`PTSBackend.mask`; they are
+only ever used on the right-hand side of ``&``/``-`` to filter a value
+by a fixed predicate (pointer-compatible, holds-a-Func, …) at native
+speed instead of per-element Python tests.
+
+The two fused helpers :meth:`union_grow` and :meth:`delta_update` carry
+the solver hot paths *and* define the propagation-accounting unit: both
+return the number of pointees that newly arrived at the destination, so
+the DP and non-DP paths of every solver count the same unit of work by
+construction (see :class:`~repro.analysis.solution.SolverStats`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+class PTSBackend:
+    """Abstract factory for one points-to-set representation."""
+
+    #: registry / CLI name of the backend
+    name: str = "<abstract>"
+
+    # -- construction --------------------------------------------------
+
+    def empty(self) -> Any:
+        """A new empty, mutable pointee set."""
+        raise NotImplementedError
+
+    def from_iter(self, items: Iterable[int]) -> Any:
+        """A new mutable pointee set holding ``items``."""
+        raise NotImplementedError
+
+    def copy(self, s: Any) -> Any:
+        """An independent mutable copy of ``s``."""
+        raise NotImplementedError
+
+    def mask(self, items: Iterable[int]) -> Any:
+        """An immutable filter value for use as ``S & mask`` / ``S - mask``."""
+        raise NotImplementedError
+
+    # -- comparison / conversion ---------------------------------------
+
+    def equal(self, a: Any, b: Any) -> bool:
+        """True iff ``a`` and ``b`` hold the same members."""
+        raise NotImplementedError
+
+    def freeze(self, s: Any) -> frozenset:
+        """Canonical ``frozenset`` of the members (for Solution building)."""
+        raise NotImplementedError
+
+    def cache_key(self, s: Any):
+        """A cheap hashable proxy for the *value* of ``s``, or ``None``.
+
+        Two sets with the same members must yield equal keys.  Solution
+        extraction uses this to freeze each distinct set once instead of
+        once per union-find representative; backends whose cheapest key
+        is the frozen set itself return ``None`` to opt out.
+        """
+        return None
+
+    # -- fused hot-path operations -------------------------------------
+
+    def union_grow(self, target: Any, items: Any) -> int:
+        """``target |= items``; return how many members were new."""
+        raise NotImplementedError
+
+    def delta_update(self, delta: Any, items: Any, processed: Any) -> int:
+        """Difference-propagation step: add ``items - processed - delta``
+        into ``delta``; return how many members were added."""
+        raise NotImplementedError

@@ -1,0 +1,33 @@
+"""Interning of canonical pointee sets (MDE-style deduplication).
+
+Unified cycles, OVS groups and plain convergence leave many pointers
+with *identical* Sol sets; materialising a fresh frozenset per pointer
+during solution extraction multiplies memory by the amount of sharing
+the solver worked to create.  An :class:`InternTable` maps each distinct
+set to one canonical object, so identical sets are stored once and
+solution comparisons short-circuit on identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+
+class InternTable:
+    """Deduplicates frozensets; equal sets intern to the same object."""
+
+    __slots__ = ("_table", "hits")
+
+    def __init__(self) -> None:
+        self._table: Dict[FrozenSet, FrozenSet] = {}
+        #: how many intern() calls returned an already-stored set
+        self.hits = 0
+
+    def intern(self, s: FrozenSet) -> FrozenSet:
+        canon = self._table.setdefault(s, s)
+        if canon is not s:
+            self.hits += 1
+        return canon
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,50 @@
+"""The baseline backend: native Python ``set[int]`` values.
+
+Masks are ``frozenset`` so they can never be mutated by accident;
+``set & frozenset`` / ``set - frozenset`` return plain sets, keeping
+the whole value algebra closed over native types with zero wrapper
+overhead — this backend is exactly the representation every solver used
+before the ``pts`` layer existed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from .base import PTSBackend
+
+
+class SetBackend(PTSBackend):
+    name = "set"
+
+    def empty(self) -> Set[int]:
+        return set()
+
+    def from_iter(self, items: Iterable[int]) -> Set[int]:
+        return set(items)
+
+    def copy(self, s: Set[int]) -> Set[int]:
+        return set(s)
+
+    def mask(self, items: Iterable[int]) -> frozenset:
+        return frozenset(items)
+
+    def equal(self, a: Set[int], b: Set[int]) -> bool:
+        return a == b
+
+    def freeze(self, s: Set[int]) -> frozenset:
+        return frozenset(s)
+
+    def union_grow(self, target: Set[int], items: Set[int]) -> int:
+        before = len(target)
+        target |= items
+        return len(target) - before
+
+    def delta_update(
+        self, delta: Set[int], items: Set[int], processed: Set[int]
+    ) -> int:
+        added = items - processed
+        added -= delta
+        if added:
+            delta |= added
+        return len(added)

@@ -34,8 +34,18 @@ class SolverStats:
     visits: int = 0
     #: full passes over the constraint set (naive solver only)
     passes: int = 0
-    #: explicit pointee propagations performed (set-union element work)
+    #: pointees that newly arrived at a destination set via propagation.
+    #: The unit is one count per (destination, pointee) arrival — an
+    #: element already present (processed *or*, under DP, still pending
+    #: in ΔSol) counts zero, so the DP path (arrivals into ΔSol) and the
+    #: non-DP path (arrivals into Sol_e) measure identical work; both go
+    #: through the backend ``union_grow``/``delta_update`` helpers, which
+    #: define the unit.  Merges performed by cycle unification are not
+    #: arrivals and are never counted.
     propagations: int = 0
+    #: distinct canonical Sol sets in the extracted solution after
+    #: interning (MDE-style sharing; see ``repro.analysis.pts.intern``)
+    shared_sets: int = 0
     #: simple edges added during solving
     edges_added: int = 0
     #: cycle unifications performed

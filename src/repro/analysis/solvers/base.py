@@ -13,33 +13,72 @@ Conventions used by all solvers in this package:
   union-find representatives** and are merged when nodes are unified.
 - The ``ea`` flag (Ω ⊒ {x}) and the pointee-keyed facts (Func
   constraints, ImpFunc/ExtFunc) are keyed by original index.
+
+Pointee sets (Sol_e / ΔSol) are represented by a pluggable backend from
+:mod:`repro.analysis.pts`; :class:`SolverState` also precomputes the
+backend-level *masks* (pointer-compatible, §V-B incompatible-location,
+holds-a-Func, ImpFunc/ExtFunc) that let solvers filter a pointee set
+with one native intersection instead of per-element Python tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Union
 
 from ..constraints import ConstraintProgram
 from ..omega import OMEGA
+from ..pts import InternTable, PTSBackend, get_backend
 from ..solution import Solution, SolverStats
 from ..unionfind import UnionFind
+
+
+class ProgramMasks:
+    """Backend-level membership masks derived from a constraint program.
+
+    ``incompat`` implements the dynamic §V-B rule: members that are
+    abstract memory locations but not pointer compatible behave as Ω
+    when a complex rule dereferences onto them (in EP mode the Ω node
+    itself is excluded — it is handled by its own constraints).
+    """
+
+    __slots__ = ("p", "incompat", "func", "impfunc", "extfunc")
+
+    def __init__(self, program: ConstraintProgram, backend: PTSBackend):
+        n = program.num_vars
+        in_p, in_m, omega = program.in_p, program.in_m, program.omega
+        mask = backend.mask
+        self.p = mask(x for x in range(n) if in_p[x])
+        self.incompat = mask(
+            x for x in range(n) if in_m[x] and not in_p[x] and x != omega
+        )
+        self.func = mask(program.funcs_of.keys())
+        self.impfunc = mask(x for x in range(n) if program.flag_impfunc[x])
+        self.extfunc = mask(x for x in range(n) if program.flag_extfunc[x])
 
 
 class SolverState:
     """Mutable solving state over a constraint program."""
 
-    def __init__(self, program: ConstraintProgram, dp: bool = False):
+    def __init__(
+        self,
+        program: ConstraintProgram,
+        dp: bool = False,
+        pts: Union[str, PTSBackend] = "set",
+    ):
         self.program = program
+        backend = get_backend(pts) if isinstance(pts, str) else pts
+        self.pts = backend
         n = program.num_vars
         self.uf = UnionFind(n)
         self.dp = dp
         #: explicit pointees (original M indexes); in DP mode this is the
         #: *processed* part and :attr:`dsol` holds the unprocessed delta
-        self.sol: List[Set[int]] = [set(s) for s in program.base]
-        self.dsol: List[Set[int]] = [set() for _ in range(n)] if dp else []
+        self.sol = [backend.from_iter(s) for s in program.base]
+        self.dsol = [backend.empty() for _ in range(n)] if dp else []
         if dp:
             # Everything starts unprocessed.
-            self.dsol, self.sol = self.sol, [set() for _ in range(n)]
+            self.dsol, self.sol = self.sol, [backend.empty() for _ in range(n)]
+        self.masks = ProgramMasks(program, backend)
         self.succ: List[Set[int]] = [set(s) for s in program.simple_out]
         self.loads: List[Set[int]] = [set(l) for l in program.load_from]
         self.stores: List[Set[int]] = [set(l) for l in program.store_into]
@@ -54,6 +93,9 @@ class SolverState:
         self.extcall: List[bool] = list(program.flag_extcall)
         # Location-identity flags (keyed by original index, never merged).
         self.ea: List[bool] = list(program.flag_ea)
+        #: backend twin of :attr:`ea`, so the ToΩ sweep can subtract all
+        #: already-marked locations in one native difference
+        self.ea_mask = backend.from_iter(x for x in range(n) if program.flag_ea[x])
         self.stats = SolverStats()
         #: hook set by cycle detectors; called as on_union(survivor, dead)
         self.on_union = None
@@ -68,11 +110,19 @@ class SolverState:
             return v
         return self.uf.find(v)
 
-    def full_sol(self, r: int) -> Set[int]:
+    def full_sol(self, r: int):
         """Sol_e of representative ``r`` (processed ∪ delta in DP mode)."""
         if self.dp and self.dsol[r]:
             return self.sol[r] | self.dsol[r]
         return self.sol[r]
+
+    def set_ea(self, x: int) -> bool:
+        """Record Ω ⊒ {x}; True if newly marked (keeps ea_mask in sync)."""
+        if self.ea[x]:
+            return False
+        self.ea[x] = True
+        self.ea_mask.add(x)
+        return True
 
     def union(self, a: int, b: int) -> int:
         """Unify two nodes; returns the surviving representative."""
@@ -83,11 +133,12 @@ class SolverState:
         r = self.uf.union(ra, rb)
         dead = rb if r == ra else ra
         self.stats.unifications += 1
+        empty = self.pts.empty
         self.sol[r] |= self.sol[dead]
-        self.sol[dead] = set()
+        self.sol[dead] = empty()
         if self.dp:
             self.dsol[r] |= self.dsol[dead]
-            self.dsol[dead] = set()
+            self.dsol[dead] = empty()
         self.succ[r] |= self.succ[dead]
         self.succ[dead] = set()
         self.loads[r] |= self.loads[dead]
@@ -150,26 +201,53 @@ class SolverState:
     # ------------------------------------------------------------------
 
     def extract_solution(self) -> Solution:
-        """Canonical solution (paper's Sol = Sol_e ∪ Sol_i)."""
+        """Canonical solution (paper's Sol = Sol_e ∪ Sol_i).
+
+        Canonical Sol sets are computed once per union-find
+        representative and interned (:class:`InternTable`), so every
+        pointer sharing a solver-level set also shares one frozenset in
+        the Solution — and coincidentally-equal sets collapse too.
+        """
         program = self.program
         self.stats.explicit_pointees = self.count_explicit_pointees()
-        find = self.uf.find
         omega = program.omega
         if omega is not None:
             return self._extract_ep(omega)
+        find = self.uf.find
         external = frozenset(
             x for x in range(program.num_vars) if self.ea[x] and program.in_m[x]
         )
         ext_plus = external | {OMEGA}
+        intern = InternTable()
+        key_of = self.pts.cache_key
+        by_rep: Dict[int, FrozenSet] = {}
+        by_key: Dict[object, FrozenSet] = {}
         points_to: Dict[int, FrozenSet] = {}
         for p in range(program.num_vars):
             if not program.in_p[p]:
                 continue
             r = find(p)
-            s = frozenset(self.full_sol(r))
-            if self.pte[r]:
-                s = s | ext_plus
+            s = by_rep.get(r)
+            if s is None:
+                full = self.full_sol(r)
+                # Freeze each distinct underlying set once: backends with
+                # a cheap value key (bitset: the packed int) dedup before
+                # paying the per-member decode.  pte is part of the key —
+                # it widens the canonical set.
+                k = key_of(full)
+                if k is not None:
+                    k = (k, self.pte[r])
+                    s = by_key.get(k)
+                if s is None:
+                    s = frozenset(full)
+                    if self.pte[r]:
+                        s = s | ext_plus
+                    s = intern.intern(s)
+                    if k is not None:
+                        by_key[k] = s
+                by_rep[r] = s
             points_to[p] = s
+        self.stats.shared_sets = len(intern)
         return Solution(program, points_to, external, self.stats)
 
     def _extract_ep(self, omega: int) -> Solution:
@@ -177,10 +255,30 @@ class SolverState:
         program = self.program
         sol_omega = self.full_sol(find(omega))
         external = frozenset(x for x in sol_omega if x != omega)
+        intern = InternTable()
+        key_of = self.pts.cache_key
+        by_rep: Dict[int, FrozenSet] = {}
+        by_key: Dict[object, FrozenSet] = {}
         points_to: Dict[int, FrozenSet] = {}
         for p in range(program.num_vars):
             if not program.in_p[p] or p == omega:
                 continue
-            s = self.full_sol(find(p))
-            points_to[p] = frozenset(OMEGA if x == omega else x for x in s)
+            r = find(p)
+            s = by_rep.get(r)
+            if s is None:
+                full = self.full_sol(r)
+                k = key_of(full)
+                if k is not None:
+                    s = by_key.get(k)
+                if s is None:
+                    s = intern.intern(
+                        frozenset(
+                            OMEGA if x == omega else x for x in full
+                        )
+                    )
+                    if k is not None:
+                        by_key[k] = s
+                by_rep[r] = s
+            points_to[p] = s
+        self.stats.shared_sets = len(intern)
         return Solution(program, points_to, external, self.stats)

@@ -257,9 +257,9 @@ class LazyCycleDetection(CycleDetector):
         if key in self._checked:
             return
         st = self.state
-        # Cheap pre-check before the set comparison; the trigger is a
-        # heuristic, so comparing the processed parts only is fine.
-        if len(st.sol[src]) != len(st.sol[dst]) or st.sol[src] != st.sol[dst]:
+        # The trigger is a heuristic, so comparing the processed parts
+        # only is fine (backend equal() is one native comparison).
+        if not st.pts.equal(st.sol[src], st.sol[dst]):
             return
         self._checked.add(key)
         # Sweep: collapse every (genuine) cycle reachable from dst.
@@ -351,9 +351,8 @@ class HybridCycleDetection(CycleDetector):
         if not triggers:
             return
         st = self.state
-        program = self.program
         for reals in triggers:
-            pointees = [x for x in st.full_sol(n) if program.in_p[x]]
+            pointees = list(st.full_sol(n) & st.masks.p)
             if not pointees:
                 continue  # nothing materialises the cycle yet
             anchor = st.find(pointees[0])

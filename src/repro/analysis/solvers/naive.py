@@ -8,14 +8,18 @@ This solver is deliberately written *independently* of the worklist
 machinery (its own flat state, its own rule loops) so that it doubles as
 a semantics oracle for differential testing: every optimised
 configuration must produce exactly the solution this code produces.
+It still accepts a ``pts`` backend so the *representations* can be
+cross-checked too, but deliberately keeps the per-element rule loops —
+no mask filtering, no fused deltas — to stay an independent oracle.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
 
 from ..constraints import CallConstraint, ConstraintProgram, FuncConstraint
 from ..omega import OMEGA
+from ..pts import InternTable, PTSBackend, get_backend
 from ..solution import Solution, SolverStats
 
 
@@ -24,11 +28,14 @@ class NaiveSolver:
         self,
         program: ConstraintProgram,
         presolve_unions: Optional[Iterable[Sequence[int]]] = None,
+        pts: Union[str, PTSBackend] = "set",
     ):
         self.program = program
         self.ep_mode = program.omega is not None
         n = program.num_vars
-        self.sol: List[Set[int]] = [set(s) for s in program.base]
+        backend = get_backend(pts) if isinstance(pts, str) else pts
+        self.pts = backend
+        self.sol = [backend.from_iter(s) for s in program.base]
         self.succ: List[Set[int]] = [set(s) for s in program.simple_out]
         self.pte = list(program.flag_pte)
         self.pe = list(program.flag_pe)
@@ -136,12 +143,10 @@ class NaiveSolver:
                 continue
             ssrc = self.sol[src]
             for dst in self.succ[src]:
-                sdst = self.sol[dst]
-                before = len(sdst)
-                sdst |= ssrc
-                if len(sdst) != before:
+                grown = self.pts.union_grow(self.sol[dst], ssrc)
+                if grown:
                     changed = True
-                    self.stats.propagations += len(sdst) - before
+                    self.stats.propagations += grown
                 if not self.ep_mode and self.pte[src]:
                     changed |= self._set_pte(dst)
         return changed
@@ -280,6 +285,7 @@ class NaiveSolver:
                 seen.add(id(self.sol[r]))
                 total += len(self.sol[r])
         self.stats.explicit_pointees = total
+        intern = InternTable()
         if self.ep_mode:
             omega = program.omega
             assert omega is not None
@@ -289,9 +295,12 @@ class NaiveSolver:
             for p in range(n):
                 if not program.in_p[p] or p == omega:
                     continue
-                points_to[p] = frozenset(
-                    OMEGA if x == omega else x for x in self.sol[self._rep[p]]
+                points_to[p] = intern.intern(
+                    frozenset(
+                        OMEGA if x == omega else x for x in self.sol[self._rep[p]]
+                    )
                 )
+            self.stats.shared_sets = len(intern)
             return Solution(program, points_to, external, self.stats)
         external = frozenset(
             x for x in range(n) if self.ea[x] and program.in_m[x]
@@ -304,5 +313,6 @@ class NaiveSolver:
             s = frozenset(self.sol[self._rep[p]])
             if self.pte[self._rep[p]]:
                 s = s | ext_plus
-            points_to[p] = s
+            points_to[p] = intern.intern(s)
+        self.stats.shared_sets = len(intern)
         return Solution(program, points_to, external, self.stats)

@@ -18,9 +18,10 @@ extcall/extfunc generic-arity constraints.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..constraints import CallConstraint, ConstraintProgram, FuncConstraint
+from ..pts import PTSBackend
 from ..solution import Solution
 from .base import SolverState
 from .cycles import strongly_connected_components
@@ -31,10 +32,11 @@ class WaveSolver:
         self,
         program: ConstraintProgram,
         presolve_unions=None,
+        pts: Union[str, PTSBackend] = "set",
     ):
         self.program = program
         self.ep_mode = program.omega is not None
-        self.state = SolverState(program)
+        self.state = SolverState(program, pts=pts)
         if presolve_unions:
             for group in presolve_unions:
                 group = list(group)
@@ -42,7 +44,7 @@ class WaveSolver:
                     self.state.union(group[0], other)
         n = program.num_vars
         #: pointees already propagated in earlier waves, per rep
-        self.old: List[Set[int]] = [set() for _ in range(n)]
+        self.old = [self.state.pts.empty() for _ in range(n)]
         #: flags already acted upon (pte processed per node)
         self._pte_done: List[bool] = [False] * n
         self._calls_imported_done: Set[int] = set()
@@ -84,9 +86,8 @@ class WaveSolver:
 
     def _mark_external(self, x: int) -> bool:
         st = self.state
-        if st.ea[x]:
+        if not st.set_ea(x):
             return False
-        st.ea[x] = True
         if self.program.in_p[x]:
             r = st.find(x)
             self._mark_pte(r)
@@ -113,7 +114,7 @@ class WaveSolver:
             # The merged node inherits every member's edges, so a pointee
             # only counts as pushed if EVERY member had pushed it:
             # intersect (a union here would silently under-propagate).
-            merged_old = set(self.old[scc[0]])
+            merged_old = st.pts.copy(self.old[scc[0]])
             for other in scc[1:]:
                 merged_old &= self.old[other]
             first = scc[0]
@@ -121,7 +122,7 @@ class WaveSolver:
                 survivor = st.union(first, other)
             survivor = st.find(first)
             for member in scc:
-                self.old[member] = set()
+                self.old[member] = st.pts.empty()
             self.old[survivor] = merged_old
         # Topological order of representatives (SCCs emitted reverse-
         # topologically; after collapsing each SCC is one rep).
@@ -138,6 +139,7 @@ class WaveSolver:
         """One topological sweep; ``old`` records what has been pushed
         along the node's (current) out-edges."""
         st = self.state
+        union_grow = st.pts.union_grow
         for n in self.order:
             if st.find(n) != n:
                 continue
@@ -146,13 +148,11 @@ class WaveSolver:
             pte = st.pte[n]
             for p in st.canonical_succ(n):
                 if diff:
-                    before = len(st.sol[p])
-                    st.sol[p] |= diff
-                    st.stats.propagations += len(st.sol[p]) - before
+                    st.stats.propagations += union_grow(st.sol[p], diff)
                 if pte and not self.ep_mode:
                     self._mark_pte(p)
             if diff:
-                self.old[n] = set(st.sol[n])
+                self.old[n] = st.pts.copy(st.sol[n])
 
     # ------------------------------------------------------------------
 
@@ -161,67 +161,85 @@ class WaveSolver:
         program = self.program
         changed = False
         new_edges: Set[Tuple[int, int]] = set()
-        in_p, in_m = program.in_p, program.in_m
+        masks = st.masks
         omega = program.omega
 
         for n in list(self.order):
             if st.find(n) != n:
                 continue
             work = st.sol[n]
+            find = st.find
+            # Split the pointees once per node (no unions happen inside
+            # this sweep, so find() and the split stay valid throughout).
+            if work and (
+                st.stores[n] or st.loads[n] or st.sscalar[n] or st.lscalar[n]
+            ):
+                wp = work & masks.p
+                if st.any_unions:
+                    wptr_reps = {find(x) for x in wp}
+                else:
+                    wptr_reps = set(wp)
+                w_incompat = bool(work & masks.incompat)
+            else:
+                wptr_reps = ()
+                w_incompat = False
             # Flag rules (IP mode).
             if not self.ep_mode:
-                if st.pe[n]:
-                    for x in work:
+                if st.pe[n] and work:
+                    for x in work - st.ea_mask:
                         if self._mark_external(x):
                             changed = True
                 if st.sscalar[n]:
-                    for x in work:
-                        if in_p[x] and self._mark_pte(st.find(x)):
+                    for xr in wptr_reps:
+                        if self._mark_pte(xr):
                             changed = True
                 if st.lscalar[n]:
-                    for x in work:
-                        if in_p[x] and self._mark_pe(st.find(x)):
+                    for xr in wptr_reps:
+                        if self._mark_pe(xr):
                             changed = True
             # Stores.
             if st.stores[n]:
                 for q in st.canonical_targets(st.stores[n]):
-                    for x in work:
-                        if in_p[x]:
-                            new_edges.add((q, st.find(x)))
-                        elif in_m[x] and x != omega:
-                            changed |= self._pe_or_edge(q, new_edges)
+                    for xr in wptr_reps:
+                        new_edges.add((q, xr))
+                    if w_incompat:
+                        changed |= self._pe_or_edge(q, new_edges)
                     if st.pte[n] and not self.ep_mode:
                         changed |= self._mark_pe(q)
             # Loads.
             if st.loads[n]:
                 for p in st.canonical_targets(st.loads[n]):
-                    for x in work:
-                        if in_p[x]:
-                            new_edges.add((st.find(x), p))
-                        elif in_m[x] and x != omega:
-                            changed |= self._pte_or_edge(p, new_edges)
+                    for xr in wptr_reps:
+                        new_edges.add((xr, p))
+                    if w_incompat:
+                        changed |= self._pte_or_edge(p, new_edges)
                     if st.pte[n] and not self.ep_mode:
                         changed |= self._mark_pte(p)
             # Calls.
-            for ci in st.call_idx[n]:
-                call = program.calls[ci]
-                for x in work:
-                    for fi in program.funcs_of.get(x, ()):
-                        self._resolve_call(
-                            call, program.funcs[fi], new_edges
-                        )
-                    if self.ep_mode:
-                        if program.flag_extfunc[x]:
-                            self._call_unknown(call, new_edges)
-                    elif program.flag_impfunc[x]:
+            if st.call_idx[n]:
+                if work:
+                    w_funcs = list(work & masks.func)
+                    w_extfunc = self.ep_mode and bool(work & masks.extfunc)
+                    w_imported = not self.ep_mode and bool(work & masks.impfunc)
+                else:
+                    w_funcs = ()
+                    w_extfunc = w_imported = False
+                for ci in st.call_idx[n]:
+                    call = program.calls[ci]
+                    for x in w_funcs:
+                        for fi in program.funcs_of[x]:
+                            self._resolve_call(
+                                call, program.funcs[fi], new_edges
+                            )
+                    if w_extfunc:
+                        self._call_unknown(call, new_edges)
+                    if w_imported or (not self.ep_mode and st.pte[n]):
                         changed |= self._call_unknown_ip(call)
-                if not self.ep_mode and st.pte[n]:
-                    changed |= self._call_unknown_ip(call)
             # EP: external modules call everything n points to.
-            if self.ep_mode and st.extcall[n]:
+            if self.ep_mode and st.extcall[n] and work:
                 assert omega is not None
-                for x in work:
-                    for fi in program.funcs_of.get(x, ()):
+                for x in work & masks.func:
+                    for fi in program.funcs_of[x]:
                         fc = program.funcs[fi]
                         if fc.ret is not None:
                             new_edges.add((st.find(fc.ret), st.find(omega)))
@@ -235,9 +253,9 @@ class WaveSolver:
                 changed = True
                 # A fresh edge must carry everything already known at its
                 # source: the next wave only moves *differences*.
-                before = len(st.sol[dst])
-                st.sol[dst] |= st.sol[src]
-                st.stats.propagations += len(st.sol[dst]) - before
+                st.stats.propagations += st.pts.union_grow(
+                    st.sol[dst], st.sol[src]
+                )
                 if not self.ep_mode and st.pte[src]:
                     self._mark_pte(dst)
         return changed

@@ -18,17 +18,30 @@ Optional online techniques:
 - **DP** (difference propagation, Pearce): complex rules and edge
   propagation operate on the delta of each Sol_e set.
 - **Cycle detection** via pluggable detectors (see
-  :mod:`repro.analysis.solvers.cycles`): OCD, LCD, HCD.
+  :mod:`repro.analysis.solvers.cycles`).
 
 Unifications requested by detectors are deferred to safe points of the
 visit loop, so the visit body never observes a node dying under it.
+
+Pointee sets go through the pluggable :mod:`repro.analysis.pts` backend
+(``pts=`` argument).  Two structural consequences for the visit body:
+
+- propagation runs through the backend's fused ``union_grow`` /
+  ``delta_update`` helpers, which also define the propagation-
+  accounting unit shared by the DP and non-DP paths;
+- the complex rules filter the visited pointee set once per visit with
+  the precomputed program masks (pointer members, §V-B incompatible
+  locations, Func holders, ImpFunc/ExtFunc) instead of re-testing every
+  member per store/load/call target, and hoist the union-find lookups
+  out of the per-target loops.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..constraints import CallConstraint, ConstraintProgram, FuncConstraint
+from ..pts import PTSBackend
 from ..solution import Solution
 from .base import SolverState
 from .orders import TopoWorklist, Worklist, WORKLIST_ORDERS
@@ -46,6 +59,7 @@ class WorklistSolver:
         cycle_detector=None,
         presolve_unions: Optional[Iterable[Sequence[int]]] = None,
         pip_additions: Optional[Iterable[int]] = None,
+        pts: Union[str, PTSBackend] = "set",
     ):
         self.program = program
         self.ep_mode = program.omega is not None
@@ -62,8 +76,12 @@ class WorklistSolver:
         self.pip3 = pip and 3 in additions
         self.pip4 = pip and 4 in additions
         self.dp = dp
-        self.state = SolverState(program, dp=dp)
+        self.state = SolverState(program, dp=dp, pts=pts)
         self.state.on_union = self._after_union
+        # Hot-path bindings (one attribute lookup per propagation saved).
+        self._union_grow = self.state.pts.union_grow
+        self._delta_update = self.state.pts.delta_update
+        self._pts_empty = self.state.pts.empty
         wl_cls = WORKLIST_ORDERS[order]
         self.worklist: Worklist = wl_cls(program.num_vars)
         if isinstance(self.worklist, TopoWorklist):
@@ -110,9 +128,8 @@ class WorklistSolver:
     def mark_external(self, x: int) -> None:
         """MARKEXTERNALLYACCESSIBLE(x) of Algorithm 1 (x is original)."""
         st = self.state
-        if st.ea[x]:
+        if not st.set_ea(x):
             return
-        st.ea[x] = True
         if self.program.in_p[x]:
             r = st.find(x)
             self.mark_pte(r)
@@ -194,23 +211,16 @@ class WorklistSolver:
     # Propagation
     # ------------------------------------------------------------------
 
-    def _propagate(self, src: int, dst: int, items: Set[int]) -> None:
+    def _propagate(self, src: int, dst: int, items) -> None:
         """PROPAGATEPOINTEES(src → dst) restricted to ``items``."""
         st = self.state
         if self.dp:
-            added = items - st.sol[dst]
-            added -= st.dsol[dst]
-            if added:
-                st.dsol[dst] |= added
-            changed = bool(added)
-            st.stats.propagations += len(added)
+            arrived = self._delta_update(st.dsol[dst], items, st.sol[dst])
         else:
-            target = st.sol[dst]
-            before = len(target)
-            target |= items
-            grown = len(target) - before
-            changed = bool(grown)
-            st.stats.propagations += grown
+            arrived = self._union_grow(st.sol[dst], items)
+        changed = arrived > 0
+        if arrived:
+            st.stats.propagations += arrived
         if not self.ep_mode and st.pte[src] and not st.pte[dst]:
             self.mark_pte(dst)  # TRANSΩ
             changed = True
@@ -274,7 +284,7 @@ class WorklistSolver:
 
     # ------------------------------------------------------------------
 
-    def _take_work(self, n: int) -> Set[int]:
+    def _take_work(self, n: int):
         """The pointee set a visit must process (delta under DP)."""
         st = self.state
         if not self.dp:
@@ -284,7 +294,7 @@ class WorklistSolver:
         else:
             work = st.dsol[n]
         st.sol[n] |= st.dsol[n]
-        st.dsol[n] = set()
+        st.dsol[n] = self._pts_empty()
         return work
 
     def _visit_ip(self, n: int) -> None:
@@ -296,7 +306,6 @@ class WorklistSolver:
                 self.worklist.push(st.find(n))
                 return
         program = self.program
-        pip = self.pip
 
         # PIP addition 1: backpropagate Ω ⊒ n from any successor.
         if self.pip1 and not st.pe[n]:
@@ -309,18 +318,20 @@ class WorklistSolver:
         self._dirty.discard(n)
 
         # ToΩ: pointees of an Ω ⊒ n node are externally accessible.
-        if st.pe[n]:
-            ea = st.ea
-            for x in work:
-                if not ea[x]:
+        # (mark_external only ever adds the location being processed to
+        # ea_mask, so the pending difference is safe to snapshot once.)
+        if st.pe[n] and work:
+            pending = work - st.ea_mask
+            if pending:
+                for x in pending:
                     self.mark_external(x)
 
         # PIP addition 2: n ⊒ Ω and Ω ⊒ n ⇒ Sol_e(n) is all doubled-up.
         if self.pip2 and st.pe[n] and st.pte[n]:
             if st.sol[n]:
                 st.stats.pip_sets_cleared += 1
-                st.sol[n] = set()
-            work = set()
+                st.sol[n] = self._pts_empty()
+            work = self._pts_empty()
 
         new_edges: Set[Tuple[int, int]] = set()
         marks_pte: Set[int] = set()
@@ -334,56 +345,74 @@ class WorklistSolver:
                 continue
             self._propagate(n, p, work)
 
-        in_p, in_m, find = program.in_p, program.in_m, st.find
+        masks = st.masks
+
+        # Split the visited pointees once: representative of every
+        # pointer-compatible member, and whether any §V-B pointer-
+        # incompatible location is present (it behaves as Ω).
+        if work and (st.stores[n] or st.loads[n] or st.sscalar[n] or st.lscalar[n]):
+            wp = work & masks.p
+            if st.any_unions:
+                find = st.find
+                wptr_reps = {find(x) for x in wp}
+            else:
+                wptr_reps = set(wp)
+            w_incompat = bool(work & masks.incompat)
+        else:
+            wptr_reps = ()
+            w_incompat = False
+
+        succ = st.succ
+        # Pairs whose edge already exists would be rejected by add_edge,
+        # so they can be pre-filtered at native speed — except under PIP
+        # addition 3, whose backpropagation must see every proposal.
+        prefilter = not self.pip3
 
         # Store edges *n ⊇ q.
         if st.stores[n]:
+            store_pe = w_incompat or st.pte[n]  # §V-B / STOREΩ escape
             for q in st.canonical_targets(st.stores[n]):
-                for x in work:
-                    if in_p[x]:
-                        new_edges.add((q, find(x)))
-                    elif in_m[x]:
-                        # §V-B: a pointer-incompatible location behaves
-                        # as Ω in simple edges (pointer smuggled out).
-                        marks_pe.add(q)
-                if st.pte[n]:
+                if wptr_reps:
+                    cand = wptr_reps - succ[q] if prefilter else wptr_reps
+                    for xr in cand:
+                        new_edges.add((q, xr))
+                if store_pe:
                     marks_pe.add(q)
         # STOREToΩ: storing a scalar through n.
         if st.sscalar[n]:
-            for x in work:
-                if in_p[x]:
-                    marks_pte.add(find(x))
+            marks_pte.update(wptr_reps)
 
-        # Load edges p ⊇ *n.
+        # Load edges p ⊇ *n (same dedup, per source this time).
         if st.loads[n]:
+            load_pte = w_incompat or st.pte[n]  # §V-B / LOADFROMΩ
             for p in st.canonical_targets(st.loads[n]):
-                for x in work:
-                    if in_p[x]:
-                        new_edges.add((find(x), p))
-                    elif in_m[x]:
-                        # §V-B: loading from an untracked location yields
-                        # a value of unknown origin.
-                        marks_pte.add(p)
-                if st.pte[n]:
-                    marks_pte.add(p)  # LOADFROMΩ
+                for xr in wptr_reps:
+                    if prefilter and p in succ[xr]:
+                        continue
+                    new_edges.add((xr, p))
+                if load_pte:
+                    marks_pte.add(p)
         # Loading a scalar through n exposes pointees of its targets.
         if st.lscalar[n]:
-            for x in work:
-                if in_p[x]:
-                    marks_pe.add(find(x))
+            marks_pe.update(wptr_reps)
 
         # Calls through n.
-        for ci in st.call_idx[n]:
-            call = program.calls[ci]
-            for x in work:
-                for fi in program.funcs_of.get(x, ()):
-                    self._resolve_call(
-                        call, program.funcs[fi], new_edges, marks_pte, marks_pe
-                    )
-                if program.flag_impfunc[x]:
+        if st.call_idx[n]:
+            if work:
+                w_funcs = list(work & masks.func)
+                w_imported = bool(work & masks.impfunc)
+            else:
+                w_funcs = ()
+                w_imported = False
+            for ci in st.call_idx[n]:
+                call = program.calls[ci]
+                for x in w_funcs:
+                    for fi in program.funcs_of[x]:
+                        self._resolve_call(
+                            call, program.funcs[fi], new_edges, marks_pte, marks_pe
+                        )
+                if w_imported or st.pte[n]:
                     self.call_to_imported(call)
-            if st.pte[n]:
-                self.call_to_imported(call)
 
         for r in marks_pte:
             self.mark_pte(st.find(r))
@@ -431,34 +460,62 @@ class WorklistSolver:
         for p in st.canonical_succ(n):
             self._propagate(n, p, work)
 
-        # Store edges *n ⊇ q: dereference targets.
+        masks = st.masks
+        if work and (st.stores[n] or st.loads[n]):
+            wp = work & masks.p
+            if st.any_unions:
+                find = st.find
+                wptr_reps = {find(x) for x in wp}
+            else:
+                wptr_reps = set(wp)
+            # §V-B: pointer-incompatible locations (other than Ω itself)
+            # behave as Ω when dereferenced onto.
+            w_incompat = bool(work & masks.incompat)
+        else:
+            wptr_reps = ()
+            w_incompat = False
+
+        succ = st.succ
+
+        # Store edges *n ⊇ q: dereference targets.  Pairs whose edge
+        # already exists would be rejected by add_edge, so the C-level
+        # difference keeps them out of the Python pair loop.
         if st.stores[n]:
             for q in st.canonical_targets(st.stores[n]):
-                for x in work:
-                    if program.in_p[x]:
-                        new_edges.add((q, st.find(x)))
-                    elif program.in_m[x] and x != omega:
-                        marks_pe.add(q)  # §V-B: x behaves as Ω
+                if wptr_reps:
+                    for xr in wptr_reps - succ[q]:
+                        new_edges.add((q, xr))
+                if w_incompat:
+                    marks_pe.add(q)
 
-        # Load edges p ⊇ *n.
+        # Load edges p ⊇ *n (same dedup, per source this time).
         if st.loads[n]:
             for p in st.canonical_targets(st.loads[n]):
-                for x in work:
-                    if program.in_p[x]:
-                        new_edges.add((st.find(x), p))
-                    elif program.in_m[x] and x != omega:
-                        marks_pte.add(p)  # §V-B: x behaves as Ω
+                for xr in wptr_reps:
+                    if p in succ[xr]:
+                        continue
+                    new_edges.add((xr, p))
+                if w_incompat:
+                    marks_pte.add(p)
 
         # Calls through n.
-        for ci in st.call_idx[n]:
-            call = program.calls[ci]
-            for x in work:
-                for fi in program.funcs_of.get(x, ()):
-                    self._resolve_call(
-                        call, program.funcs[fi], new_edges, marks_pte, marks_pe
-                    )
-                if program.flag_extfunc[x]:
-                    # Func(x, Ω, …, Ω): unknown external function.
+        if st.call_idx[n]:
+            if work:
+                w_funcs = list(work & masks.func)
+                # Func(x, Ω, …, Ω) for some pointee: unknown external
+                # function — the induced edges are target-independent.
+                w_extfunc = bool(work & masks.extfunc)
+            else:
+                w_funcs = ()
+                w_extfunc = False
+            for ci in st.call_idx[n]:
+                call = program.calls[ci]
+                for x in w_funcs:
+                    for fi in program.funcs_of[x]:
+                        self._resolve_call(
+                            call, program.funcs[fi], new_edges, marks_pte, marks_pe
+                        )
+                if w_extfunc:
                     if call.ret is not None:
                         self._ep_mark_pte(st.find(call.ret), new_edges)
                     for a in call.args:
@@ -466,9 +523,9 @@ class WorklistSolver:
                             self._ep_mark_pe(st.find(a), new_edges)
 
         # Call_e: external modules call everything n points to (④).
-        if st.extcall[n]:
-            for x in work:
-                for fi in program.funcs_of.get(x, ()):
+        if st.extcall[n] and work:
+            for x in work & masks.func:
+                for fi in program.funcs_of[x]:
                     fc = program.funcs[fi]
                     if fc.ret is not None:
                         self._ep_mark_pe(st.find(fc.ret), new_edges)

@@ -4,6 +4,7 @@ explicit-pointee counts (the inputs to Tables V/VI and Fig. 10)."""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -92,15 +93,23 @@ def run_experiment(
     config_names: Sequence[str],
     repetitions: int = 3,
     validate: bool = True,
+    pts_backend: Optional[str] = None,
 ) -> RunResults:
     """Measure solver runtime for each (file, configuration) pair.
 
     The timed region is :func:`solve_prepared` only — the paper's phase
     2.  When ``validate`` is set, every configuration's solution is
     compared against the first configuration's (paper §V-A).
+    ``pts_backend`` overrides the points-to-set representation of every
+    configuration (results are keyed by the *given* names regardless).
     """
     results = RunResults()
     configs = [(name, parse_name(name)) for name in config_names]
+    if pts_backend is not None:
+        configs = [
+            (name, dataclasses.replace(config, pts=pts_backend))
+            for name, config in configs
+        ]
     for file in files:
         reference: Optional[Solution] = None
         for name, config in configs:

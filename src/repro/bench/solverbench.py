@@ -1,0 +1,254 @@
+"""Points-to-set backend microbenchmark (``BENCH_solver.json``).
+
+Runs identical solver configurations under the ``set`` and ``bitset``
+backends (:mod:`repro.analysis.pts`) over the synthetic corpus files
+with at least ``--min-vars`` constraint variables, asserts that both
+backends produce the identical canonical :class:`Solution` on every
+measurement, and appends one run record to a persistent trajectory file
+so successive PRs can track solver performance.
+
+Two configuration groups are measured and reported separately:
+
+- **propagation** (the headline): EP-mode worklist configurations
+  without difference propagation.  With explicit pointees the Ω node's
+  huge pointee set is propagated everywhere, so bulk set operations
+  dominate the runtime — the workload the bitset representation exists
+  for (union/difference/intersection as single C-speed bignum ops).
+- **sparse-control**: configurations whose propagated sets are small
+  *by design* — IP mode (implicit pointees keep explicit sets tiny;
+  that is the paper's point) and DP (difference propagation reduces
+  every transfer to a delta).  There is little bulk work to accelerate,
+  so the group documents that the bitset backend is roughly neutral
+  where its strength cannot apply.
+
+The headline acceptance target (median propagation-group speedup ≥ 2×)
+is evaluated and stored in the run record.
+
+Usage::
+
+    python -m repro.bench.solverbench [--out BENCH_solver.json] [--quick]
+        [--repetitions N] [--min-vars V] [--files-scale F]
+        [--size-scale S] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from ..analysis.config import parse_name, solve_prepared
+from .suite import CorpusFile, build_corpus, flatten
+from .timing import distribution, time_callable
+
+#: EP-mode, propagation-dominated configurations — the headline group
+PROPAGATION_CONFIGS = [
+    "EP+WL(FIFO)",
+    "EP+WL(LIFO)",
+    "EP+WL(LRF)",
+]
+
+#: sparse-set configurations (IP mode / difference propagation) —
+#: recorded as a control group
+CONTROL_CONFIGS = [
+    "IP+WL(FIFO)",
+    "IP+WL(FIFO)+PIP",
+    "EP+WL(FIFO)+LCD+DP",
+]
+
+SPEEDUP_TARGET = 2.0
+
+
+def measure_file(
+    file: CorpusFile,
+    config_names: List[str],
+    group: str,
+    repetitions: int,
+) -> List[Dict]:
+    """Per-(file, config) timings for both backends, equivalence-checked."""
+    rows: List[Dict] = []
+    for name in config_names:
+        base_config = parse_name(name)
+        prepared = (
+            file.ep_program
+            if base_config.representation == "EP"
+            else file.program
+        )
+        timings: Dict[str, float] = {}
+        solutions = {}
+        for backend in ("set", "bitset"):
+            config = dataclasses.replace(base_config, pts=backend)
+            solutions[backend] = solve_prepared(prepared, config)
+            timings[backend] = time_callable(
+                lambda: solve_prepared(prepared, config), repetitions
+            )
+        if solutions["set"] != solutions["bitset"]:
+            raise AssertionError(
+                f"backends disagree on {file.spec.name} / {name}:\n"
+                + solutions["set"].diff(solutions["bitset"])
+            )
+        set_stats = solutions["set"].stats
+        bit_stats = solutions["bitset"].stats
+        if set_stats.explicit_pointees != bit_stats.explicit_pointees:
+            raise AssertionError(
+                f"explicit_pointees differ on {file.spec.name} / {name}: "
+                f"{set_stats.explicit_pointees} != {bit_stats.explicit_pointees}"
+            )
+        rows.append(
+            {
+                "file": file.spec.name,
+                "num_vars": file.program.num_vars,
+                "config": name,
+                "group": group,
+                "set_s": timings["set"],
+                "bitset_s": timings["bitset"],
+                "speedup": timings["set"] / timings["bitset"],
+                "explicit_pointees": set_stats.explicit_pointees,
+                "shared_sets": set_stats.shared_sets,
+            }
+        )
+    return rows
+
+
+def run_benchmark(
+    files_scale: float = 0.012,
+    size_scale: float = 0.02,
+    seed: int = 1,
+    min_vars: int = 2000,
+    repetitions: int = 2,
+    quick: bool = False,
+    profiles: Optional[List[str]] = None,
+) -> Dict:
+    """Build the corpus, measure both backends, return one run record."""
+    if quick and profiles is None:
+        profiles = ["500.perlbench", "502.gcc"]
+    t0 = time.time()
+    corpus = build_corpus(
+        files_scale=files_scale,
+        size_scale=size_scale,
+        seed=seed,
+        profiles=profiles,
+    )
+    all_files = flatten(corpus)
+    files = [f for f in all_files if f.program.num_vars >= min_vars]
+    print(
+        f"corpus: {len(all_files)} files built in {time.time() - t0:.0f}s,"
+        f" {len(files)} with |V| >= {min_vars}"
+    )
+    if not files:
+        raise SystemExit(
+            f"no corpus file reaches |V| >= {min_vars};"
+            " increase --size-scale or lower --min-vars"
+        )
+    prop_configs = PROPAGATION_CONFIGS[:2] if quick else PROPAGATION_CONFIGS
+    ctrl_configs = CONTROL_CONFIGS[:1] if quick else CONTROL_CONFIGS
+
+    measurements: List[Dict] = []
+    for file in files:
+        t0 = time.time()
+        measurements += measure_file(file, prop_configs, "propagation", repetitions)
+        measurements += measure_file(file, ctrl_configs, "sparse-control", repetitions)
+        print(
+            f"  {file.spec.name} (|V|={file.program.num_vars}):"
+            f" {time.time() - t0:.1f}s"
+        )
+
+    summary: Dict[str, Dict] = {}
+    for group in ("propagation", "sparse-control"):
+        speedups = [m["speedup"] for m in measurements if m["group"] == group]
+        summary[group] = {
+            "n": len(speedups),
+            "speedup": distribution(speedups),
+        }
+    headline = summary["propagation"]["speedup"]["p50"]
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "params": {
+            "files_scale": files_scale,
+            "size_scale": size_scale,
+            "seed": seed,
+            "min_vars": min_vars,
+            "repetitions": repetitions,
+            "quick": quick,
+        },
+        "configs": {
+            "propagation": prop_configs,
+            "sparse-control": ctrl_configs,
+        },
+        "measurements": measurements,
+        "summary": summary,
+        "headline_median_speedup": headline,
+        "speedup_target": SPEEDUP_TARGET,
+        "target_met": headline >= SPEEDUP_TARGET,
+    }
+
+
+def append_trajectory(path: pathlib.Path, record: Dict) -> None:
+    """Append ``record`` to the JSON trajectory file at ``path``."""
+    if path.exists():
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict) or "runs" not in data:
+            raise SystemExit(f"{path} exists but is not a trajectory file")
+    else:
+        data = {"benchmark": "solverbench", "schema": 1, "runs": []}
+    data["runs"].append(record)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_solver.json"),
+        help="trajectory file to append this run to",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpus and config slice (CI smoke run)",
+    )
+    parser.add_argument("--repetitions", type=int, default=None)
+    parser.add_argument("--min-vars", type=int, default=2000)
+    parser.add_argument("--files-scale", type=float, default=0.012)
+    parser.add_argument("--size-scale", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    repetitions = args.repetitions
+    if repetitions is None:
+        repetitions = 1 if args.quick else 2
+
+    record = run_benchmark(
+        files_scale=args.files_scale,
+        size_scale=args.size_scale,
+        seed=args.seed,
+        min_vars=args.min_vars,
+        repetitions=repetitions,
+        quick=args.quick,
+    )
+    append_trajectory(args.out, record)
+
+    print(f"\nwrote {args.out}")
+    for group, stats in record["summary"].items():
+        d = stats["speedup"]
+        print(
+            f"{group:>16}: n={stats['n']:3d}  p10={d['p10']:.2f}x"
+            f"  p50={d['p50']:.2f}x  p90={d['p90']:.2f}x  max={d['max']:.2f}x"
+        )
+    print(
+        f"headline median (propagation group):"
+        f" {record['headline_median_speedup']:.2f}x"
+        f" — target {record['speedup_target']:.1f}x"
+        f" {'MET' if record['target_met'] else 'NOT met'}"
+    )
+    return 0 if record["target_met"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

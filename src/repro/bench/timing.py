@@ -25,8 +25,14 @@ def quantile(sorted_values: Sequence[float], q: float) -> float:
 
 
 def distribution(values: Sequence[float]) -> Dict[str, float]:
-    """p10/p25/p50/p90/p99/max/mean summary (Table V/VI row shape)."""
+    """p10/p25/p50/p90/p99/max/mean summary (Table V/VI row shape).
+
+    Raises ``ValueError`` on empty input (a summary of nothing has no
+    meaningful value for any column).
+    """
     data = sorted(values)
+    if not data:
+        raise ValueError("distribution() needs at least one value")
     return {
         "p10": quantile(data, 0.10),
         "p25": quantile(data, 0.25),

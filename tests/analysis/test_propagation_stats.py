@@ -1,0 +1,60 @@
+"""The ``SolverStats.propagations`` unit is representation- and
+path-independent.
+
+The counter counts one unit per (destination, pointee) *arrival*; with
+no cycle unification and no PIP set-clearing each pair arrives exactly
+once, so the count must be identical across the DP and non-DP paths,
+across iteration orders, and across set backends.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import parse_name, run_configuration
+from repro.analysis.testing import random_program
+
+SEEDS = [1, 2, 3, 7, 42]
+
+#: configurations with no unification and no PIP: the arrival count is
+#: exactly Σ_dst |final Sol_e(dst) \ base(dst)|, whatever the strategy
+LOCKED = [
+    "IP+WL(FIFO)",
+    "IP+WL(FIFO)+DP",
+    "IP+WL(LIFO)",
+    "IP+WL(LIFO)+DP",
+    "IP+WL(LRF)+DP",
+    "IP+WL(TOPO)",
+    "EP+WL(FIFO)",
+    "EP+WL(FIFO)+DP",
+    "EP+WL(LRF)",
+    "EP+WL(LRF)+DP",
+]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_propagations_identical_across_dp_orders_and_backends(seed):
+    program = random_program(seed, n_vars=35, n_constraints=70)
+    by_rep = {}
+    for name in LOCKED:
+        for backend in ("set", "bitset"):
+            config = dataclasses.replace(parse_name(name), pts=backend)
+            sol = run_configuration(program, config)
+            rep = config.representation
+            key = f"{name}/{backend}"
+            if rep not in by_rep:
+                by_rep[rep] = (key, sol.stats.propagations)
+            else:
+                ref_key, ref = by_rep[rep]
+                assert sol.stats.propagations == ref, (
+                    f"seed {seed}: {key} counted {sol.stats.propagations}"
+                    f" propagations, {ref_key} counted {ref}"
+                )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_propagations_positive_when_solution_nontrivial(seed):
+    program = random_program(seed, n_vars=35, n_constraints=70)
+    sol = run_configuration(program, parse_name("IP+WL(FIFO)"))
+    if any(sol.points_to(p) for p in sol.pointers()):
+        assert sol.stats.propagations >= 0

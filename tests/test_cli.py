@@ -40,8 +40,28 @@ class TestCLI:
         assert "EP+Naive" in out
         assert "ImpFunc" in out  # from the constraint dump
 
+    def test_analyze_pts_backend(self, cfile, capsys):
+        assert main(["analyze", cfile, "--pts-backend", "bitset"]) == 0
+        bitset_out = capsys.readouterr().out
+        assert main(["analyze", cfile]) == 0
+        set_out = capsys.readouterr().out
+        # Identical report apart from the configuration banner.
+        strip = lambda text: [
+            l for l in text.splitlines() if not l.startswith(";")
+        ]
+        assert strip(bitset_out) == strip(set_out)
+
+    def test_analyze_unknown_pts_backend_rejected(self, cfile, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", cfile, "--pts-backend", "roaring"])
+
     def test_sweep(self, cfile, capsys):
         assert main(["sweep", cfile]) == 0
+        out = capsys.readouterr().out
+        assert "identical solution" in out
+
+    def test_sweep_pts_backend(self, cfile, capsys):
+        assert main(["sweep", cfile, "--pts-backend", "bitset"]) == 0
         out = capsys.readouterr().out
         assert "identical solution" in out
 
