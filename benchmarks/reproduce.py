@@ -25,6 +25,8 @@ import pathlib
 import sys
 import time
 
+from repro.driver import ResultCache
+
 from repro.bench import (
     EP_ORACLE_CONFIGS,
     TABLE5_CONFIGS,
@@ -58,6 +60,20 @@ def main(argv=None) -> int:
         help="points-to-set representation for every configuration"
         " (default: each configuration's own, i.e. set)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the solver-runtime experiment",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="memoise solved (file, configuration) results on disk so"
+        " re-running reproduce.py replays prior measurements",
+    )
+    parser.add_argument(
+        "--cache-dir", type=pathlib.Path, default=pathlib.Path(".repro-cache")
+    )
     args = parser.parse_args(argv)
     args.outdir.mkdir(parents=True, exist_ok=True)
 
@@ -88,8 +104,10 @@ def main(argv=None) -> int:
         TABLE5_CONFIGS + EP_ORACLE_CONFIGS,
         repetitions=args.repetitions,
         pts_backend=args.pts_backend,
+        jobs=args.jobs,
+        cache=ResultCache(args.cache_dir) if args.cache else None,
     )
-    print(f"  done in {time.time() - t0:.0f}s")
+    print(f"  done in {time.time() - t0:.0f}s ({results.driver})")
     write("configuration-runtimes-table.txt", table5(results))
     write("configuration-memory-usage-table.txt", table6(results, TABLE6_CONFIGS))
 
@@ -103,6 +121,8 @@ def main(argv=None) -> int:
     (args.outdir / "raw-measurements.csv").write_text("\n".join(csv_lines) + "\n")
     print(f"--- wrote {args.outdir / 'raw-measurements.csv'}"
           f" ({len(results.runs)} rows)")
+    (args.outdir / "report.json").write_text(results.to_json() + "\n")
+    print(f"--- wrote {args.outdir / 'report.json'}")
 
     top, bottom = figure10(results)
     write("ip_sans_pip_vs_ep_oracle_ratio.txt", render_ratio_series(top))

@@ -21,19 +21,14 @@ import argparse
 import dataclasses
 import pathlib
 import sys
-import time
 from typing import List, Optional
 
 from .analysis import (
     DEFAULT_CONFIGURATION,
-    OMEGA,
     analyze_module,
     build_constraints,
     enumerate_configurations,
     parse_name,
-    prepare_program,
-    solve_prepared,
-    validate_identical,
 )
 from .frontend import compile_c
 from .ir import print_module
@@ -82,8 +77,17 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    module = _load_module(args.file, args.include)
-    built = build_constraints(module)
+    from .driver import (
+        FileContext,
+        ResultCache,
+        SolveTask,
+        solve_tasks,
+        source_digest,
+        validate_agreement,
+    )
+
+    path = pathlib.Path(args.file)
+    source = path.read_text()
     names = args.configs or [
         "EP+Naive",
         "EP+OVS+WL(LRF)+OCD",
@@ -91,21 +95,45 @@ def cmd_sweep(args) -> int:
         "IP+WL(FIFO)+LCD+DP",
         "IP+WL(FIFO)+PIP",
     ]
-    solutions = []
+    if args.include and (args.jobs > 1 or args.cache):
+        # Worker tasks carry only the raw source, and the cache key is
+        # its content hash — neither sees --include headers, so header
+        # changes would go unnoticed.  Stay serial and uncached.
+        print("note: --include forces --jobs 1 --no-cache", file=sys.stderr)
+        args.jobs, args.cache = 1, False
+    digest = source_digest(source)
+    tasks = [
+        SolveTask(
+            index=i,
+            file_name=path.name,
+            source_hash=digest,
+            config_name=name,
+            source=source,
+            pts_backend=args.pts_backend,
+            repetitions=1,
+        )
+        for i, name in enumerate(names)
+    ]
+    contexts = None
+    if args.jobs <= 1:
+        # Reuse the richer header-aware front end for the local path;
+        # workers compile the raw source themselves.
+        module = _load_module(args.file, args.include)
+        built = build_constraints(module)
+        contexts = {digest: FileContext(path.name, digest, built.program)}
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    results, stats = solve_tasks(
+        tasks, jobs=args.jobs, cache=cache, contexts=contexts
+    )
     print(f"{'configuration':>24}  {'time':>10}  {'explicit pointees':>18}")
-    for name in names:
-        config = parse_name(name)
-        if args.pts_backend:
-            config = dataclasses.replace(config, pts=args.pts_backend)
-        prepared = prepare_program(built.program, config)
-        start = time.perf_counter()
-        solution = solve_prepared(prepared, config)
-        elapsed = time.perf_counter() - start
-        solutions.append(solution)
-        print(f"{name:>24}  {1000 * elapsed:8.2f}ms"
-              f"  {solution.stats.explicit_pointees:18,d}")
-    validate_identical(solutions)
+    for result in results:
+        pointees = result.explicit_pointees
+        print(f"{result.config_name:>24}  {1000 * result.runtime_s:8.2f}ms"
+              f"  {pointees:18,d}")
+    validate_agreement(results)
     print("\nall configurations produced the identical solution")
+    if args.cache or args.jobs > 1:
+        print(stats)
     return 0
 
 
@@ -147,6 +175,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=("set", "bitset"),
         default=None,
         help="points-to-set representation applied to every configuration",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="solve configurations on N worker processes",
+    )
+    p.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="memoise solved results under --cache-dir",
+    )
+    p.add_argument(
+        "--cache-dir", type=pathlib.Path, default=pathlib.Path(".repro-cache")
     )
     p.add_argument("configs", nargs="*", default=None)
     p.set_defaults(func=cmd_sweep)

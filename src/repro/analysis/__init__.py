@@ -39,7 +39,7 @@ from .frontend import (
     ModuleConstraints,
     build_constraints,
 )
-from .omega import OMEGA, lower_to_explicit
+from .omega import OMEGA, concretize, lower_to_explicit
 from .solution import Solution, SolverStats, validate_identical
 from .summaries import LIBC_SUMMARIES, summary
 from .unionfind import UnionFind
@@ -67,6 +67,7 @@ __all__ = [
     "EXTENDED_SUMMARIES",
     "LIBC_SUMMARIES",
     "summary",
+    "concretize",
     "lower_to_explicit",
     "Solution",
     "SolverStats",

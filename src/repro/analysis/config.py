@@ -135,6 +135,23 @@ class Configuration:
             parts.append(f"PTS({self.pts})")
         return "+".join(parts)
 
+    @property
+    def cache_key(self) -> str:
+        """Stable identity of every axis that affects the solved result
+        *and* the work performed to reach it.
+
+        Unlike :attr:`name` (which omits default values), every field is
+        spelled out, including the points-to-set backend, so the key is
+        stable against future changes to the naming defaults.  Used by
+        :mod:`repro.driver` to key the on-disk result cache.
+        """
+        return (
+            f"rep={self.representation};ovs={int(self.ovs)}"
+            f";solver={self.solver};order={self.order or '-'}"
+            f";pip={int(self.pip)};ocd={int(self.ocd)};hcd={int(self.hcd)}"
+            f";lcd={int(self.lcd)};dp={int(self.dp)};pts={self.pts}"
+        )
+
     def __str__(self) -> str:
         return self.name
 

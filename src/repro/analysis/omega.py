@@ -38,6 +38,22 @@ from .constraints import ConstraintProgram
 OMEGA = "Ω"
 
 
+def concretize(pointees: frozenset, external: frozenset) -> frozenset:
+    """Expand Ω over the escaped memory locations (paper §III-A).
+
+    The concretization of a pointee set containing Ω is the set itself
+    plus every externally accessible location: Ω stands for "any external
+    memory", so a sound reading must include all of E.  Canonical
+    :class:`repro.analysis.solution.Solution` sets are stored already
+    concretized, making this function idempotent on them — the soundness
+    property tests rely on (and check) exactly that.
+    """
+    s = frozenset(pointees)
+    if OMEGA in s:
+        s = s | frozenset(external) | {OMEGA}
+    return s
+
+
 def lower_to_explicit(program: ConstraintProgram) -> ConstraintProgram:
     """Return a deep-copied program with Ω materialised.
 

@@ -14,6 +14,7 @@ location; its full Sol set therefore also contains every member of
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Optional, Union
 
@@ -21,6 +22,11 @@ from .constraints import ConstraintProgram
 from .omega import OMEGA
 
 Pointee = Union[int, str]  # an M-var index, or the OMEGA token
+
+#: wire encoding of the OMEGA token in canonical dictionaries (no
+#: constraint variable has a negative index, so -1 is unambiguous and
+#: keeps pointee lists homogeneous integers — sortable and JSON-compact)
+OMEGA_WIRE = -1
 
 
 @dataclass
@@ -54,6 +60,21 @@ class SolverStats:
     pip_edges_elided: int = 0
     #: explicit Sol_e sets cleared by PIP
     pip_sets_cleared: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict form for JSON cache entries and task results."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "SolverStats":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected so a
+        stale cache entry written by a different stats schema fails
+        loudly (and is then discarded by the cache layer)."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(f"unknown SolverStats fields: {sorted(unknown)}")
+        return cls(**data)
 
 
 class Solution:
@@ -134,6 +155,54 @@ class Solution:
     def total_pointees(self) -> int:
         """Σ|Sol(p)| over all pointers (full, implicit-expanded solution)."""
         return sum(len(s) for s in self._points_to.values())
+
+    # ------------------------------------------------------------------
+    # Canonical wire form (parallel driver / on-disk cache)
+    # ------------------------------------------------------------------
+
+    def to_canonical_dict(self) -> Dict:
+        """JSON-serialisable canonical form of this solution.
+
+        The encoding is fully deterministic (sorted pointer order, sorted
+        pointee lists, OMEGA as :data:`OMEGA_WIRE`) and independent of
+        the points-to-set backend and interning that produced the
+        solution, so two equal solutions always encode byte-identically.
+        The constraint program itself is *not* serialised — decoding
+        re-attaches a program rebuilt in the receiving process.
+        """
+        return {
+            "points_to": [
+                [p, sorted(OMEGA_WIRE if x == OMEGA else x for x in s)]
+                for p, s in sorted(self._points_to.items())
+            ],
+            "external": sorted(self.external),
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_canonical_dict(
+        cls, data: Dict, program: ConstraintProgram
+    ) -> "Solution":
+        """Rebuild a :class:`Solution` from :meth:`to_canonical_dict`.
+
+        ``program`` must be (an equal rebuild of) the constraint program
+        the solution was extracted from — variable indexes are positional.
+        Equal pointee sets are re-interned so the decoded solution keeps
+        the MDE-style sharing of a freshly extracted one.
+        """
+        from .pts.intern import InternTable
+
+        intern = InternTable()
+        points_to: Dict[int, FrozenSet] = {}
+        for p, pointees in data["points_to"]:
+            s = frozenset(OMEGA if x == OMEGA_WIRE else x for x in pointees)
+            points_to[int(p)] = intern.intern(s)
+        return cls(
+            program,
+            points_to,
+            frozenset(data["external"]),
+            SolverStats.from_dict(data["stats"]),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -23,6 +23,8 @@ from .runner import (
     TABLE6_CONFIGS,
     FileRun,
     RunResults,
+    build_contexts,
+    build_tasks,
     run_experiment,
 )
 from .suite import CorpusFile, build_corpus, build_file, flatten
@@ -44,6 +46,8 @@ __all__ = [
     "time_callable",
     "FileRun",
     "RunResults",
+    "build_contexts",
+    "build_tasks",
     "run_experiment",
     "TABLE5_CONFIGS",
     "TABLE6_CONFIGS",

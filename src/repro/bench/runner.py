@@ -1,17 +1,34 @@
 """Experiment runner: solve every corpus file under every configuration,
 validating that all configurations agree, and collect runtimes and
-explicit-pointee counts (the inputs to Tables V/VI and Fig. 10)."""
+explicit-pointee counts (the inputs to Tables V/VI and Fig. 10).
+
+Execution goes through :mod:`repro.driver`: (file, configuration) pairs
+become compact tasks fanned out over ``--jobs`` worker processes, with
+results merged in submission order (so any job count reports
+identically) and optionally memoised in the on-disk ``.repro-cache/``.
+Run as a module for the CLI::
+
+    python -m repro.bench.runner --jobs 4 --cache [--out report.json]
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..analysis.config import Configuration, parse_name, prepare_program, solve_prepared
-from ..analysis.solution import Solution
+from ..driver import (
+    DriverStats,
+    FileContext,
+    ResultCache,
+    SolveTask,
+    TaskResult,
+    solve_tasks,
+    source_digest,
+    validate_agreement,
+)
 from .suite import CorpusFile
-from .timing import time_callable
 
 #: the named configurations of Table V
 TABLE5_CONFIGS = [
@@ -65,6 +82,10 @@ class RunResults:
     runtimes: Dict[str, Dict[str, float]] = field(default_factory=dict)
     pointees: Dict[str, Dict[str, int]] = field(default_factory=dict)
     profiles_of: Dict[str, str] = field(default_factory=dict)
+    #: accounting of the driver run that produced these results (cache
+    #: hit/miss counters, job count); never part of :meth:`to_json` —
+    #: the canonical report must be identical between cold and warm runs
+    driver: Optional[DriverStats] = None
 
     def record(self, run: FileRun) -> None:
         self.runs.append(run)
@@ -83,9 +104,78 @@ class RunResults:
             for f in files
         }
 
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical report JSON: the run list in recorded (task) order.
+
+        Fully deterministic — byte-identical across job counts and
+        across cold/warm cache runs (driver accounting is deliberately
+        excluded; see :attr:`driver`).
+        """
+        payload = {
+            "schema": 1,
+            "runs": [dataclasses.asdict(run) for run in self.runs],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResults":
+        payload = json.loads(text)
+        results = cls()
+        for run in payload["runs"]:
+            results.record(FileRun(**run))
+        return results
+
 
 def _profile_of(file: CorpusFile) -> str:
     return file.spec.name.split("/")[0]
+
+
+def build_tasks(
+    files: Sequence[CorpusFile],
+    config_names: Sequence[str],
+    repetitions: int = 3,
+    pts_backend: Optional[str] = None,
+    timing: str = "wall",
+) -> List[SolveTask]:
+    """The (file, configuration) task list in canonical file-major order.
+
+    Tasks carry the corpus :class:`FileSpec` (not the built program), so
+    worker processes re-derive phase-1 state themselves; the in-process
+    path is seeded with the already-built programs via
+    :func:`build_contexts`.
+    """
+    tasks: List[SolveTask] = []
+    for file in files:
+        digest = source_digest(file.source)
+        for name in config_names:
+            tasks.append(
+                SolveTask(
+                    index=len(tasks),
+                    file_name=file.spec.name,
+                    source_hash=digest,
+                    config_name=name,
+                    spec=file.spec,
+                    pts_backend=pts_backend,
+                    repetitions=repetitions,
+                    timing=timing,
+                )
+            )
+    return tasks
+
+
+def build_contexts(files: Sequence[CorpusFile]) -> Dict[str, FileContext]:
+    """Seed driver contexts from already-built corpus files (jobs=1)."""
+    contexts: Dict[str, FileContext] = {}
+    for file in files:
+        context = FileContext(
+            file.spec.name, source_digest(file.source), file.program
+        )
+        if file._ep_program is not None:
+            context.seed_ep(file._ep_program)
+        contexts[context.source_hash] = context
+    return contexts
 
 
 def run_experiment(
@@ -94,49 +184,130 @@ def run_experiment(
     repetitions: int = 3,
     validate: bool = True,
     pts_backend: Optional[str] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    timing: str = "wall",
 ) -> RunResults:
     """Measure solver runtime for each (file, configuration) pair.
 
-    The timed region is :func:`solve_prepared` only — the paper's phase
-    2.  When ``validate`` is set, every configuration's solution is
-    compared against the first configuration's (paper §V-A).
-    ``pts_backend`` overrides the points-to-set representation of every
-    configuration (results are keyed by the *given* names regardless).
+    The timed region is ``solve_prepared`` only — the paper's phase 2.
+    When ``validate`` is set, every configuration's solution is compared
+    against the first configuration's (paper §V-A).  ``pts_backend``
+    overrides the points-to-set representation of every configuration
+    (results are keyed by the *given* names regardless).  ``jobs`` fans
+    tasks out over worker processes; ``cache`` memoises solved results
+    on disk; ``timing`` is ``"wall"`` (measured) or ``"cost"``
+    (deterministic work-counter pseudo-time).  Results are recorded in
+    file-major task order for every job count.
     """
-    results = RunResults()
-    configs = [(name, parse_name(name)) for name in config_names]
-    if pts_backend is not None:
-        configs = [
-            (name, dataclasses.replace(config, pts=pts_backend))
-            for name, config in configs
-        ]
-    for file in files:
-        reference: Optional[Solution] = None
-        for name, config in configs:
-            prepared = (
-                file.ep_program
-                if config.representation == "EP"
-                else file.program
+    files = list(files)
+    tasks = build_tasks(
+        files, config_names, repetitions, pts_backend, timing
+    )
+    contexts = build_contexts(files) if jobs == 1 else None
+    task_results, driver_stats = solve_tasks(
+        tasks, jobs=jobs, cache=cache, contexts=contexts
+    )
+    if validate:
+        validate_agreement(task_results)
+
+    profiles = {file.spec.name: _profile_of(file) for file in files}
+    results = RunResults(driver=driver_stats)
+    for result in task_results:
+        results.record(
+            FileRun(
+                result.file_name,
+                profiles[result.file_name],
+                result.config_name,
+                result.runtime_s,
+                result.explicit_pointees,
             )
-            solution = solve_prepared(prepared, config)
-            if validate:
-                if reference is None:
-                    reference = solution
-                elif solution != reference:
-                    raise AssertionError(
-                        f"{name} disagrees on {file.spec.name}:\n"
-                        + reference.diff(solution)
-                    )
-            runtime = time_callable(
-                lambda: solve_prepared(prepared, config), repetitions
-            )
-            results.record(
-                FileRun(
-                    file.spec.name,
-                    _profile_of(file),
-                    name,
-                    runtime,
-                    solution.stats.explicit_pointees,
-                )
-            )
+        )
     return results
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.bench.runner
+# ----------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    import pathlib
+    import time
+
+    from .report import table5, table6
+    from .suite import build_corpus, flatten
+
+    parser = argparse.ArgumentParser(
+        description="Parallel cached corpus experiment runner"
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="memoise solved results under --cache-dir (default: on)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=pathlib.Path, default=pathlib.Path(".repro-cache")
+    )
+    parser.add_argument(
+        "--configs", nargs="*", default=None,
+        help=f"configuration names (default: {' '.join(TABLE5_CONFIGS)})",
+    )
+    parser.add_argument("--profiles", nargs="*", default=None)
+    parser.add_argument("--files-scale", type=float, default=0.012)
+    parser.add_argument("--size-scale", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument(
+        "--pts-backend", choices=("set", "bitset"), default=None
+    )
+    parser.add_argument(
+        "--timing", choices=("wall", "cost"), default="wall",
+        help="wall: measured runtime; cost: deterministic pseudo-time",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the canonical report JSON here",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    corpus = build_corpus(
+        files_scale=args.files_scale,
+        size_scale=args.size_scale,
+        seed=args.seed,
+        profiles=args.profiles,
+    )
+    files = flatten(corpus)
+    print(f"corpus: {len(files)} files built in {time.time() - t0:.0f}s")
+
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    t0 = time.time()
+    results = run_experiment(
+        files,
+        args.configs or TABLE5_CONFIGS,
+        repetitions=args.repetitions,
+        pts_backend=args.pts_backend,
+        jobs=args.jobs,
+        cache=cache,
+        timing=args.timing,
+    )
+    print(f"{len(results.runs)} runs in {time.time() - t0:.1f}s")
+    print(results.driver)
+    print()
+    print(table5(results))
+    print()
+    print(table6(results, TABLE6_CONFIGS))
+    if args.out is not None:
+        args.out.write_text(results.to_json() + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -34,17 +34,17 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import pathlib
 import platform
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.config import parse_name, solve_prepared
+from ..driver import ResultCache, SolveTask, TaskResult, solve_tasks, source_digest
+from .runner import build_contexts
 from .suite import CorpusFile, build_corpus, flatten
-from .timing import distribution, time_callable
+from .timing import distribution
 
 #: EP-mode, propagation-dominated configurations — the headline group
 PROPAGATION_CONFIGS = [
@@ -64,40 +64,65 @@ CONTROL_CONFIGS = [
 SPEEDUP_TARGET = 2.0
 
 
-def measure_file(
-    file: CorpusFile,
-    config_names: List[str],
-    group: str,
+#: per-task metadata parallel to the task list: (file, config, group)
+#: for each set/bitset task *pair*
+PairMeta = Tuple[CorpusFile, str, str]
+
+
+def build_backend_tasks(
+    files: Sequence[CorpusFile],
+    grouped_configs: Sequence[Tuple[str, Sequence[str]]],
     repetitions: int,
+) -> Tuple[List[SolveTask], List[PairMeta]]:
+    """One set-backend and one bitset-backend task per (file, config).
+
+    The two tasks of a pair are adjacent (set at even index, bitset at
+    odd), so merged results pair up positionally.
+    """
+    tasks: List[SolveTask] = []
+    meta: List[PairMeta] = []
+    for file in files:
+        digest = source_digest(file.source)
+        for group, names in grouped_configs:
+            for name in names:
+                for backend in ("set", "bitset"):
+                    tasks.append(
+                        SolveTask(
+                            index=len(tasks),
+                            file_name=file.spec.name,
+                            source_hash=digest,
+                            config_name=name,
+                            spec=file.spec,
+                            pts_backend=backend,
+                            repetitions=repetitions,
+                        )
+                    )
+                meta.append((file, name, group))
+    return tasks, meta
+
+
+def pair_rows(
+    results: Sequence[TaskResult], meta: Sequence[PairMeta]
 ) -> List[Dict]:
-    """Per-(file, config) timings for both backends, equivalence-checked."""
+    """Fold (set, bitset) result pairs into measurement rows,
+    equivalence-checking the canonical solutions of every pair."""
     rows: List[Dict] = []
-    for name in config_names:
-        base_config = parse_name(name)
-        prepared = (
-            file.ep_program
-            if base_config.representation == "EP"
-            else file.program
-        )
-        timings: Dict[str, float] = {}
-        solutions = {}
-        for backend in ("set", "bitset"):
-            config = dataclasses.replace(base_config, pts=backend)
-            solutions[backend] = solve_prepared(prepared, config)
-            timings[backend] = time_callable(
-                lambda: solve_prepared(prepared, config), repetitions
-            )
-        if solutions["set"] != solutions["bitset"]:
+    for i, (file, name, group) in enumerate(meta):
+        set_result, bitset_result = results[2 * i], results[2 * i + 1]
+        if (
+            set_result.solution["points_to"] != bitset_result.solution["points_to"]
+            or set_result.solution["external"] != bitset_result.solution["external"]
+        ):
             raise AssertionError(
-                f"backends disagree on {file.spec.name} / {name}:\n"
-                + solutions["set"].diff(solutions["bitset"])
+                f"backends disagree on {file.spec.name} / {name}"
             )
-        set_stats = solutions["set"].stats
-        bit_stats = solutions["bitset"].stats
-        if set_stats.explicit_pointees != bit_stats.explicit_pointees:
+        set_stats = set_result.solution["stats"]
+        bit_stats = bitset_result.solution["stats"]
+        if set_stats["explicit_pointees"] != bit_stats["explicit_pointees"]:
             raise AssertionError(
                 f"explicit_pointees differ on {file.spec.name} / {name}: "
-                f"{set_stats.explicit_pointees} != {bit_stats.explicit_pointees}"
+                f"{set_stats['explicit_pointees']}"
+                f" != {bit_stats['explicit_pointees']}"
             )
         rows.append(
             {
@@ -105,14 +130,30 @@ def measure_file(
                 "num_vars": file.program.num_vars,
                 "config": name,
                 "group": group,
-                "set_s": timings["set"],
-                "bitset_s": timings["bitset"],
-                "speedup": timings["set"] / timings["bitset"],
-                "explicit_pointees": set_stats.explicit_pointees,
-                "shared_sets": set_stats.shared_sets,
+                "set_s": set_result.runtime_s,
+                "bitset_s": bitset_result.runtime_s,
+                "speedup": set_result.runtime_s / bitset_result.runtime_s,
+                "explicit_pointees": set_stats["explicit_pointees"],
+                "shared_sets": set_stats["shared_sets"],
             }
         )
     return rows
+
+
+def measure_file(
+    file: CorpusFile,
+    config_names: List[str],
+    group: str,
+    repetitions: int,
+) -> List[Dict]:
+    """Per-(file, config) timings for both backends, equivalence-checked
+    (the in-process single-file path; ``run_benchmark`` fans the same
+    tasks out over the driver)."""
+    tasks, meta = build_backend_tasks(
+        [file], [(group, config_names)], repetitions
+    )
+    results, _ = solve_tasks(tasks, jobs=1, contexts=build_contexts([file]))
+    return pair_rows(results, meta)
 
 
 def run_benchmark(
@@ -123,8 +164,17 @@ def run_benchmark(
     repetitions: int = 2,
     quick: bool = False,
     profiles: Optional[List[str]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict:
-    """Build the corpus, measure both backends, return one run record."""
+    """Build the corpus, measure both backends, return one run record.
+
+    ``jobs`` fans the (file, config, backend) measurements out over the
+    driver's process pool.  ``cache`` is **off by default** here, unlike
+    the experiment runner: a timing benchmark that replays cached wall
+    times measures the code as it was when the entry was written, which
+    is only meaningful when explicitly requested (``--cache``).
+    """
     if quick and profiles is None:
         profiles = ["500.perlbench", "502.gcc"]
     t0 = time.time()
@@ -148,15 +198,19 @@ def run_benchmark(
     prop_configs = PROPAGATION_CONFIGS[:2] if quick else PROPAGATION_CONFIGS
     ctrl_configs = CONTROL_CONFIGS[:1] if quick else CONTROL_CONFIGS
 
-    measurements: List[Dict] = []
-    for file in files:
-        t0 = time.time()
-        measurements += measure_file(file, prop_configs, "propagation", repetitions)
-        measurements += measure_file(file, ctrl_configs, "sparse-control", repetitions)
-        print(
-            f"  {file.spec.name} (|V|={file.program.num_vars}):"
-            f" {time.time() - t0:.1f}s"
-        )
+    t0 = time.time()
+    tasks, meta = build_backend_tasks(
+        files,
+        [("propagation", prop_configs), ("sparse-control", ctrl_configs)],
+        repetitions,
+    )
+    contexts = build_contexts(files) if jobs == 1 else None
+    results, driver_stats = solve_tasks(
+        tasks, jobs=jobs, cache=cache, contexts=contexts
+    )
+    measurements = pair_rows(results, meta)
+    print(f"  {len(tasks)} measurements in {time.time() - t0:.1f}s"
+          f" ({driver_stats})")
 
     summary: Dict[str, Dict] = {}
     for group in ("propagation", "sparse-control"):
@@ -176,7 +230,9 @@ def run_benchmark(
             "min_vars": min_vars,
             "repetitions": repetitions,
             "quick": quick,
+            "jobs": jobs,
         },
+        "driver": driver_stats.to_dict(),
         "configs": {
             "propagation": prop_configs,
             "sparse-control": ctrl_configs,
@@ -219,6 +275,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--files-scale", type=float, default=0.012)
     parser.add_argument("--size-scale", type=float, default=0.02)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan measurements out over N worker processes (wall times"
+        " then include per-worker load; use 1 for the quietest numbers)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="replay cached measurements from --cache-dir (off by"
+        " default: cached wall times describe older code)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=pathlib.Path, default=pathlib.Path(".repro-cache")
+    )
     args = parser.parse_args(argv)
     repetitions = args.repetitions
     if repetitions is None:
@@ -231,6 +302,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         min_vars=args.min_vars,
         repetitions=repetitions,
         quick=args.quick,
+        jobs=args.jobs,
+        cache=ResultCache(args.cache_dir) if args.cache else None,
     )
     append_trajectory(args.out, record)
 

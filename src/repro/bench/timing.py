@@ -12,15 +12,38 @@ QUANTILE_COLUMNS = ("p10", "p25", "p50", "p90", "p99", "max", "mean")
 
 
 def quantile(sorted_values: Sequence[float], q: float) -> float:
-    """Linear-interpolation quantile of pre-sorted data."""
+    """Linear-interpolation quantile of pre-sorted data.
+
+    **Callers must pass the data sorted ascending** — this function is
+    called once per report column, so it does not re-sort; it verifies
+    instead and raises ``ValueError`` on unsorted input (a silently
+    wrong table column is far worse than an O(n) scan).
+
+    Edge behaviour, locked by unit tests:
+
+    - one element: every quantile is that element;
+    - two elements ``[a, b]``: ``q`` interpolates linearly, e.g. the
+      p99 is ``0.01*a + 0.99*b``;
+    - all-equal data: every quantile equals the common value exactly
+      (the interpolation is a convex combination, so no float drift).
+    """
     if not sorted_values:
         raise ValueError("no data")
+    if any(
+        b < a for a, b in zip(sorted_values, sorted_values[1:])
+    ):
+        raise ValueError("quantile() requires data sorted ascending")
     if len(sorted_values) == 1:
         return sorted_values[0]
     pos = q * (len(sorted_values) - 1)
     lo = math.floor(pos)
     hi = math.ceil(pos)
     frac = pos - lo
+    if lo == hi or sorted_values[lo] == sorted_values[hi]:
+        # Exact index, or both interpolation endpoints equal: return the
+        # value itself rather than a convex combination that could
+        # drift by one ulp (v*(1-f) + v*f need not round back to v).
+        return sorted_values[lo]
     return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
 
 

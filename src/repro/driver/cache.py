@@ -1,0 +1,144 @@
+"""On-disk result cache for (file content, configuration) solves.
+
+Entries live under ``.repro-cache/solve/<k[:2]>/<key>.json`` where
+``key`` hashes (source content digest, ``Configuration.cache_key`` —
+which includes the pts backend — and the timing mode); see
+:meth:`repro.driver.tasks.SolveTask.cache_key` for the exact
+composition.  Each entry stores the canonical solution dict, its solver
+stats, and the measured runtime, so a warm run replays a previous run's
+measurements without a single solver invocation.
+
+The cache is *self-healing*: an entry that cannot be parsed, has a
+different schema version, or fails the sanity checks is deleted and
+counted in :attr:`CacheStats.corrupted` — the task is simply re-solved.
+Writes go through a same-directory temp file + ``os.replace`` so a
+killed process never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .tasks import SolveTask, TaskResult
+
+#: default cache location, relative to the working directory
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: bump to invalidate every existing entry (e.g. when the canonical
+#: solution encoding or the stats schema changes shape)
+CACHE_SCHEMA = 1
+
+
+@dataclass
+class CacheStats:
+    """Cold/warm hit counters, surfaced in run reports."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupted: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupted": self.corrupted,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses,"
+            f" {self.stores} stored, {self.corrupted} corrupted"
+        )
+
+
+class ResultCache:
+    """Content-addressed store of solved task results."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = pathlib.Path(root if root is not None else DEFAULT_CACHE_DIR)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / "solve" / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+
+    def load(self, task: SolveTask) -> Optional[TaskResult]:
+        """The cached result for ``task``, or None on a miss.
+
+        Never raises on a bad entry: anything unreadable is discarded
+        (deleted) and reported as a miss, so cache corruption can cost
+        time but never correctness.
+        """
+        path = self._path(task.cache_key())
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
+            if entry["schema"] != CACHE_SCHEMA:
+                raise ValueError(f"schema {entry['schema']} != {CACHE_SCHEMA}")
+            solution = entry["solution"]
+            # Sanity: the fields every consumer reads must be present
+            # with the right shapes before we trust the entry.
+            runtime = float(entry["runtime_s"])
+            if not isinstance(solution["points_to"], list):
+                raise ValueError("points_to is not a list")
+            if not isinstance(solution["external"], list):
+                raise ValueError("external is not a list")
+            int(solution["stats"]["explicit_pointees"])
+        except (ValueError, KeyError, TypeError):
+            self.stats.corrupted += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return TaskResult(
+            task.index,
+            task.file_name,
+            task.config_name,
+            runtime,
+            solution,
+            from_cache=True,
+        )
+
+    def store(self, task: SolveTask, result: TaskResult) -> None:
+        """Persist one solved result (atomic same-directory rename)."""
+        path = self._path(task.cache_key())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "file": task.file_name,
+            "source_hash": task.source_hash,
+            "config_key": task.configuration().cache_key,
+            "timing": task.timing,
+            "runtime_s": result.runtime_s,
+            "solution": result.solution,
+        }
+        text = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1

@@ -1,0 +1,213 @@
+"""The parallel analysis driver: fan tasks out, merge deterministically.
+
+:func:`solve_tasks` is the single entry point every harness goes
+through (``repro.bench.runner``, ``repro.bench.solverbench``, the
+``sweep`` CLI):
+
+1. Look every task up in the on-disk cache (when enabled) — warm tasks
+   never reach a worker, let alone a solver.
+2. Coalesce tasks that share a cache identity (solve once, replicate),
+   then run the remainder either in-process (``jobs=1`` — bit-identical
+   to the historical serial loop) or on a ``multiprocessing`` pool.
+3. Merge results **by task index**: the returned list is ordered by
+   submission order regardless of which worker finished first, so a
+   ``--jobs 8`` run reports byte-identically to ``--jobs 1``.
+
+Workers receive only compact :class:`repro.driver.tasks.SolveTask`
+objects and re-derive constraint programs locally (memoised per file
+content hash), because solver state — interned frozensets, pts backend
+objects, union-find structures — is deliberately not sent across the
+process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .cache import CacheStats, ResultCache
+from .tasks import FileContext, SolveTask, TaskResult, context_for, execute_task
+
+
+@dataclass
+class DriverStats:
+    """One run's accounting, surfaced in run reports."""
+
+    jobs: int = 1
+    tasks: int = 0
+    solved: int = 0  # tasks that actually invoked a solver
+    cache: Optional[CacheStats] = None
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"jobs": self.jobs, "tasks": self.tasks, "solved": self.solved}
+        if self.cache is not None:
+            out["cache"] = self.cache.to_dict()
+        return out
+
+    def __str__(self) -> str:
+        cache = f"; cache: {self.cache}" if self.cache is not None else ""
+        return (
+            f"driver: {self.tasks} tasks, {self.solved} solved,"
+            f" jobs={self.jobs}{cache}"
+        )
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default: the machine's CPU count."""
+    return os.cpu_count() or 1
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (fast start, inherits PYTHONPATH and loaded modules);
+    fall back to the platform default where fork is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def solve_tasks(
+    tasks: Sequence[SolveTask],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    contexts: Optional[Dict[str, FileContext]] = None,
+    progress: Optional[Callable[[TaskResult], None]] = None,
+) -> Tuple[List[TaskResult], DriverStats]:
+    """Execute ``tasks``, returning results ordered by task index.
+
+    ``contexts`` optionally seeds the in-process derived-state memo with
+    constraint programs the caller already built (source hash →
+    :class:`FileContext`); it only applies to the ``jobs=1`` path —
+    worker processes always re-derive their own.  ``progress`` is called
+    once per completed task, in completion order.
+    """
+    tasks = list(tasks)
+    if len({t.index for t in tasks}) != len(tasks):
+        raise ValueError("task indexes must be unique")
+    jobs = max(1, jobs)
+    stats = DriverStats(jobs=jobs, tasks=len(tasks))
+    results: Dict[int, TaskResult] = {}
+
+    pending: List[SolveTask] = []
+    if cache is not None:
+        stats.cache = cache.stats
+        for task in tasks:
+            hit = cache.load(task)
+            if hit is not None:
+                results[task.index] = hit
+                if progress is not None:
+                    progress(hit)
+            else:
+                pending.append(task)
+    else:
+        pending = tasks
+
+    # Coalesce duplicate work: tasks sharing a cache identity (same
+    # content, configuration and timing — e.g. a configuration listed in
+    # two overlapping experiment groups) are solved once and the result
+    # replicated.  Same key → same result is also what makes a warm
+    # replay byte-identical to its cold run under wall timing: without
+    # coalescing, duplicates would each measure (and the last store
+    # win), leaving the cold report internally inconsistent with what
+    # the cache replays.
+    unique: List[SolveTask] = []
+    unique_keys: List[str] = []
+    duplicates: Dict[str, List[SolveTask]] = {}
+    first_for: Dict[str, SolveTask] = {}
+    for task in pending:
+        key = task.cache_key()
+        if key in first_for:
+            duplicates.setdefault(key, []).append(task)
+        else:
+            first_for[key] = task
+            unique.append(task)
+            unique_keys.append(key)
+
+    stats.solved = len(unique)
+    if unique:
+        if jobs == 1:
+            completed = _run_serial(unique, contexts or {})
+        else:
+            completed = _run_pool(unique, jobs)
+        for task, key, result in zip(unique, unique_keys, completed):
+            if cache is not None:
+                cache.store(task, result)
+            results[result.index] = result
+            if progress is not None:
+                progress(result)
+            for dup in duplicates.get(key, ()):
+                echo = TaskResult(
+                    dup.index,
+                    dup.file_name,
+                    dup.config_name,
+                    result.runtime_s,
+                    result.solution,
+                    result.from_cache,
+                )
+                results[dup.index] = echo
+                if progress is not None:
+                    progress(echo)
+
+    return [results[t.index] for t in tasks], stats
+
+
+def _run_serial(
+    tasks: Sequence[SolveTask], contexts: Dict[str, FileContext]
+) -> List[TaskResult]:
+    """In-process execution (the historical serial path, unchanged)."""
+    out: List[TaskResult] = []
+    for task in tasks:
+        context = contexts.get(task.source_hash)
+        if context is None:
+            context = context_for(task)
+            contexts[task.source_hash] = context
+        out.append(execute_task(task, context))
+    return out
+
+
+def _run_pool(tasks: Sequence[SolveTask], jobs: int) -> List[TaskResult]:
+    """Fan out over a process pool; reorder to submission order.
+
+    ``imap_unordered`` maximises throughput (a worker never idles
+    waiting for an in-order neighbour); determinism is restored by
+    re-keying the completed results on the task index.  Chunk size 1
+    keeps the longest-solve stragglers from pinning a whole chunk of
+    queued tasks behind them.
+    """
+    ctx = _pool_context()
+    workers = min(jobs, len(tasks))
+    with ctx.Pool(processes=workers) as pool:
+        unordered = list(pool.imap_unordered(execute_task, tasks, chunksize=1))
+    by_index = {r.index: r for r in unordered}
+    return [by_index[t.index] for t in tasks]
+
+
+# ----------------------------------------------------------------------
+# Merge-time validation
+# ----------------------------------------------------------------------
+
+
+def validate_agreement(results: Sequence[TaskResult]) -> None:
+    """Assert every configuration of a file produced the same solution.
+
+    The serial runner validated each solution against the file's first
+    configuration as it went; with out-of-order completion the same
+    check runs at merge time, on the canonical wire dicts (stats are
+    excluded — only points-to sets and the external set define solution
+    identity, exactly like ``Solution.__eq__``).
+    """
+    reference: Dict[str, TaskResult] = {}
+    for result in results:
+        ref = reference.setdefault(result.file_name, result)
+        if ref is result:
+            continue
+        if (
+            ref.solution["points_to"] != result.solution["points_to"]
+            or ref.solution["external"] != result.solution["external"]
+        ):
+            raise AssertionError(
+                f"{result.config_name} disagrees with {ref.config_name}"
+                f" on {result.file_name}"
+            )

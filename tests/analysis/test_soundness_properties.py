@@ -1,0 +1,92 @@
+"""Property-based soundness harness over random modules (ISSUE 2).
+
+Locks the paper's Theorem-level invariants under fuzzing:
+
+- **Ω-concretization soundness** (paper §III): for every IP
+  configuration, expanding Ω over the escaped memory locations yields a
+  points-to solution that is a *superset* of the corresponding EP
+  solution — nothing the explicit representation can prove reachable is
+  lost by keeping Ω implicit.
+- **Canonical solutions are concretization fixpoints**: Sol sets that
+  contain Ω already carry all of E, so :func:`repro.analysis.concretize`
+  is the identity on them.
+- **PIP is solution-preserving** (paper §IV): enabling PIP never
+  changes the solved solution, under any iteration order or cycle
+  technique it composes with.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import OMEGA, concretize, parse_name, run_configuration
+from repro.analysis.testing import random_program
+
+EP_REFERENCE = "EP+Naive"
+
+IP_CONFIGS = [
+    "IP+Naive",
+    "IP+WL(FIFO)",
+    "IP+OVS+WL(LRF)+LCD+DP",
+    "IP+WL(FIFO)+PIP",
+]
+
+PIP_BASES = [
+    "IP+WL(FIFO)",
+    "IP+WL(LRF)+DP",
+    "IP+OVS+WL(LIFO)+LCD",
+]
+
+program_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=6, max_value=28),  # vars
+    st.integers(min_value=5, max_value=55),  # constraints
+)
+
+
+class TestOmegaConcretizationSoundness:
+    @given(program_params)
+    @settings(max_examples=30, deadline=None)
+    def test_concretized_ip_superset_of_ep(self, params):
+        seed, n_vars, n_constraints = params
+        program = random_program(seed, n_vars, n_constraints)
+        ep = run_configuration(program, parse_name(EP_REFERENCE))
+        for name in IP_CONFIGS:
+            ip = run_configuration(program, parse_name(name))
+            assert ip.external >= ep.external, name
+            for p in ep.pointers():
+                full = concretize(ip.points_to(p), ip.external)
+                assert full >= ep.points_to(p), (
+                    f"{name}: Sol({program.var_names[p]}) loses"
+                    f" {sorted(map(str, ep.points_to(p) - full))}"
+                )
+
+    @given(program_params)
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_solutions_are_concretization_fixpoints(self, params):
+        seed, n_vars, n_constraints = params
+        program = random_program(seed, n_vars, n_constraints)
+        for name in (EP_REFERENCE, "IP+WL(FIFO)"):
+            sol = run_configuration(program, parse_name(name))
+            for p in sol.pointers():
+                s = sol.points_to(p)
+                assert concretize(s, sol.external) == s, name
+
+    def test_concretize_expands_omega(self):
+        assert concretize(frozenset({1, OMEGA}), frozenset({2, 3})) == (
+            frozenset({1, 2, 3, OMEGA})
+        )
+        # No Ω, no expansion — escaped locations are not implicitly
+        # reachable from a pointer of known origin.
+        assert concretize(frozenset({1}), frozenset({2, 3})) == frozenset({1})
+
+
+class TestPIPPreservesSolutions:
+    @given(program_params)
+    @settings(max_examples=30, deadline=None)
+    def test_pip_never_changes_the_solution(self, params):
+        seed, n_vars, n_constraints = params
+        program = random_program(seed, n_vars, n_constraints)
+        for base in PIP_BASES:
+            plain = run_configuration(program, parse_name(base))
+            pip = run_configuration(program, parse_name(base + "+PIP"))
+            assert pip == plain, f"{base}:\n{plain.diff(pip)}"

@@ -1,0 +1,57 @@
+"""Edge-behaviour lock for ``repro.bench.timing.quantile`` (ISSUE 2).
+
+The report columns of Tables V/VI are all computed through this one
+function; these tests pin its contract (pre-sorted input, asserted) and
+its behaviour on the degenerate inputs small corpora actually produce.
+"""
+
+import pytest
+
+from repro.bench.timing import QUANTILE_COLUMNS, distribution, quantile
+
+QS = (0.0, 0.10, 0.25, 0.50, 0.90, 0.99, 1.0)
+
+
+class TestQuantileEdges:
+    def test_single_element_every_quantile(self):
+        for q in QS:
+            assert quantile([5.0], q) == 5.0
+
+    def test_two_elements_interpolation(self):
+        assert quantile([0.0, 10.0], 0.5) == 5.0
+        assert quantile([0.0, 10.0], 0.99) == pytest.approx(9.9)
+        assert quantile([0.0, 10.0], 0.0) == 0.0
+        assert quantile([0.0, 10.0], 1.0) == 10.0
+
+    def test_all_equal_is_exact(self):
+        # 0.1 is not exactly representable: a naive convex combination
+        # v*(1-f) + v*f drifts by an ulp.  The contract is exactness.
+        data = [0.1] * 7
+        for q in QS:
+            assert quantile(data, q) == 0.1
+        dist = distribution(data)
+        for column in QUANTILE_COLUMNS:
+            if column == "mean":  # a sum, not a quantile: ulp drift ok
+                assert dist[column] == pytest.approx(0.1)
+            else:
+                assert dist[column] == 0.1
+
+    def test_p99_interpolates_between_last_two(self):
+        dist = distribution([1.0, 2.0])
+        assert dist["p99"] == pytest.approx(0.01 * 1.0 + 0.99 * 2.0)
+        assert dist["max"] == 2.0
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            quantile([3.0, 1.0, 2.0], 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no data"):
+            quantile([], 0.5)
+
+    def test_distribution_sorts_for_the_caller(self):
+        # distribution() is the one sanctioned entry point for unsorted
+        # data — it sorts before fanning out to quantile().
+        dist = distribution([3.0, 1.0, 2.0])
+        assert dist["p50"] == 2.0
+        assert dist["max"] == 3.0

@@ -1,0 +1,204 @@
+"""Unit tests for the on-disk result cache and the task/solution wire
+forms (``repro.driver``): key composition, invalidation, self-healing
+on corruption, and canonical (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro.analysis import parse_name, run_configuration
+from repro.analysis.solution import Solution
+from repro.analysis.testing import random_program
+from repro.driver import (
+    ResultCache,
+    SolveTask,
+    execute_task,
+    solve_tasks,
+    source_digest,
+)
+
+SOURCE_A = """
+static int x;
+int *p = &x;
+extern int *getp(void);
+void f(void) { int *q = getp(); }
+"""
+
+SOURCE_B = SOURCE_A + "\nint extra_global;\n"
+
+
+def make_task(
+    source=SOURCE_A,
+    config="IP+WL(FIFO)",
+    backend=None,
+    timing="cost",
+    repetitions=1,
+    index=0,
+):
+    return SolveTask(
+        index=index,
+        file_name="t.c",
+        source_hash=source_digest(source),
+        config_name=config,
+        source=source,
+        pts_backend=backend,
+        repetitions=repetitions,
+        timing=timing,
+    )
+
+
+class TestSolutionWireForm:
+    @pytest.mark.parametrize("config", ["IP+WL(FIFO)+PIP", "EP+Naive"])
+    def test_round_trip(self, config):
+        program = random_program(11, n_vars=25, n_constraints=50)
+        solution = run_configuration(program, parse_name(config))
+        data = json.loads(json.dumps(solution.to_canonical_dict()))
+        decoded = Solution.from_canonical_dict(data, program)
+        assert decoded == solution
+        assert decoded.stats == solution.stats
+
+    def test_encoding_is_deterministic(self):
+        program = random_program(12, n_vars=20, n_constraints=40)
+        a = run_configuration(program, parse_name("IP+WL(FIFO)"))
+        b = run_configuration(program, parse_name("IP+Naive"))
+        assert a == b
+        assert json.dumps(a.to_canonical_dict()["points_to"]) == json.dumps(
+            b.to_canonical_dict()["points_to"]
+        )
+
+    def test_decoded_sets_are_interned(self):
+        program = random_program(13, n_vars=30, n_constraints=60)
+        solution = run_configuration(program, parse_name("IP+WL(FIFO)"))
+        decoded = Solution.from_canonical_dict(
+            solution.to_canonical_dict(), program
+        )
+        seen = {}
+        for p in decoded.pointers():
+            s = decoded.points_to(p)
+            assert seen.setdefault(s, s) is s
+
+
+class TestCacheKey:
+    def test_key_components(self):
+        base = make_task()
+        assert base.cache_key() == make_task().cache_key()
+        # The name and the submission index are *not* part of the key.
+        renamed = make_task(index=3)
+        assert renamed.cache_key() == base.cache_key()
+        distinct = [
+            make_task(source=SOURCE_B),
+            make_task(config="IP+WL(LIFO)"),
+            make_task(backend="bitset"),
+            make_task(timing="wall"),
+        ]
+        keys = {t.cache_key() for t in distinct} | {base.cache_key()}
+        assert len(keys) == len(distinct) + 1
+
+    def test_wall_repetitions_in_key_cost_not(self):
+        assert (
+            make_task(timing="wall", repetitions=1).cache_key()
+            != make_task(timing="wall", repetitions=5).cache_key()
+        )
+        assert (
+            make_task(timing="cost", repetitions=1).cache_key()
+            == make_task(timing="cost", repetitions=5).cache_key()
+        )
+
+    def test_configuration_cache_key_distinguishes_backend(self):
+        a = parse_name("IP+WL(FIFO)")
+        b = parse_name("IP+WL(FIFO)+PTS(bitset)")
+        assert a.cache_key != b.cache_key
+        assert "pts=set" in a.cache_key
+        assert "pts=bitset" in b.cache_key
+
+
+class TestCacheBehaviour:
+    def solve(self, task, cache):
+        results, stats = solve_tasks([task], cache=cache)
+        return results[0], stats
+
+    def test_miss_store_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = make_task()
+        cold, _ = self.solve(task, cache)
+        assert not cold.from_cache
+        assert (cache.stats.misses, cache.stats.stores) == (1, 1)
+        warm, _ = self.solve(task, ResultCache(tmp_path))
+        assert warm.from_cache
+        assert warm.solution == cold.solution
+        assert warm.runtime_s == cold.runtime_s
+
+    def test_invalidation_axes(self, tmp_path):
+        self.solve(make_task(), ResultCache(tmp_path))
+        for variant in (
+            make_task(source=SOURCE_B),
+            make_task(config="EP+Naive"),
+            make_task(backend="bitset"),
+        ):
+            cache = ResultCache(tmp_path)
+            result, _ = self.solve(variant, cache)
+            assert not result.from_cache
+            assert cache.stats.hits == 0 and cache.stats.misses == 1
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            "{not json at all",
+            '{"schema": 999, "runtime_s": 1, "solution": {}}',
+            '{"schema": 1, "runtime_s": "x", "solution": {"points_to": [],'
+            ' "external": [], "stats": {"explicit_pointees": 0}}}',
+            '{"schema": 1, "runtime_s": 1.0, "solution": {"points_to": {},'
+            ' "external": [], "stats": {"explicit_pointees": 0}}}',
+        ],
+    )
+    def test_corrupted_entries_are_discarded_not_fatal(
+        self, tmp_path, garbage
+    ):
+        cache = ResultCache(tmp_path)
+        task = make_task()
+        fresh, _ = self.solve(task, cache)
+        entry = cache._path(task.cache_key())
+        assert entry.exists()
+        entry.write_text(garbage)
+
+        healed_cache = ResultCache(tmp_path)
+        result, _ = self.solve(task, healed_cache)
+        assert not result.from_cache
+        assert healed_cache.stats.corrupted == 1
+        assert healed_cache.stats.misses == 1
+        assert result.solution == fresh.solution
+        # The bad entry was replaced by a good one.
+        rewarm, _ = self.solve(task, ResultCache(tmp_path))
+        assert rewarm.from_cache
+
+    def test_duplicate_tasks_are_coalesced(self, tmp_path):
+        """Two tasks with the same cache identity (e.g. a configuration
+        listed in two overlapping experiment groups) are solved once and
+        the result replicated — so under wall timing the cold report is
+        internally consistent with what a warm replay will say."""
+        tasks = [
+            make_task(timing="wall", index=0),
+            make_task(config="EP+Naive", timing="wall", index=1),
+            make_task(timing="wall", index=2),  # duplicate of index 0
+        ]
+        cache = ResultCache(tmp_path)
+        results, stats = solve_tasks(tasks, cache=cache)
+        assert stats.solved == 2
+        assert cache.stats.stores == 2
+        first, _, echo = results
+        assert echo.index == 2
+        assert echo.runtime_s == first.runtime_s
+        assert echo.solution is first.solution
+
+        warm, warm_stats = solve_tasks(tasks, cache=ResultCache(tmp_path))
+        assert warm_stats.solved == 0
+        assert [r.runtime_s for r in warm] == [r.runtime_s for r in results]
+
+    def test_cached_solution_matches_direct_solve(self, tmp_path):
+        task = make_task(config="EP+OVS+WL(LRF)+OCD")
+        direct = execute_task(task)
+        cache = ResultCache(tmp_path)
+        self.solve(task, cache)
+        warm, _ = self.solve(task, ResultCache(tmp_path))
+        assert warm.solution == direct.solution
+        assert warm.explicit_pointees == direct.explicit_pointees
