@@ -11,6 +11,13 @@ Commands
 ``sweep FILE``
     Solve one file under several configurations and report runtimes and
     explicit-pointee counts (validating identical solutions).
+``link FILE...``
+    Run the staged pipeline over several translation units, link their
+    constraint programs cross-TU, and solve the joint program.
+    ``--ladder`` additionally reports the k-of-N prefix ladder,
+    ``--cache`` memoises every stage artifact on disk, and ``--out``
+    writes the full report (link summary, solution, per-stage timings
+    and cache counters) as JSON.
 ``configs``
     List all valid solver configurations.
 """
@@ -137,6 +144,103 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_link(args) -> int:
+    import json
+
+    from .bench.ladder import format_table, ladder_over_members
+    from .driver import ResultCache
+    from .link import LinkError, LinkOptions
+    from .pipeline import Pipeline
+
+    config = parse_name(args.config) if args.config else DEFAULT_CONFIGURATION
+    options = LinkOptions(
+        internalize=args.internalize,
+        keep=tuple(args.keep.split(",")) if args.keep else ("main",),
+    )
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    pipeline = Pipeline(cache=cache)
+
+    sources = [
+        pipeline.source(pathlib.Path(f).name, pathlib.Path(f).read_text())
+        for f in args.files
+    ]
+    members = [pipeline.constraints(src) for src in sources]
+    try:
+        link_art = pipeline.link(members, options)
+    except LinkError as exc:
+        for error in exc.errors:
+            print(f"link error: {error}", file=sys.stderr)
+        return 1
+    linked = link_art.linked
+    solve_art = pipeline.solve(linked.program, config)
+    solution = solve_art.attach(linked.program)
+
+    summary = linked.summary()
+    print(f"; linked {summary['members']} modules:"
+          f" {summary['joint_vars']} constraint variables,"
+          f" {summary['joint_constraints']} constraints,"
+          f" configuration {config.name}")
+    resolved = linked.resolved_imports()
+    unresolved = linked.unresolved_imports()
+    print(f"; {len(resolved)} imports resolved across modules,"
+          f" {len(unresolved)} still external")
+    if resolved:
+        print("\nresolved cross-module:")
+        for name in resolved:
+            res = linked.resolutions[name]
+            refs = ", ".join(res.referenced_by)
+            print(f"  {name}: defined in {res.defined_in},"
+                  f" imported by {refs}")
+    if unresolved:
+        print("\nstill external (feed Ω):")
+        for name in unresolved:
+            print(f"  {name}")
+    print("\nexternally accessible:")
+    for name in sorted(map(str, solution.names(solution.external))):
+        print(f"  {name}")
+    if args.show_solution:
+        program = linked.program
+        print("\npoints-to sets:")
+        for p in solution.pointers():
+            targets = solution.points_to(p)
+            if not targets:
+                continue
+            names = sorted(map(str, solution.names(targets)))
+            print(f"  Sol({program.var_names[p]}) = {{{', '.join(names)}}}")
+
+    ladder_rungs = None
+    if args.ladder:
+        if options.internalize:
+            print("note: ladder always links prefixes in open mode",
+                  file=sys.stderr)
+        ladder_rungs = ladder_over_members(pipeline, members, config)
+        print("\nprefix ladder:")
+        print(format_table({"rungs": ladder_rungs}))
+
+    if args.out is not None:
+        report = {
+            "schema": 1,
+            "files": [src.name for src in sources],
+            "config": config.name,
+            "options": options.to_dict(),
+            "link": summary,
+            "resolved_imports": resolved,
+            "unresolved_imports": unresolved,
+            "solution": solution.to_named_canonical(),
+            "stages": pipeline.stage_report(timings=True),
+        }
+        if cache is not None:
+            report["cache"] = {
+                stage: stats.to_dict()
+                for stage, stats in sorted(cache.stage_stats.items())
+            }
+        if ladder_rungs is not None:
+            report["ladder"] = ladder_rungs
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def cmd_configs(args) -> int:
     configs = enumerate_configurations()
     for config in configs:
@@ -191,6 +295,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p.add_argument("configs", nargs="*", default=None)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "link", help="link several translation units and solve jointly"
+    )
+    p.add_argument("files", nargs="+", metavar="FILE")
+    p.add_argument("--config", default=None, help="e.g. IP+WL(FIFO)+PIP")
+    p.add_argument(
+        "--internalize",
+        action="store_true",
+        help="treat the link set as the whole program (LTO-style):"
+        " exported definitions outside --keep lose their linkage escape",
+    )
+    p.add_argument(
+        "--keep", default=None,
+        help="comma-separated symbols kept external under --internalize"
+        " (default: main)",
+    )
+    p.add_argument(
+        "--ladder",
+        action="store_true",
+        help="also solve every TU prefix and report the Ω-shrinkage ladder",
+    )
+    p.add_argument("--show-solution", action="store_true")
+    p.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="memoise stage artifacts under --cache-dir",
+    )
+    p.add_argument(
+        "--cache-dir", type=pathlib.Path, default=pathlib.Path(".repro-cache")
+    )
+    p.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the full report JSON here",
+    )
+    p.set_defaults(func=cmd_link)
 
     p = sub.add_parser("configs", help="list all valid configurations")
     p.set_defaults(func=cmd_configs)

@@ -46,8 +46,52 @@ ever see well-typed constraints.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class ProgramSymbol:
+    """Linkage-level identity of one named memory object (global or
+    function), as seen by the cross-TU linker (:mod:`repro.link`).
+
+    ``var`` is the constraint variable of the symbol's memory location.
+    ``linkage`` follows :attr:`repro.ir.values.GlobalValue.LINKAGES`:
+    ``internal`` symbols are invisible to other TUs and never merged;
+    ``import`` names a declaration satisfied elsewhere; ``external`` is
+    an exported definition.  ``type_key`` is the printed IR type, used
+    to diagnose def/decl mismatches at link time.
+    """
+
+    name: str
+    var: int
+    kind: str  # "func" | "data"
+    linkage: str  # "internal" | "external" | "import"
+    defined: bool
+    type_key: str
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "var": self.var,
+            "kind": self.kind,
+            "linkage": self.linkage,
+            "defined": self.defined,
+            "type_key": self.type_key,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ProgramSymbol":
+        return cls(
+            name=data["name"],
+            var=int(data["var"]),
+            kind=data["kind"],
+            linkage=data["linkage"],
+            defined=bool(data["defined"]),
+            type_key=data["type_key"],
+        )
 
 
 @dataclass(frozen=True)
@@ -107,6 +151,15 @@ class ConstraintProgram:
         self.flag_extcall: List[bool] = []
         #: index of the materialised Ω variable in EP-lowered programs
         self.omega: Optional[int] = None
+        #: linkage-level symbol table (name → :class:`ProgramSymbol`),
+        #: populated by the constraint builder; consumed by the linker
+        self.symbols: Dict[str, ProgramSymbol] = {}
+        #: variables whose ``flag_ea`` is due *solely* to linkage seeding
+        #: (exported/imported symbols).  A variable that also escaped
+        #: semantically (through data flow) is never in this set.  The
+        #: linker may clear linkage-seeded escapes when a symbol is
+        #: resolved within the link set; semantic escapes must survive.
+        self.linkage_ea: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Variables
@@ -239,8 +292,20 @@ class ConstraintProgram:
     # Extended constraints (Table II flags)
     # ------------------------------------------------------------------
 
-    def mark_externally_accessible(self, x: int) -> None:
-        """Ω ⊒ {x}: x escapes / is importable."""
+    def mark_externally_accessible(self, x: int, linkage: bool = False) -> None:
+        """Ω ⊒ {x}: x escapes / is importable.
+
+        ``linkage=True`` records that the escape comes from symbol
+        visibility (exported/imported linkage) rather than data flow;
+        such escapes are tracked in :attr:`linkage_ea` so the cross-TU
+        linker can recompute them.  A semantic escape (the default)
+        always wins: it can never be undone by linking.
+        """
+        if linkage:
+            if not self.flag_ea[x]:
+                self.linkage_ea.add(x)
+        else:
+            self.linkage_ea.discard(x)
         self.flag_ea[x] = True
 
     def mark_points_to_external(self, p: int) -> None:
@@ -266,6 +331,18 @@ class ConstraintProgram:
     def mark_imported_function(self, f: int) -> None:
         """ImpFunc(f): calls to f behave as Func(f, Ω, …, Ω)."""
         self.flag_impfunc[f] = True
+
+    # ------------------------------------------------------------------
+    # Symbols (linker interface)
+    # ------------------------------------------------------------------
+
+    def add_symbol(self, symbol: ProgramSymbol) -> None:
+        """Register one named memory object for cross-TU linking."""
+        if symbol.name in self.symbols:
+            raise ValueError(f"duplicate symbol {symbol.name!r}")
+        if not self.in_m[symbol.var]:
+            raise ValueError(f"symbol {symbol.name!r} is not a memory var")
+        self.symbols[symbol.name] = symbol
 
     # ------------------------------------------------------------------
     # Introspection
@@ -334,6 +411,91 @@ class ConstraintProgram:
                 if flags[v]:
                     lines.append(fmt.format(nm[v]))
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Canonical serialisation (stage cache / content addressing)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable canonical form of the whole program.
+
+        Fully deterministic: sets are emitted sorted, flag vectors as
+        0/1 lists, and the encoding is independent of construction
+        order for everything that is itself order-independent.  The
+        inverse is :meth:`from_dict`; :meth:`digest` hashes this form
+        to content-address pipeline stage artifacts.
+        """
+        return {
+            "name": self.name,
+            "var_names": list(self.var_names),
+            "in_p": [int(b) for b in self.in_p],
+            "in_m": [int(b) for b in self.in_m],
+            "base": [sorted(s) for s in self.base],
+            "simple_out": [sorted(s) for s in self.simple_out],
+            "load_from": [list(l) for l in self.load_from],
+            "store_into": [list(l) for l in self.store_into],
+            "funcs": [
+                [fc.func, fc.ret, list(fc.args), int(fc.variadic)]
+                for fc in self.funcs
+            ],
+            "calls": [
+                [cc.target, cc.ret, list(cc.args)] for cc in self.calls
+            ],
+            "flags": {
+                "ea": [int(b) for b in self.flag_ea],
+                "pte": [int(b) for b in self.flag_pte],
+                "pe": [int(b) for b in self.flag_pe],
+                "sscalar": [int(b) for b in self.flag_sscalar],
+                "lscalar": [int(b) for b in self.flag_lscalar],
+                "impfunc": [int(b) for b in self.flag_impfunc],
+                "extfunc": [int(b) for b in self.flag_extfunc],
+                "extcall": [int(b) for b in self.flag_extcall],
+            },
+            "omega": self.omega,
+            "symbols": [
+                self.symbols[name].to_dict() for name in sorted(self.symbols)
+            ],
+            "linkage_ea": sorted(self.linkage_ea),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ConstraintProgram":
+        """Rebuild a program from :meth:`to_dict` output."""
+        program = cls(data["name"])
+        program.var_names = list(data["var_names"])
+        program.in_p = [bool(b) for b in data["in_p"]]
+        program.in_m = [bool(b) for b in data["in_m"]]
+        program.base = [set(s) for s in data["base"]]
+        program.simple_out = [set(s) for s in data["simple_out"]]
+        program.load_from = [list(l) for l in data["load_from"]]
+        program.store_into = [list(l) for l in data["store_into"]]
+        for func, ret, args, variadic in data["funcs"]:
+            program.funcs_of.setdefault(func, []).append(len(program.funcs))
+            program.funcs.append(
+                FuncConstraint(func, ret, tuple(args), bool(variadic))
+            )
+        for target, ret, args in data["calls"]:
+            program.calls_on.setdefault(target, []).append(len(program.calls))
+            program.calls.append(CallConstraint(target, ret, tuple(args)))
+        flags = data["flags"]
+        program.flag_ea = [bool(b) for b in flags["ea"]]
+        program.flag_pte = [bool(b) for b in flags["pte"]]
+        program.flag_pe = [bool(b) for b in flags["pe"]]
+        program.flag_sscalar = [bool(b) for b in flags["sscalar"]]
+        program.flag_lscalar = [bool(b) for b in flags["lscalar"]]
+        program.flag_impfunc = [bool(b) for b in flags["impfunc"]]
+        program.flag_extfunc = [bool(b) for b in flags["extfunc"]]
+        program.flag_extcall = [bool(b) for b in flags["extcall"]]
+        program.omega = data["omega"]
+        for sym in data["symbols"]:
+            program.symbols[sym["name"]] = ProgramSymbol.from_dict(sym)
+        program.linkage_ea = set(data["linkage_ea"])
+        return program
+
+    def digest(self) -> str:
+        """Content hash of the canonical form (stage cache key part)."""
+        text = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

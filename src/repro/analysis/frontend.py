@@ -38,7 +38,7 @@ from ..ir.values import (
     UndefConstant,
     Value,
 )
-from .constraints import ConstraintProgram
+from .constraints import ConstraintProgram, ProgramSymbol
 
 
 @dataclass
@@ -124,6 +124,7 @@ class ConstraintBuilder:
         self.summaries = DEFAULT_SUMMARIES if summaries is None else summaries
         self.built = ModuleConstraints(module, self.program)
         self._null_reg: Optional[int] = None
+        self._current_fn: Optional[Function] = None
         #: summary functions whose address escaped into data flow; they
         #: fall back to ImpFunc for soundness on indirect calls
         self._address_taken_summaries: List[Value] = []
@@ -146,32 +147,66 @@ class ConstraintBuilder:
     def _declare_memory_objects(self) -> None:
         program, built = self.program, self.built
         for gv in self.module.globals.values():
-            built.memloc_of[gv] = program.add_memory(
+            loc = program.add_memory(
                 gv.name,
                 pointer_compatible=gv.value_type.is_pointer_compatible(),
             )
+            built.memloc_of[gv] = loc
+            program.add_symbol(
+                ProgramSymbol(
+                    name=gv.name,
+                    var=loc,
+                    kind="data",
+                    linkage=gv.linkage,
+                    defined=not gv.is_imported,
+                    type_key=str(gv.value_type),
+                )
+            )
         for fn in self.module.functions.values():
-            built.memloc_of[fn] = program.add_var(
+            loc = program.add_var(
                 fn.name, pointer_compatible=False, is_memory=True
+            )
+            built.memloc_of[fn] = loc
+            program.add_symbol(
+                ProgramSymbol(
+                    name=fn.name,
+                    var=loc,
+                    kind="func",
+                    linkage=fn.linkage,
+                    defined=not fn.is_declaration,
+                    type_key=str(fn.func_type),
+                )
             )
 
     def _is_imported(self, fn: Function) -> bool:
         return fn.is_declaration and fn.linkage in ("external", "import")
 
     def _seed_linkage_escapes(self) -> None:
-        """Exported and imported symbols are externally accessible."""
+        """Exported and imported symbols are externally accessible.
+
+        ``static`` (internal linkage) symbols are invisible outside the
+        translation unit: they must *never* receive a linkage-seeded
+        ``flag_ea`` — they can still escape semantically, through data
+        flow, but not by name.
+        """
         program, built = self.program, self.built
         for gv in self.module.globals.values():
+            if gv.linkage == "internal":
+                continue
             if gv.is_exported or gv.is_imported:
-                program.mark_externally_accessible(built.memloc_of[gv])
+                program.mark_externally_accessible(
+                    built.memloc_of[gv], linkage=True
+                )
         for fn in self.module.functions.values():
+            if fn.linkage == "internal":
+                continue
             loc = built.memloc_of[fn]
             if self._is_imported(fn):
-                program.mark_externally_accessible(loc)
+                program.mark_externally_accessible(loc, linkage=True)
                 if fn.name not in self.summaries:
                     program.mark_imported_function(loc)
             elif fn.is_exported:
-                program.mark_externally_accessible(loc)
+                program.mark_externally_accessible(loc, linkage=True)
 
     def _build_global_initializers(self) -> None:
         for gv in self.module.globals.values():
@@ -234,6 +269,7 @@ class ConstraintBuilder:
 
     def _build_function(self, fn: Function) -> None:
         program, built = self.program, self.built
+        self._current_fn = fn
         prefix = fn.name
         # Formal parameters.
         arg_vars: List[Optional[int]] = []
@@ -265,11 +301,20 @@ class ConstraintBuilder:
     # ------------------------------------------------------------------
 
     def model_heap_allocation(self, call: ins.Call) -> None:
-        """Result of an allocator call: a fresh per-site heap location."""
+        """Result of an allocator call: a fresh per-site heap location.
+
+        Sites are named ``heap.<function>.<instruction>`` — qualified by
+        the enclosing function (whose instruction names restart per
+        function), so site names are stable under cross-TU linking and
+        identical between a linked program and its concatenated-source
+        equivalent (a module-level counter would not be).
+        """
         result = self.built.var_of_value.get(call)
-        site = self.program.add_memory(
-            f"heap.{len(self.built.heap_site_of)}", pointer_compatible=True
-        )
+        if self._current_fn is not None and call.name:
+            site_name = f"heap.{self._current_fn.name}.{call.name}"
+        else:  # no enclosing function context (synthetic callers)
+            site_name = f"heap.{len(self.built.heap_site_of)}"
+        site = self.program.add_memory(site_name, pointer_compatible=True)
         self.built.heap_site_of[call] = site
         if result is not None:
             self.program.add_base(result, site)

@@ -179,6 +179,35 @@ class Solution:
             "stats": self.stats.to_dict(),
         }
 
+    def to_named_canonical(self) -> Dict:
+        """Name-keyed canonical form, restricted to memory locations.
+
+        Variable *indexes* differ between a cross-TU linked program and
+        the equivalent single-file build (registers are numbered in
+        construction order), but abstract memory locations — globals,
+        functions, allocas, heap sites — carry build-independent names.
+        This form keys pointers by name and keeps only pointers in M, so
+        two equivalent builds encode byte-identically under
+        ``json.dumps(..., sort_keys=True)``.  It is only meaningful for
+        programs whose memory-location names are unique (the corpus
+        generator guarantees this; C symbol rules guarantee it for
+        globals/functions, and alloca/heap names are function-qualified).
+        """
+        program = self.program
+        names = program.var_names
+        points_to = {}
+        for p in sorted(self._points_to):
+            if not program.in_m[p]:
+                continue
+            pointees = self._points_to[p]
+            points_to[names[p]] = sorted(
+                x if x == OMEGA else names[x] for x in pointees
+            )
+        return {
+            "points_to": points_to,
+            "external": sorted(names[x] for x in self.external),
+        }
+
     @classmethod
     def from_canonical_dict(
         cls, data: Dict, program: ConstraintProgram

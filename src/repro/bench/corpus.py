@@ -50,6 +50,19 @@ class FileSpec:
     #: through exported double pointers (the gdevp14.c-style pathology)
     pathological: bool = False
 
+    # -- multi-TU program fields (defaults are all no-ops, so single-file
+    # -- generation and its pinned rng sequences are byte-unchanged) ----
+    #: name prefix making this unit's symbols program-unique (``u0_``)
+    prefix: str = ""
+    #: fixed (name, kind, static) function plan; empty = draw from rng
+    function_plan: Tuple[Tuple[str, str, bool], ...] = ()
+    #: exported ``int*`` globals this unit must define (cross-TU data)
+    exported_ptr_globals: Tuple[str, ...] = ()
+    #: sibling units' exported functions, declared extern and callable
+    sibling_fns: Tuple[Tuple[str, str], ...] = ()
+    #: sibling units' exported ``int*`` globals, declared extern
+    sibling_ptr_globals: Tuple[str, ...] = ()
+
 
 @dataclass(frozen=True)
 class Profile:
@@ -126,7 +139,7 @@ class CFileGenerator:
 
     def fresh(self, prefix: str) -> str:
         self._counter += 1
-        return f"{prefix}{self._counter}"
+        return f"{self.spec.prefix}{prefix}{self._counter}"
 
     def generate(self) -> str:
         parts: List[str] = [self._prelude()]
@@ -169,12 +182,21 @@ class CFileGenerator:
             else:
                 lines.append(f"extern int* api_pvar{i};")
                 self.globals.append(Var(f"api_pvar{i}", "ptr"))
+        # Cross-TU surface: sibling units' exported functions and shared
+        # pointer globals.  Declared after the rng-drawn imports so the
+        # draw sequence of a prefix-free spec is untouched.
+        for name, kind in self.spec.sibling_fns:
+            lines.append(f"extern {_signature(name, kind)};")
+            self.functions.append((name, kind))
+        for name in self.spec.sibling_ptr_globals:
+            lines.append(f"extern int* {name};")
+            self.globals.append(Var(name, "ptr"))
         return "\n".join(lines)
 
     def _struct_defs(self) -> str:
         out = []
         for i in range(self.spec.n_structs):
-            name = f"node{i}"
+            name = f"{self.spec.prefix}node{i}"
             self.structs.append(name)
             out.append(
                 f"struct {name} {{\n"
@@ -195,6 +217,12 @@ class CFileGenerator:
     def _global_defs(self) -> str:
         rng = self.rng
         out = []
+        # Shared pointer cells this unit exports to its siblings: the
+        # cross-TU data edges of a multi-unit program.
+        for name in self.spec.exported_ptr_globals:
+            out.append(f"int* {name};")
+            self.globals.append(Var(name, "ptr"))
+            self.global_linkage[name] = "extern"
         if self.spec.pathological:
             # A field of escaped pointer cells plus exported hubs.
             n_cells = max(20, self.spec.size // 3)
@@ -262,18 +290,31 @@ class CFileGenerator:
     def _function_defs(self) -> List[str]:
         rng = self.rng
         specs = []
-        for i in range(self.spec.n_functions):
-            name = f"fn{i}"
-            static = rng.random() < self.spec.static_fraction
-            if static:
-                self.static_functions.append(name)
-            kind = rng.choice(["int(intp)", "ptr(intp)", "int(node)", "void(intp,int)"])
-            specs.append((name, kind, static))
-            self.functions.append((name, kind))
+        if self.spec.function_plan:
+            # Planned mode (multi-TU programs): names, kinds and the
+            # static set are fixed by the program planner so sibling
+            # units can import exactly the exported surface.
+            for name, kind, static in self.spec.function_plan:
+                if static:
+                    self.static_functions.append(name)
+                specs.append((name, kind, static))
+                self.functions.append((name, kind))
+        else:
+            for i in range(self.spec.n_functions):
+                name = f"{self.spec.prefix}fn{i}"
+                static = rng.random() < self.spec.static_fraction
+                if static:
+                    self.static_functions.append(name)
+                kind = rng.choice(
+                    ["int(intp)", "ptr(intp)", "int(node)", "void(intp,int)"]
+                )
+                specs.append((name, kind, static))
+                self.functions.append((name, kind))
         # Prototypes first so any function can call any other.
         protos = []
         for name, kind, static in specs:
-            protos.append(f"{'static ' if static else ''}{_signature(name, kind)};")
+            sig = _signature(name, kind, self.spec.prefix)
+            protos.append(f"{'static ' if static else ''}{sig};")
         bodies = ["\n".join(protos)]
         per_fn = max(6, self.spec.size // max(1, len(specs)))
         for name, kind, static in specs:
@@ -318,7 +359,10 @@ class CFileGenerator:
         elif kind.startswith("ptr"):
             ptrs = [v for v in env if v.kind == "ptr"]
             body.emit(f"return {rng.choice(ptrs).name};" if ptrs else "return 0;")
-        header = f"{'static ' if static else ''}{_signature(name, kind)}"
+        header = (
+            f"{'static ' if static else ''}"
+            f"{_signature(name, kind, self.spec.prefix)}"
+        )
         return header + " {\n" + "\n".join(body.lines) + "\n}"
 
     # ------------------------------------------------------------------
@@ -518,11 +562,11 @@ class CFileGenerator:
         body.emit("}")
 
 
-def _signature(name: str, kind: str) -> str:
+def _signature(name: str, kind: str, prefix: str = "") -> str:
     return {
         "int(intp)": f"int {name}(int* ap)",
         "ptr(intp)": f"int* {name}(int* ap)",
-        "int(node)": f"int {name}(struct node0* an)",
+        "int(node)": f"int {name}(struct {prefix}node0* an)",
         "void(intp,int)": f"void {name}(int* ap, int ai)",
     }[kind]
 
@@ -530,6 +574,116 @@ def _signature(name: str, kind: str) -> str:
 def generate_c_source(spec: FileSpec) -> str:
     """Generate the C text for one file spec."""
     return CFileGenerator(spec).generate()
+
+
+# ----------------------------------------------------------------------
+# Multi-TU programs (the cross-TU link workload)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Recipe for one deterministic multi-translation-unit program.
+
+    Every unit gets a distinct symbol prefix (``u0_``, ``u1_``, …), so
+    concatenating all unit sources into one file is valid C with the
+    same meaning — the oracle the link-vs-concatenation tests compare
+    against.  Units are wired together by a planner: each exports
+    functions and pointer globals, and imports a deterministic subset of
+    its siblings' exports (cross-file call and data edges).  A
+    controlled fraction of functions is ``static`` so link-stage
+    de-escaping has internal symbols to keep private.
+    """
+
+    name: str
+    seed: int
+    n_units: int = 4
+    unit_size: int = 50
+    n_functions: int = 5
+    n_globals: int = 6
+    static_fraction: float = 0.4
+    #: exported ``int*`` cells per unit, imported by every sibling
+    n_shared_ptr_globals: int = 2
+    #: sibling functions each unit imports (at most)
+    max_sibling_fns: int = 4
+    #: header-surface externs per unit (shared, unprefixed api_/ext_)
+    n_imports: int = 8
+
+
+_CALLABLE_KINDS = ("int(intp)", "ptr(intp)")
+
+
+def plan_program(spec: ProgramSpec) -> List[FileSpec]:
+    """Per-unit file specs with a consistent cross-TU import plan."""
+    # zlib.crc32 for the same reason as specs_for_profile: reproducible
+    # under randomised str hashing.
+    rng = random.Random(
+        (spec.seed << 16) ^ (zlib.crc32(spec.name.encode()) & 0xFFFF)
+    )
+    plans: List[Tuple[str, Tuple[Tuple[str, str, bool], ...], Tuple[str, ...]]] = []
+    for i in range(spec.n_units):
+        prefix = f"u{i}_"
+        functions = []
+        for j in range(spec.n_functions):
+            kind = rng.choice(
+                ["int(intp)", "ptr(intp)", "int(node)", "void(intp,int)"]
+            )
+            static = rng.random() < spec.static_fraction
+            functions.append((f"{prefix}fn{j}", kind, static))
+        if not any(not static for _, _, static in functions):
+            # Guarantee at least one exported function per unit so the
+            # sibling-import plan always has edges to draw.
+            name, kind, _ = functions[0]
+            functions[0] = (name, kind, False)
+        exported_ptrs = tuple(
+            f"{prefix}share{k}" for k in range(spec.n_shared_ptr_globals)
+        )
+        plans.append((prefix, tuple(functions), exported_ptrs))
+
+    specs: List[FileSpec] = []
+    for i, (prefix, functions, exported_ptrs) in enumerate(plans):
+        candidates = [
+            (name, kind)
+            for j, (_, sibling_functions, _) in enumerate(plans)
+            if j != i
+            for name, kind, static in sibling_functions
+            if not static and kind in _CALLABLE_KINDS
+        ]
+        n_pick = min(len(candidates), spec.max_sibling_fns)
+        sibling_fns = tuple(rng.sample(candidates, n_pick)) if n_pick else ()
+        sibling_ptrs = tuple(
+            name
+            for j, (_, _, sibling_exported) in enumerate(plans)
+            if j != i
+            for name in sibling_exported
+        )
+        specs.append(
+            FileSpec(
+                name=f"{spec.name}/unit{i}.c",
+                seed=rng.randrange(1 << 30),
+                size=spec.unit_size,
+                n_globals=spec.n_globals,
+                n_functions=spec.n_functions,
+                static_fraction=spec.static_fraction,
+                n_imports=spec.n_imports,
+                prefix=prefix,
+                function_plan=functions,
+                exported_ptr_globals=exported_ptrs,
+                sibling_fns=sibling_fns,
+                sibling_ptr_globals=sibling_ptrs,
+            )
+        )
+    return specs
+
+
+def concatenate_program(unit_specs: List[FileSpec]) -> str:
+    """The single-file equivalent of a multi-TU program.
+
+    Valid C by construction: unit symbols are prefix-unique (including
+    statics and struct tags), repeated identical extern declarations are
+    legal, and every unit declares its cross-TU imports before use.
+    """
+    return "\n".join(generate_c_source(spec) for spec in unit_specs)
 
 
 def specs_for_profile(

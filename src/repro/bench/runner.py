@@ -272,6 +272,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", type=pathlib.Path, default=None,
         help="write the canonical report JSON here",
     )
+    parser.add_argument(
+        "--ladder", type=int, default=0, metavar="N",
+        help="also run the N-unit incremental-completeness ladder"
+        " (staged pipeline, sharing this run's cache)",
+    )
+    parser.add_argument(
+        "--ladder-size", type=int, default=50,
+        help="statements per ladder translation unit",
+    )
+    parser.add_argument(
+        "--ladder-out", type=pathlib.Path, default=None,
+        help="write the full ladder report (incl. per-stage timings) here",
+    )
     args = parser.parse_args(argv)
 
     t0 = time.time()
@@ -304,6 +317,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out is not None:
         args.out.write_text(results.to_json() + "\n")
         print(f"\nwrote {args.out}")
+
+    if args.ladder > 0:
+        from ..analysis.config import parse_name
+        from .corpus import ProgramSpec
+        from .ladder import (
+            DEFAULT_CONFIG_NAME,
+            check_monotone,
+            format_table,
+            run_ladder,
+        )
+
+        spec = ProgramSpec(
+            name=f"ladder-{args.ladder}x{args.ladder_size}",
+            seed=args.seed,
+            n_units=args.ladder,
+            unit_size=args.ladder_size,
+        )
+        ladder_config = parse_name(
+            (args.configs or [DEFAULT_CONFIG_NAME])[0]
+        )
+        report = run_ladder(spec, ladder_config, cache=cache)
+        print(f"\nincremental completeness ({spec.name},"
+              f" {ladder_config.name}):")
+        print(format_table(report))
+        for problem in check_monotone(report["rungs"]):
+            print(f"warning: {problem}")
+        stage_lines = ", ".join(
+            f"{stage} {stats['seconds']:.3f}s"
+            f" ({stats['runs']}r/{stats['hits']}h)"
+            for stage, stats in report["stages"].items()
+        )
+        print(f"stages: {stage_lines}")
+        if args.ladder_out is not None:
+            args.ladder_out.write_text(
+                json.dumps(report, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            print(f"wrote {args.ladder_out}")
     return 0
 
 

@@ -64,9 +64,82 @@ class ResultCache:
     def __init__(self, root: Optional[os.PathLike] = None) -> None:
         self.root = pathlib.Path(root if root is not None else DEFAULT_CACHE_DIR)
         self.stats = CacheStats()
+        #: per-pipeline-stage hit counters (stage name → stats); the
+        #: solve-task counters above are kept separate for compatibility
+        self.stage_stats: Dict[str, CacheStats] = {}
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / "solve" / key[:2] / f"{key}.json"
+
+    def _stage_path(self, stage: str, key: str) -> pathlib.Path:
+        # Stage entries live in their own namespace so they can never
+        # collide with (or corrupt-delete) solve-task entries.
+        return self.root / "stages" / stage / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Generic stage entries (repro.pipeline)
+    # ------------------------------------------------------------------
+
+    def stats_for(self, stage: str) -> CacheStats:
+        """Hit/miss counters for one pipeline stage (created lazily)."""
+        stats = self.stage_stats.get(stage)
+        if stats is None:
+            stats = self.stage_stats[stage] = CacheStats()
+        return stats
+
+    def load_stage(self, stage: str, key: str) -> Optional[Dict]:
+        """The cached payload for one stage artifact, or None on a miss.
+
+        Self-healing like :meth:`load`: unparsable or wrong-schema
+        entries are deleted and reported as misses.
+        """
+        stats = self.stats_for(stage)
+        path = self._stage_path(stage, key)
+        try:
+            text = path.read_text()
+        except OSError:
+            stats.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
+            if entry["schema"] != CACHE_SCHEMA:
+                raise ValueError(f"schema {entry['schema']} != {CACHE_SCHEMA}")
+            if entry["stage"] != stage:
+                raise ValueError(f"stage {entry['stage']!r} != {stage!r}")
+            payload = entry["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not a dict")
+        except (ValueError, KeyError, TypeError):
+            stats.corrupted += 1
+            stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        stats.hits += 1
+        return payload
+
+    def store_stage(self, stage: str, key: str, payload: Dict) -> None:
+        """Persist one stage artifact (atomic same-directory rename)."""
+        path = self._stage_path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA, "stage": stage, "payload": payload}
+        text = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats_for(stage).stores += 1
 
     # ------------------------------------------------------------------
 

@@ -49,7 +49,12 @@ from .values import (
     UndefConstant,
     Value,
 )
-from .verifier import VerificationError, compute_address_taken, verify_module
+from .verifier import (
+    VerificationError,
+    compute_address_taken,
+    verify_module,
+    verify_modules,
+)
 
 __all__ = [
     "types",
@@ -89,6 +94,7 @@ __all__ = [
     "IRParseError",
     "collect_struct_types",
     "verify_module",
+    "verify_modules",
     "VerificationError",
     "compute_address_taken",
 ]

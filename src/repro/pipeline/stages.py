@@ -1,0 +1,351 @@
+"""Typed stage artifacts and the :class:`Pipeline` orchestrator.
+
+The monolithic ``compile_c`` → ``build_constraints`` → solve path is
+split into explicit stages, each producing a content-addressed artifact:
+
+========  ===========================  ==============================
+stage     artifact                     cache key hashes
+========  ===========================  ==============================
+source    :class:`SourceArtifact`      the source text itself
+parse     AST translation unit         (in-memory memo by source digest)
+lower     :class:`repro.ir.Module`     (in-memory memo by source digest)
+constr    :class:`ConstraintsArtifact` source digest + summaries tag
+link      :class:`LinkArtifact`        member program digests + options
+solve     :class:`SolveArtifact`       program digest + configuration
+========  ===========================  ==============================
+
+The ``constraints``, ``link`` and ``solve`` stages persist to the
+driver's :class:`~repro.driver.cache.ResultCache` (when one is given)
+under the ``stages/`` namespace; ``parse`` and ``lower`` produce live
+object graphs (AST/IR) that are cheap relative to their serialised
+size, so they are memoised in-process only — a disk hit on the
+*constraints* stage means they never run at all, which is exactly how a
+configuration-only change skips parsing.
+
+Every stage key embeds a per-stage version string, bumped whenever the
+artifact encoding or the producing algorithm changes meaning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.config import Configuration, prepare_program, solve_prepared
+from ..analysis.constraints import ConstraintProgram
+from ..analysis.frontend import SummaryFn, build_constraints
+from ..analysis.solution import Solution
+from ..driver.cache import ResultCache
+from ..frontend import analyse, lower, parse, preprocess
+from ..ir.module import Module
+from ..ir.verifier import compute_address_taken, verify_module
+from ..link import LinkedProgram, LinkOptions, link_programs
+
+#: per-stage artifact-encoding versions; bumping one invalidates exactly
+#: that stage's cache entries (and, through key chaining, downstream ones)
+STAGE_VERSIONS = {
+    "constraints": "1",
+    "link": "1",
+    "solve": "1",
+}
+
+
+def _key(stage: str, *parts: str) -> str:
+    raw = "|".join((stage, STAGE_VERSIONS[stage]) + parts)
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Artifacts
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SourceArtifact:
+    """One translation unit's text, content-addressed."""
+
+    name: str
+    text: str
+    digest: str
+
+    @classmethod
+    def of(cls, name: str, text: str) -> "SourceArtifact":
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return cls(name, text, digest)
+
+
+@dataclass
+class ConstraintsArtifact:
+    """Phase-1 output of one TU: its constraint program."""
+
+    name: str
+    key: str
+    program: ConstraintProgram
+    #: content hash of the *program* (not the source) — downstream
+    #: stages chain on this, so two sources lowering to the same
+    #: constraints share link/solve entries
+    program_digest: str
+    from_cache: bool = False
+
+
+@dataclass
+class LinkArtifact:
+    """The joint constraint program of a member set."""
+
+    key: str
+    linked: LinkedProgram
+    from_cache: bool = False
+
+
+@dataclass
+class SolveArtifact:
+    """A canonical solution for one (program, configuration) pair."""
+
+    key: str
+    config_name: str
+    solution: Dict  # Solution.to_canonical_dict() form
+    from_cache: bool = False
+
+    def attach(self, program: ConstraintProgram) -> Solution:
+        """Rehydrate a full :class:`Solution` against ``program``."""
+        return Solution.from_canonical_dict(self.solution, program)
+
+
+# ----------------------------------------------------------------------
+# Stage accounting
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StageStats:
+    """One stage's execution/caching accounting for a pipeline run."""
+
+    runs: int = 0  # times the stage actually did its work
+    hits: int = 0  # disk-cache hits (persistent stages only)
+    misses: int = 0
+    memo_hits: int = 0  # in-process memo hits (parse/lower)
+    seconds: float = 0.0
+
+    def to_dict(self, timings: bool = True) -> Dict:
+        out: Dict = {
+            "runs": self.runs,
+            "hits": self.hits,
+            "misses": self.misses,
+            "memo_hits": self.memo_hits,
+        }
+        if timings:
+            out["seconds"] = round(self.seconds, 6)
+        return out
+
+
+class _Timed:
+    """Context manager accumulating wall time into a stage's stats."""
+
+    def __init__(self, stats: StageStats):
+        self.stats = stats
+
+    def __enter__(self) -> "_Timed":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stats.seconds += time.perf_counter() - self._t0
+
+
+# ----------------------------------------------------------------------
+# The pipeline
+# ----------------------------------------------------------------------
+
+
+class Pipeline:
+    """Orchestrates the staged source→solution path for one process.
+
+    ``cache`` enables the persistent stages; ``summaries`` selects the
+    external-function summary registry for constraint building, with
+    ``summaries_tag`` naming it inside cache keys (callers passing a
+    custom registry must pass a distinct tag, or cache poisoning across
+    registries would go unnoticed).
+    """
+
+    STAGES = ("parse", "lower", "constraints", "link", "solve")
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        summaries: Optional[Dict[str, SummaryFn]] = None,
+        summaries_tag: str = "default",
+    ) -> None:
+        if summaries is not None and summaries_tag == "default":
+            raise ValueError(
+                "custom summaries require a distinct summaries_tag"
+            )
+        self.cache = cache
+        self.summaries = summaries
+        self.summaries_tag = summaries_tag
+        self.stats: Dict[str, StageStats] = {
+            stage: StageStats() for stage in self.STAGES
+        }
+        # Memo keys include the TU *name*: two identical sources under
+        # different names are still distinct modules (and must carry
+        # their own names into linker diagnostics).
+        self._units: Dict[tuple, object] = {}  # (name, digest) → AST unit
+        self._modules: Dict[tuple, Module] = {}  # (name, digest) → Module
+
+    # ------------------------------------------------------------------
+
+    def source(self, name: str, text: str) -> SourceArtifact:
+        return SourceArtifact.of(name, text)
+
+    def parse(self, src: SourceArtifact):
+        """Source → AST translation unit (in-memory memo)."""
+        unit = self._units.get((src.name, src.digest))
+        if unit is not None:
+            self.stats["parse"].memo_hits += 1
+            return unit
+        with _Timed(self.stats["parse"]):
+            text = preprocess(src.text, filename=src.name)
+            unit = parse(text, src.name)
+        self.stats["parse"].runs += 1
+        self._units[(src.name, src.digest)] = unit
+        return unit
+
+    def lower(self, src: SourceArtifact) -> Module:
+        """AST translation unit → verified ir.Module (in-memory memo)."""
+        module = self._modules.get((src.name, src.digest))
+        if module is not None:
+            self.stats["lower"].memo_hits += 1
+            return module
+        unit = self.parse(src)
+        with _Timed(self.stats["lower"]):
+            module = lower(analyse(unit), src.name)
+            verify_module(module)
+            compute_address_taken(module)
+        self.stats["lower"].runs += 1
+        self._modules[(src.name, src.digest)] = module
+        return module
+
+    def constraints(self, src: SourceArtifact) -> ConstraintsArtifact:
+        """ir.Module → constraint program (persistent stage).
+
+        A disk hit rebuilds the program from its canonical dict without
+        ever parsing the source — the stage that makes configuration
+        changes and N−1 unchanged files cheap.
+        """
+        stats = self.stats["constraints"]
+        key = _key("constraints", src.digest, self.summaries_tag)
+        if self.cache is not None:
+            payload = self.cache.load_stage("constraints", key)
+            if payload is not None:
+                stats.hits += 1
+                program = ConstraintProgram.from_dict(payload["program"])
+                digest = payload["digest"]
+                if program.name != src.name:
+                    # Entry written for an identical source under a
+                    # different name: re-label (the program name feeds
+                    # linker diagnostics) and re-digest.
+                    program.name = src.name
+                    digest = program.digest()
+                return ConstraintsArtifact(
+                    src.name, key, program, digest, from_cache=True
+                )
+            stats.misses += 1
+        module = self.lower(src)
+        with _Timed(stats):
+            program = build_constraints(module, self.summaries).program
+            digest = program.digest()
+        stats.runs += 1
+        if self.cache is not None:
+            self.cache.store_stage(
+                "constraints",
+                key,
+                {"program": program.to_dict(), "digest": digest},
+            )
+        return ConstraintsArtifact(src.name, key, program, digest)
+
+    def link(
+        self,
+        members: Sequence[ConstraintsArtifact],
+        options: Optional[LinkOptions] = None,
+    ) -> LinkArtifact:
+        """Constraint programs → joint linked program (persistent stage)."""
+        options = options if options is not None else LinkOptions()
+        stats = self.stats["link"]
+        key = _key(
+            "link",
+            options.cache_key,
+            *[f"{m.name}:{m.program_digest}" for m in members],
+        )
+        if self.cache is not None:
+            payload = self.cache.load_stage("link", key)
+            if payload is not None:
+                stats.hits += 1
+                return LinkArtifact(
+                    key, LinkedProgram.from_dict(payload), from_cache=True
+                )
+            stats.misses += 1
+        with _Timed(stats):
+            linked = link_programs([m.program for m in members], options)
+        stats.runs += 1
+        if self.cache is not None:
+            self.cache.store_stage("link", key, linked.to_dict())
+        return LinkArtifact(key, linked)
+
+    def solve(
+        self,
+        program: ConstraintProgram,
+        config: Configuration,
+        program_digest: Optional[str] = None,
+    ) -> SolveArtifact:
+        """Constraint program → canonical solution (persistent stage)."""
+        stats = self.stats["solve"]
+        digest = (
+            program_digest if program_digest is not None else program.digest()
+        )
+        key = _key("solve", digest, config.cache_key)
+        if self.cache is not None:
+            payload = self.cache.load_stage("solve", key)
+            if payload is not None:
+                stats.hits += 1
+                return SolveArtifact(
+                    key, config.name, payload["solution"], from_cache=True
+                )
+            stats.misses += 1
+        with _Timed(stats):
+            solution = solve_prepared(prepare_program(program, config), config)
+        stats.runs += 1
+        canonical = solution.to_canonical_dict()
+        if self.cache is not None:
+            self.cache.store_stage("solve", key, {"solution": canonical})
+        return SolveArtifact(key, config.name, canonical)
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+
+    def analyze_source(
+        self, name: str, text: str, config: Configuration
+    ) -> SolveArtifact:
+        """Single-file source → solution through all stages."""
+        art = self.constraints(self.source(name, text))
+        return self.solve(art.program, config, art.program_digest)
+
+    def link_sources(
+        self,
+        sources: Sequence[SourceArtifact],
+        options: Optional[LinkOptions] = None,
+    ) -> LinkArtifact:
+        """Sources → linked joint program through all stages."""
+        members = [self.constraints(src) for src in sources]
+        return self.link(members, options)
+
+    # ------------------------------------------------------------------
+
+    def stage_report(self, timings: bool = True) -> Dict[str, Dict]:
+        """Per-stage run/hit counters (and wall time unless excluded —
+        canonical cold/warm-comparable reports must exclude timings)."""
+        return {
+            stage: self.stats[stage].to_dict(timings=timings)
+            for stage in self.STAGES
+        }

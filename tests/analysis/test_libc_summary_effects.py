@@ -1,0 +1,166 @@
+"""Focused unit tests for individual libc summary effects.
+
+Complements ``test_summaries.py`` (which exercises the DSL end to end)
+with direct coverage of ``returns_alloc``, ``returns_arg``, the
+two-effect ``realloc`` summary and ``memcpy``'s deep copy — including
+the null/undefined operand paths, where every effect must degrade to a
+no-op instead of crashing.
+"""
+
+from repro.analysis import OMEGA, analyze_source
+from repro.analysis.summaries import LIBC_SUMMARIES
+
+
+def analyse(source):
+    return analyze_source(source, "t.c", summaries=LIBC_SUMMARIES)
+
+
+def pointees_of(result, var_name):
+    program = result.built.program
+    v = program.var_names.index(var_name)
+    return result.solution.names(result.solution.points_to(v))
+
+
+class TestReturnsAlloc:
+    def test_malloc_returns_fresh_site(self):
+        result = analyse(
+            "extern void *malloc(unsigned long n);\n"
+            "static int *p;\n"
+            "void f(void) { p = malloc(4); }\n"
+        )
+        names = pointees_of(result, "p")
+        assert any(str(n).startswith("heap.") for n in names)
+        assert OMEGA not in names
+
+    def test_each_call_site_is_a_distinct_object(self):
+        result = analyse(
+            "extern void *malloc(unsigned long n);\n"
+            "static int *p; static int *q;\n"
+            "void f(void) { p = malloc(4); q = malloc(4); }\n"
+        )
+        p_names = {str(n) for n in pointees_of(result, "p")}
+        q_names = {str(n) for n in pointees_of(result, "q")}
+        assert p_names and q_names and p_names != q_names
+
+    def test_calloc_also_allocates(self):
+        result = analyse(
+            "extern void *calloc(unsigned long n, unsigned long s);\n"
+            "int *p;\n"
+            "void f(void) { p = calloc(1, 4); }\n"
+        )
+        assert any(str(n).startswith("heap.") for n in pointees_of(result, "p"))
+
+
+class TestReturnsArg:
+    def test_strcpy_returns_destination(self):
+        result = analyse(
+            "extern char *strcpy(char *d, const char *s);\n"
+            "char buf[8];\n"
+            "char *out;\n"
+            "void f(const char *s) { out = strcpy(buf, s); }\n"
+        )
+        assert "buf" in pointees_of(result, "out")
+
+    def test_null_argument_degrades_to_noop(self):
+        # strcpy(buf, 0): the src operand is a null constant, not a
+        # constraint variable — returns_arg/deep_copies must skip it.
+        result = analyse(
+            "extern char *strcpy(char *d, const char *s);\n"
+            "char buf[8];\n"
+            "char *out;\n"
+            "void f(void) { out = strcpy(buf, 0); }\n"
+        )
+        assert "buf" in pointees_of(result, "out")
+
+    def test_missing_argument_degrades_to_noop(self):
+        # Calling through an unprototyped declaration with too few
+        # arguments: position 1 does not exist — no crash, no effect.
+        result = analyse(
+            "extern char *strcpy();\n"
+            "char buf[8];\n"
+            "char *out;\n"
+            "void f(void) { out = strcpy(buf); }\n"
+        )
+        assert "buf" in pointees_of(result, "out")
+
+
+class TestRealloc:
+    def test_realloc_returns_both_alloc_and_argument(self):
+        # p = realloc(q, n) may return q's block or a fresh one.
+        result = analyse(
+            "extern void *malloc(unsigned long n);\n"
+            "extern void *realloc(void *p, unsigned long n);\n"
+            "static int *q; static int *p;\n"
+            "void f(void) { q = malloc(4); p = realloc(q, 8); }\n"
+        )
+        p_names = {str(n) for n in pointees_of(result, "p")}
+        q_names = {str(n) for n in pointees_of(result, "q")}
+        # Every block q may hold is still reachable through p...
+        assert q_names <= p_names
+        # ...plus realloc's own fresh site.
+        assert len(p_names) > len(q_names)
+
+    def test_realloc_null_argument(self):
+        # realloc(0, n) is malloc(n): the returns_arg(0) effect sees a
+        # null operand and must degrade to a no-op.
+        result = analyse(
+            "extern void *realloc(void *p, unsigned long n);\n"
+            "static int *p;\n"
+            "void f(void) { p = realloc(0, 8); }\n"
+        )
+        names = pointees_of(result, "p")
+        assert any(str(n).startswith("heap.") for n in names)
+        assert OMEGA not in names
+
+
+class TestMemcpy:
+    def test_deep_copy_transfers_pointees(self):
+        # memcpy copies *contents*: dst's pointees gain src's pointees.
+        result = analyse(
+            "extern void *memcpy(void *d, const void *s, unsigned long n);\n"
+            "int x;\n"
+            "int *src_cell = &x;\n"
+            "int *dst_cell;\n"
+            "void f(void) { memcpy(&dst_cell, &src_cell, sizeof(int *)); }\n"
+        )
+        assert "x" in pointees_of(result, "dst_cell")
+
+    def test_memcpy_returns_destination(self):
+        result = analyse(
+            "extern void *memcpy(void *d, const void *s, unsigned long n);\n"
+            "int a[4]; int b[4];\n"
+            "void *out;\n"
+            "void f(void) { out = memcpy(a, b, sizeof(a)); }\n"
+        )
+        assert "a" in pointees_of(result, "out")
+
+    def test_memcpy_does_not_escape_operands(self):
+        result = analyse(
+            "extern void *memcpy(void *d, const void *s, unsigned long n);\n"
+            "static int a[4];\n"
+            "static int b[4];\n"
+            "static void fill(void) { memcpy(a, b, sizeof(a)); }\n"
+            "int keep(void) { fill(); return a[0]; }\n"
+        )
+        external = result.solution.names(result.solution.external)
+        assert "a" not in external and "b" not in external
+
+    def test_memcpy_null_source(self):
+        result = analyse(
+            "extern void *memcpy(void *d, const void *s, unsigned long n);\n"
+            "static int *dst_cell;\n"
+            "static void *out;\n"
+            "void f(void) { out = memcpy(&dst_cell, 0, 8); }\n"
+        )
+        # No crash; dst gains nothing from the null source.
+        assert "dst_cell" not in pointees_of(result, "dst_cell")
+
+    def test_memmove_behaves_like_memcpy(self):
+        result = analyse(
+            "extern void *memmove(void *d, const void *s, unsigned long n);\n"
+            "int x;\n"
+            "int *src_cell = &x;\n"
+            "int *dst_cell;\n"
+            "void f(void) { memmove(&dst_cell, &src_cell, sizeof(int *)); }\n"
+        )
+        assert "x" in pointees_of(result, "dst_cell")

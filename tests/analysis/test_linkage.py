@@ -1,0 +1,105 @@
+"""Internal-linkage (``static``) handling in escape seeding.
+
+A ``static`` function or global cannot be named by other translation
+units, so it must NOT be seeded externally accessible — only its
+address actually flowing somewhere external can escape it.
+"""
+
+from repro.analysis import analyze_source
+
+
+def run(source):
+    return analyze_source(source, "t.c")
+
+
+class TestStaticSeeding:
+    def test_static_global_not_seeded(self):
+        result = run(
+            "static int hidden;\n"
+            "int exposed;\n"
+            "int read(void) { return hidden + exposed; }\n"
+        )
+        external = result.solution.names(result.solution.external)
+        assert "hidden" not in external
+        assert "exposed" in external
+
+    def test_static_function_not_seeded(self):
+        result = run(
+            "static int helper(void) { return 1; }\n"
+            "int api(void) { return helper(); }\n"
+        )
+        external = result.solution.names(result.solution.external)
+        assert "helper" not in external
+        assert "api" in external
+
+    def test_static_escapes_when_address_flows_out(self):
+        # static-ness is linkage, not confinement: publishing the
+        # address through an exported pointer cell still escapes it.
+        result = run(
+            "static int hidden;\n"
+            "int *leak = &hidden;\n"
+        )
+        external = result.solution.names(result.solution.external)
+        assert "hidden" in external
+
+    def test_static_pointer_global_contents_not_pte(self):
+        # An exported int* global is a pointer the external world can
+        # write (PTE); a static one is not.
+        result = run(
+            "static int a;\n"
+            "static int *priv = &a;\n"
+            "int *read(void) { return priv; }\n"
+        )
+        program = result.built.program
+        priv = program.var_names.index("priv")
+        assert not program.flag_pte[priv]
+        assert not program.flag_ea[priv]
+
+
+class TestLinkageBookkeeping:
+    def test_linkage_ea_records_seeded_escapes(self):
+        result = run("int exported;\nstatic int hidden;\n")
+        program = result.built.program
+        exported = program.var_names.index("exported")
+        hidden = program.var_names.index("hidden")
+        assert exported in program.linkage_ea
+        assert hidden not in program.linkage_ea
+
+    def test_semantic_mark_clears_linkage_bit(self):
+        from repro.analysis.constraints import ConstraintProgram
+
+        program = ConstraintProgram("t")
+        v = program.add_var("g", pointer_compatible=False, is_memory=True)
+        program.mark_externally_accessible(v, linkage=True)
+        assert v in program.linkage_ea
+        # A later *semantic* escape takes precedence: the location is
+        # externally accessible no matter what the linker decides.
+        program.mark_externally_accessible(v)
+        assert v not in program.linkage_ea
+        assert program.flag_ea[v]
+
+    def test_linkage_bit_not_set_over_existing_semantic(self):
+        from repro.analysis.constraints import ConstraintProgram
+
+        program = ConstraintProgram("t")
+        v = program.add_var("g", pointer_compatible=False, is_memory=True)
+        program.mark_externally_accessible(v)  # semantic first
+        program.mark_externally_accessible(v, linkage=True)
+        assert v not in program.linkage_ea
+
+    def test_symbols_record_linkage(self):
+        result = run(
+            "static int hidden;\n"
+            "int exported;\n"
+            "extern int imported;\n"
+            "static int helper(void) { return hidden + imported; }\n"
+            "int api(void) { return helper() + exported; }\n"
+        )
+        symbols = result.built.program.symbols
+        assert symbols["hidden"].linkage == "internal"
+        assert symbols["helper"].linkage == "internal"
+        assert symbols["exported"].linkage == "external"
+        assert symbols["api"].linkage == "external"
+        assert symbols["imported"].linkage == "import"
+        assert not symbols["imported"].defined
+        assert symbols["exported"].defined

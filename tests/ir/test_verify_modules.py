@@ -1,0 +1,79 @@
+"""Multi-module IR verification (cross-TU symbol consistency)."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.ir import VerificationError, verify_modules
+
+
+def mod(name, source):
+    return compile_c(source, name)
+
+
+class TestDuplicateDefinitions:
+    def test_duplicate_function_definition(self):
+        a = mod("a.c", "int f(void) { return 0; }\n")
+        b = mod("b.c", "int f(void) { return 1; }\n")
+        with pytest.raises(VerificationError) as exc:
+            verify_modules([a, b])
+        message = str(exc.value)
+        assert "duplicate definition of @f" in message
+        assert "'a.c'" in message and "'b.c'" in message
+
+    def test_duplicate_global_definition(self):
+        a = mod("a.c", "int g;\n")
+        b = mod("b.c", "int g = 0;\n")
+        with pytest.raises(VerificationError) as exc:
+            verify_modules([a, b])
+        assert "duplicate definition of @g" in str(exc.value)
+
+    def test_static_definitions_do_not_collide(self):
+        a = mod("a.c", "static int g;\nint ra(void) { return g; }\n")
+        b = mod("b.c", "static int g;\nint rb(void) { return g; }\n")
+        verify_modules([a, b])  # must not raise
+
+    def test_one_definition_many_declarations_ok(self):
+        a = mod("a.c", "int counter;\n")
+        b = mod("b.c", "extern int counter;\nint rb(void) { return counter; }\n")
+        c = mod("c.c", "extern int counter;\nint rc(void) { return counter; }\n")
+        verify_modules([a, b, c])
+
+
+class TestTypeConsistency:
+    def test_function_type_mismatch(self):
+        a = mod("a.c", "int *f(void) { static int x; return &x; }\n")
+        b = mod("b.c", "extern int f(int *p);\nint g(void) { return f(0); }\n")
+        with pytest.raises(VerificationError) as exc:
+            verify_modules([a, b])
+        message = str(exc.value)
+        assert "@f" in message
+        assert "'a.c'" in message and "'b.c'" in message
+
+    def test_unprototyped_declaration_is_lenient(self):
+        a = mod("a.c", "int f(int *p) { return *p; }\n")
+        b = mod("b.c", "extern int f();\nint g(void) { return f(); }\n")
+        verify_modules([a, b])  # C89 unprototyped decl matches anything
+
+    def test_global_type_mismatch(self):
+        a = mod("a.c", "int g;\n")
+        b = mod("b.c", "extern int *g;\nint *rb(void) { return g; }\n")
+        with pytest.raises(VerificationError) as exc:
+            verify_modules([a, b])
+        assert "@g" in str(exc.value)
+
+    def test_kind_mismatch_function_vs_data(self):
+        a = mod("a.c", "int f(void) { return 0; }\n")
+        b = mod("b.c", "extern int f;\nint g(void) { return f; }\n")
+        with pytest.raises(VerificationError) as exc:
+            verify_modules([a, b])
+        message = str(exc.value)
+        assert "@f" in message
+        assert "'a.c'" in message and "'b.c'" in message
+
+
+class TestSingleModuleStillChecked:
+    def test_per_function_checks_run_on_every_module(self):
+        # verify_modules subsumes verify_module on each member.
+        good = mod("a.c", "int ok(void) { return 0; }\n")
+        verify_modules([good])
+        verify_modules([])  # vacuous but legal
