@@ -18,8 +18,15 @@ Commands
     ``--cache`` memoises every stage artifact on disk, and ``--out``
     writes the full report (link summary, solution, per-stage timings
     and cache counters) as JSON.
+``run ...``
+    The corpus experiment runner (``repro.bench.runner``); all its
+    arguments pass through, e.g. ``repro run --jobs 4 --profile``.
 ``configs``
     List all valid solver configurations.
+
+``sweep``, ``link`` and ``run`` accept ``--profile`` (collect obs
+metrics) and ``--trace-out FILE`` (JSONL trace events; implies
+``--profile``).  Profiling never changes solutions or cache contents.
 """
 
 from __future__ import annotations
@@ -39,6 +46,29 @@ from .analysis import (
 )
 from .frontend import compile_c
 from .ir import print_module
+
+
+def _obs_setup(args):
+    """(registry, trace) from the shared --profile/--trace-out options."""
+    from .obs import Registry, TraceWriter
+
+    profiling = args.profile or args.trace_out is not None
+    registry = Registry() if profiling else None
+    trace = (
+        TraceWriter(args.trace_out) if args.trace_out is not None else None
+    )
+    return registry, trace
+
+
+def _add_obs_options(parser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect obs metrics (counters/timers) for this run",
+    )
+    parser.add_argument(
+        "--trace-out", type=pathlib.Path, default=None,
+        help="write JSONL trace events here (implies --profile)",
+    )
 
 
 def _load_module(path: str, headers_dir: Optional[str]):
@@ -129,9 +159,21 @@ def cmd_sweep(args) -> int:
         built = build_constraints(module)
         contexts = {digest: FileContext(path.name, digest, built.program)}
     cache = ResultCache(args.cache_dir) if args.cache else None
-    results, stats = solve_tasks(
-        tasks, jobs=args.jobs, cache=cache, contexts=contexts
-    )
+    registry, trace = _obs_setup(args)
+    try:
+        results, stats = solve_tasks(
+            tasks,
+            jobs=args.jobs,
+            cache=cache,
+            contexts=contexts,
+            registry=registry,
+            trace=trace,
+        )
+        if trace is not None:
+            trace.emit("metrics", "sweep", registry.to_dict())
+    finally:
+        if trace is not None:
+            trace.close()
     print(f"{'configuration':>24}  {'time':>10}  {'explicit pointees':>18}")
     for result in results:
         pointees = result.explicit_pointees
@@ -141,6 +183,15 @@ def cmd_sweep(args) -> int:
     print("\nall configurations produced the identical solution")
     if args.cache or args.jobs > 1:
         print(stats)
+    if registry is not None:
+        print(
+            f"profile: {registry.counter('solver.solves')} solves,"
+            f" {registry.counter('solver.visits')} visits,"
+            f" {registry.counter('solver.propagations')} propagations,"
+            f" {registry.counter('solver.pair_evals')} pair evals"
+        )
+    if args.trace_out is not None:
+        print(f"wrote {args.trace_out}")
     return 0
 
 
@@ -158,7 +209,8 @@ def cmd_link(args) -> int:
         keep=tuple(args.keep.split(",")) if args.keep else ("main",),
     )
     cache = ResultCache(args.cache_dir) if args.cache else None
-    pipeline = Pipeline(cache=cache)
+    registry, trace = _obs_setup(args)
+    pipeline = Pipeline(cache=cache, registry=registry)
 
     sources = [
         pipeline.source(pathlib.Path(f).name, pathlib.Path(f).read_text())
@@ -170,10 +222,19 @@ def cmd_link(args) -> int:
     except LinkError as exc:
         for error in exc.errors:
             print(f"link error: {error}", file=sys.stderr)
+        if trace is not None:
+            trace.close()
         return 1
     linked = link_art.linked
     solve_art = pipeline.solve(linked.program, config)
     solution = solve_art.attach(linked.program)
+    if trace is not None:
+        trace.emit("link", "+".join(src.name for src in sources),
+                   linked.summary())
+        for stage, stage_stats in pipeline.stage_report(timings=True).items():
+            trace.emit("stage", stage, stage_stats)
+        trace.emit("metrics", "link", registry.to_dict())
+        trace.close()
 
     summary = linked.summary()
     print(f"; linked {summary['members']} modules:"
@@ -229,6 +290,8 @@ def cmd_link(args) -> int:
             "solution": solution.to_named_canonical(),
             "stages": pipeline.stage_report(timings=True),
         }
+        if registry is not None:
+            report["metrics"] = registry.to_dict()
         if cache is not None:
             report["cache"] = {
                 stage: stats.to_dict()
@@ -238,7 +301,15 @@ def cmd_link(args) -> int:
             report["ladder"] = ladder_rungs
         args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"\nwrote {args.out}")
+    if args.trace_out is not None:
+        print(f"wrote {args.trace_out}")
     return 0
+
+
+def cmd_run(args) -> int:
+    from .bench.runner import main as runner_main
+
+    return runner_main(list(args.args))
 
 
 def cmd_configs(args) -> int:
@@ -250,6 +321,15 @@ def cmd_configs(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # ``run`` forwards verbatim to repro.bench.runner's own parser.
+    # Forward before parsing: argparse.REMAINDER cannot capture leading
+    # options (``repro run --jobs 2`` would be rejected here otherwise).
+    if argv[:1] == ["run"]:
+        from .bench.runner import main as runner_main
+
+        return runner_main(argv[1:])
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -293,6 +373,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument(
         "--cache-dir", type=pathlib.Path, default=pathlib.Path(".repro-cache")
     )
+    _add_obs_options(p)
     p.add_argument("configs", nargs="*", default=None)
     p.set_defaults(func=cmd_sweep)
 
@@ -331,7 +412,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", type=pathlib.Path, default=None,
         help="write the full report JSON here",
     )
+    _add_obs_options(p)
     p.set_defaults(func=cmd_link)
+
+    p = sub.add_parser(
+        "run",
+        help="corpus experiment runner (repro.bench.runner pass-through)",
+    )
+    p.add_argument(
+        "args", nargs=argparse.REMAINDER,
+        help="arguments for repro.bench.runner (see its --help)",
+    )
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("configs", help="list all valid configurations")
     p.set_defaults(func=cmd_configs)

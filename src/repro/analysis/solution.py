@@ -52,6 +52,12 @@ class SolverStats:
     #: distinct canonical Sol sets in the extracted solution after
     #: interning (MDE-style sharing; see ``repro.analysis.pts.intern``)
     shared_sets: int = 0
+    #: store/load (pointee, target) pair evaluations: for every visited
+    #: store ``*n ⊇ q`` / load ``p ⊇ *n``, the number of pointer-
+    #: compatible pointees the rule pairs with the target that round
+    #: (after any native pre-filtering) — the §VI "complex rule work"
+    #: axis the coarse visit count cannot see
+    pair_evals: int = 0
     #: simple edges added during solving
     edges_added: int = 0
     #: cycle unifications performed

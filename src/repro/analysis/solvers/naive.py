@@ -161,6 +161,7 @@ class NaiveSolver:
             for p in program.load_from[q]:
                 for x in sq:
                     if program.in_p[x]:
+                        self.stats.pair_evals += 1
                         changed |= self._add_edge(x, p)
                     elif program.in_m[x]:
                         changed |= self._mark_pte_any(p)  # §V-B
@@ -173,6 +174,7 @@ class NaiveSolver:
             for p in program.store_into[q]:
                 for x in sq:
                     if program.in_p[x]:
+                        self.stats.pair_evals += 1
                         changed |= self._add_edge(p, x)
                     elif program.in_m[x]:
                         changed |= self._mark_pe_any(p)  # §V-B

@@ -16,7 +16,19 @@ solving performance (paper §II-C).  Five orders are implemented:
 
 All orders share the same contract: ``push`` enqueues a node (idempotent
 while it is still pending), ``pop`` returns a node or None when empty.
-Nodes may be unified while queued; solvers canonicalise popped nodes.
+
+Nodes may be *unified* while queued (cycle collapses in the solver).
+Every order therefore takes an optional ``canon`` callable — the
+solver's union-find ``find`` — and pops skip-and-discard through it:
+pushes canonicalise, and a popped id whose representative is no longer
+itself is a *stale alias*, removed from the pending set and dropped
+without firing.  Dropping is sound because a unifying solver pushes the
+survivor at union time (see ``WorklistSolver._after_union``), so the
+alias entry never carries the only record of work.  Without this, dead
+ids linger in ``_pending`` after a unification — ``__bool__`` keeps
+reporting work, the representative re-fires once per absorbed alias,
+and LRF priorities get charged to ids that no longer exist.  ``canon``
+defaults to the identity so the orders remain usable standalone.
 """
 
 from __future__ import annotations
@@ -26,10 +38,20 @@ from collections import deque
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 
+def _identity(v: int) -> int:
+    return v
+
+
 class Worklist:
     """Abstract worklist interface."""
 
     name = "<abstract>"
+
+    def __init__(
+        self, num_vars: int, canon: Optional[Callable[[int], int]] = None
+    ):
+        self._pending: Set[int] = set()
+        self._canon: Callable[[int], int] = canon or _identity
 
     def push(self, v: int) -> None:
         raise NotImplementedError
@@ -37,56 +59,70 @@ class Worklist:
     def pop(self) -> Optional[int]:
         raise NotImplementedError
 
+    def _resolve(self, v: int) -> Optional[int]:
+        """Skip-and-discard one popped id.
+
+        Removes ``v`` from pending and returns it as the node to visit,
+        or None when the entry is stale: ``v`` was already drained, or
+        it was unified away (its union pushed the surviving
+        representative, so firing the alias would only re-visit a node
+        that is — or already was — queued in its own right).
+        """
+        if v not in self._pending:
+            return None
+        self._pending.remove(v)
+        if self._canon(v) != v:
+            return None
+        return v
+
     def __bool__(self) -> bool:
-        raise NotImplementedError
+        return bool(self._pending)
 
 
 class FIFOWorklist(Worklist):
     name = "FIFO"
 
-    def __init__(self, num_vars: int):
+    def __init__(
+        self, num_vars: int, canon: Optional[Callable[[int], int]] = None
+    ):
+        super().__init__(num_vars, canon)
         self._queue: deque = deque()
-        self._pending: Set[int] = set()
 
     def push(self, v: int) -> None:
+        v = self._canon(v)
         if v not in self._pending:
             self._pending.add(v)
             self._queue.append(v)
 
     def pop(self) -> Optional[int]:
         while self._queue:
-            v = self._queue.popleft()
-            if v in self._pending:
-                self._pending.remove(v)
-                return v
+            c = self._resolve(self._queue.popleft())
+            if c is not None:
+                return c
         return None
-
-    def __bool__(self) -> bool:
-        return bool(self._pending)
 
 
 class LIFOWorklist(Worklist):
     name = "LIFO"
 
-    def __init__(self, num_vars: int):
+    def __init__(
+        self, num_vars: int, canon: Optional[Callable[[int], int]] = None
+    ):
+        super().__init__(num_vars, canon)
         self._stack: List[int] = []
-        self._pending: Set[int] = set()
 
     def push(self, v: int) -> None:
+        v = self._canon(v)
         if v not in self._pending:
             self._pending.add(v)
             self._stack.append(v)
 
     def pop(self) -> Optional[int]:
         while self._stack:
-            v = self._stack.pop()
-            if v in self._pending:
-                self._pending.remove(v)
-                return v
+            c = self._resolve(self._stack.pop())
+            if c is not None:
+                return c
         return None
-
-    def __bool__(self) -> bool:
-        return bool(self._pending)
 
 
 class LRFWorklist(Worklist):
@@ -94,14 +130,17 @@ class LRFWorklist(Worklist):
 
     name = "LRF"
 
-    def __init__(self, num_vars: int):
+    def __init__(
+        self, num_vars: int, canon: Optional[Callable[[int], int]] = None
+    ):
+        super().__init__(num_vars, canon)
         self._heap: List = []
-        self._pending: Set[int] = set()
         self._last_fired: Dict[int, int] = {}
         self._clock = 0
         self._seq = 0
 
     def push(self, v: int) -> None:
+        v = self._canon(v)
         if v in self._pending:
             return
         self._pending.add(v)
@@ -111,15 +150,14 @@ class LRFWorklist(Worklist):
     def pop(self) -> Optional[int]:
         while self._heap:
             _, _, v = heapq.heappop(self._heap)
-            if v in self._pending:
-                self._pending.remove(v)
+            c = self._resolve(v)
+            if c is not None:
+                # Fire times are charged to the *canonical* id — the one
+                # future pushes will look up — never to absorbed aliases.
                 self._clock += 1
-                self._last_fired[v] = self._clock
-                return v
+                self._last_fired[c] = self._clock
+                return c
         return None
-
-    def __bool__(self) -> bool:
-        return bool(self._pending)
 
 
 class TwoPhaseLRFWorklist(Worklist):
@@ -127,15 +165,18 @@ class TwoPhaseLRFWorklist(Worklist):
 
     name = "2LRF"
 
-    def __init__(self, num_vars: int):
+    def __init__(
+        self, num_vars: int, canon: Optional[Callable[[int], int]] = None
+    ):
+        super().__init__(num_vars, canon)
         self._current: List = []
         self._next: Set[int] = set()
-        self._pending: Set[int] = set()
         self._last_fired: Dict[int, int] = {}
         self._clock = 0
         self._seq = 0
 
     def push(self, v: int) -> None:
+        v = self._canon(v)
         if v in self._pending:
             return
         self._pending.add(v)
@@ -154,17 +195,16 @@ class TwoPhaseLRFWorklist(Worklist):
         while True:
             while self._current:
                 _, _, v = heapq.heappop(self._current)
-                if v in self._pending and v not in self._next:
-                    self._pending.remove(v)
+                if v in self._next:  # re-pushed: wait for the next phase
+                    continue
+                c = self._resolve(v)
+                if c is not None:
                     self._clock += 1
-                    self._last_fired[v] = self._clock
-                    return v
+                    self._last_fired[c] = self._clock
+                    return c
             if not self._next:
                 return None
             self._start_phase()
-
-    def __bool__(self) -> bool:
-        return bool(self._pending)
 
 
 class TopoWorklist(Worklist):
@@ -181,15 +221,16 @@ class TopoWorklist(Worklist):
         self,
         num_vars: int,
         successors: Optional[Callable[[int], Iterable[int]]] = None,
+        canon: Optional[Callable[[int], int]] = None,
     ):
-        self._pending: Set[int] = set()
+        super().__init__(num_vars, canon)
         self._round: List[int] = []
         self.successors: Callable[[int], Iterable[int]] = successors or (
             lambda v: ()
         )
 
     def push(self, v: int) -> None:
-        self._pending.add(v)
+        self._pending.add(self._canon(v))
 
     def _order_round(self) -> None:
         pending = self._pending
@@ -200,16 +241,12 @@ class TopoWorklist(Worklist):
     def pop(self) -> Optional[int]:
         while True:
             while self._round:
-                v = self._round.pop()
-                if v in self._pending:
-                    self._pending.remove(v)
-                    return v
+                c = self._resolve(self._round.pop())
+                if c is not None:
+                    return c
             if not self._pending:
                 return None
             self._order_round()
-
-    def __bool__(self) -> bool:
-        return bool(self._pending)
 
 
 def _topological(

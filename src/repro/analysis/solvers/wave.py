@@ -200,6 +200,7 @@ class WaveSolver:
             # Stores.
             if st.stores[n]:
                 for q in st.canonical_targets(st.stores[n]):
+                    st.stats.pair_evals += len(wptr_reps)
                     for xr in wptr_reps:
                         new_edges.add((q, xr))
                     if w_incompat:
@@ -209,6 +210,7 @@ class WaveSolver:
             # Loads.
             if st.loads[n]:
                 for p in st.canonical_targets(st.loads[n]):
+                    st.stats.pair_evals += len(wptr_reps)
                     for xr in wptr_reps:
                         new_edges.add((xr, p))
                     if w_incompat:

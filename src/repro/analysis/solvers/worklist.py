@@ -83,7 +83,12 @@ class WorklistSolver:
         self._delta_update = self.state.pts.delta_update
         self._pts_empty = self.state.pts.empty
         wl_cls = WORKLIST_ORDERS[order]
-        self.worklist: Worklist = wl_cls(program.num_vars)
+        # The worklist canonicalises through the solver's union-find so
+        # cycle collapses retire queued aliases instead of re-firing the
+        # representative once per absorbed node.
+        self.worklist: Worklist = wl_cls(
+            program.num_vars, canon=self.state.find
+        )
         if isinstance(self.worklist, TopoWorklist):
             self.worklist.successors = self.state.canonical_succ
         self.detector = cycle_detector
@@ -374,6 +379,7 @@ class WorklistSolver:
             for q in st.canonical_targets(st.stores[n]):
                 if wptr_reps:
                     cand = wptr_reps - succ[q] if prefilter else wptr_reps
+                    st.stats.pair_evals += len(cand)
                     for xr in cand:
                         new_edges.add((q, xr))
                 if store_pe:
@@ -386,6 +392,7 @@ class WorklistSolver:
         if st.loads[n]:
             load_pte = w_incompat or st.pte[n]  # §V-B / LOADFROMΩ
             for p in st.canonical_targets(st.loads[n]):
+                st.stats.pair_evals += len(wptr_reps)
                 for xr in wptr_reps:
                     if prefilter and p in succ[xr]:
                         continue
@@ -483,7 +490,9 @@ class WorklistSolver:
         if st.stores[n]:
             for q in st.canonical_targets(st.stores[n]):
                 if wptr_reps:
-                    for xr in wptr_reps - succ[q]:
+                    cand = wptr_reps - succ[q]
+                    st.stats.pair_evals += len(cand)
+                    for xr in cand:
                         new_edges.add((q, xr))
                 if w_incompat:
                     marks_pe.add(q)
@@ -491,6 +500,7 @@ class WorklistSolver:
         # Load edges p ⊇ *n (same dedup, per source this time).
         if st.loads[n]:
             for p in st.canonical_targets(st.loads[n]):
+                st.stats.pair_evals += len(wptr_reps)
                 for xr in wptr_reps:
                     if p in succ[xr]:
                         continue

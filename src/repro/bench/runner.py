@@ -28,6 +28,7 @@ from ..driver import (
     source_digest,
     validate_agreement,
 )
+from ..obs import Registry, TraceWriter
 from .suite import CorpusFile
 
 #: the named configurations of Table V
@@ -86,6 +87,10 @@ class RunResults:
     #: hit/miss counters, job count); never part of :meth:`to_json` —
     #: the canonical report must be identical between cold and warm runs
     driver: Optional[DriverStats] = None
+    #: merged obs registry (``Registry.to_dict()``) when the run was
+    #: profiled; None — and absent from :meth:`to_json` — otherwise, so
+    #: unprofiled reports are byte-identical to pre-obs ones
+    metrics: Optional[Dict] = None
 
     def record(self, run: FileRun) -> None:
         self.runs.append(run)
@@ -117,6 +122,8 @@ class RunResults:
             "schema": 1,
             "runs": [dataclasses.asdict(run) for run in self.runs],
         }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     @classmethod
@@ -187,6 +194,8 @@ def run_experiment(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     timing: str = "wall",
+    registry: Optional[Registry] = None,
+    trace: Optional[TraceWriter] = None,
 ) -> RunResults:
     """Measure solver runtime for each (file, configuration) pair.
 
@@ -199,6 +208,10 @@ def run_experiment(
     on disk; ``timing`` is ``"wall"`` (measured) or ``"cost"``
     (deterministic work-counter pseudo-time).  Results are recorded in
     file-major task order for every job count.
+
+    An enabled ``registry`` profiles the run (its merged snapshot lands
+    on :attr:`RunResults.metrics`); ``trace`` receives one ``solve``
+    event per task.  Neither changes solutions, runtimes or cache keys.
     """
     files = list(files)
     tasks = build_tasks(
@@ -206,13 +219,20 @@ def run_experiment(
     )
     contexts = build_contexts(files) if jobs == 1 else None
     task_results, driver_stats = solve_tasks(
-        tasks, jobs=jobs, cache=cache, contexts=contexts
+        tasks,
+        jobs=jobs,
+        cache=cache,
+        contexts=contexts,
+        registry=registry,
+        trace=trace,
     )
     if validate:
         validate_agreement(task_results)
 
     profiles = {file.spec.name: _profile_of(file) for file in files}
     results = RunResults(driver=driver_stats)
+    if registry is not None and registry.enabled:
+        results.metrics = registry.to_dict()
     for result in task_results:
         results.record(
             FileRun(
@@ -273,6 +293,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the canonical report JSON here",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="collect obs metrics (adds a 'metrics' block to --out)",
+    )
+    parser.add_argument(
+        "--trace-out", type=pathlib.Path, default=None,
+        help="write JSONL trace events here (implies --profile)",
+    )
+    parser.add_argument(
         "--ladder", type=int, default=0, metavar="N",
         help="also run the N-unit incremental-completeness ladder"
         " (staged pipeline, sharing this run's cache)",
@@ -298,18 +326,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"corpus: {len(files)} files built in {time.time() - t0:.0f}s")
 
     cache = ResultCache(args.cache_dir) if args.cache else None
-    t0 = time.time()
-    results = run_experiment(
-        files,
-        args.configs or TABLE5_CONFIGS,
-        repetitions=args.repetitions,
-        pts_backend=args.pts_backend,
-        jobs=args.jobs,
-        cache=cache,
-        timing=args.timing,
+    profiling = args.profile or args.trace_out is not None
+    registry = Registry() if profiling else None
+    trace = (
+        TraceWriter(args.trace_out) if args.trace_out is not None else None
     )
+    t0 = time.time()
+    try:
+        results = run_experiment(
+            files,
+            args.configs or TABLE5_CONFIGS,
+            repetitions=args.repetitions,
+            pts_backend=args.pts_backend,
+            jobs=args.jobs,
+            cache=cache,
+            timing=args.timing,
+            registry=registry,
+            trace=trace,
+        )
+        if trace is not None:
+            trace.emit("metrics", "run", registry.to_dict())
+    finally:
+        if trace is not None:
+            trace.close()
     print(f"{len(results.runs)} runs in {time.time() - t0:.1f}s")
     print(results.driver)
+    if registry is not None:
+        print(
+            f"profile: {registry.counter('solver.solves')} solves,"
+            f" {registry.counter('solver.visits')} visits,"
+            f" {registry.counter('solver.propagations')} propagations,"
+            f" {registry.counter('solver.pair_evals')} pair evals"
+        )
+    if args.trace_out is not None:
+        print(f"wrote {args.trace_out}")
     print()
     print(table5(results))
     print()

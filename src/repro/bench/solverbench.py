@@ -42,6 +42,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..driver import ResultCache, SolveTask, TaskResult, solve_tasks, source_digest
+from ..obs import Registry, TraceWriter
 from .runner import build_contexts
 from .suite import CorpusFile, build_corpus, flatten
 from .timing import distribution
@@ -166,6 +167,8 @@ def run_benchmark(
     profiles: Optional[List[str]] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    registry: Optional[Registry] = None,
+    trace: Optional[TraceWriter] = None,
 ) -> Dict:
     """Build the corpus, measure both backends, return one run record.
 
@@ -173,7 +176,10 @@ def run_benchmark(
     driver's process pool.  ``cache`` is **off by default** here, unlike
     the experiment runner: a timing benchmark that replays cached wall
     times measures the code as it was when the entry was written, which
-    is only meaningful when explicitly requested (``--cache``).
+    is only meaningful when explicitly requested (``--cache``).  An
+    enabled ``registry`` adds a ``metrics`` block to the run record (the
+    profiled solve is a separate, untimed pass — wall measurements stay
+    clean); ``trace`` gets one ``solve`` event per measurement task.
     """
     if quick and profiles is None:
         profiles = ["500.perlbench", "502.gcc"]
@@ -206,7 +212,12 @@ def run_benchmark(
     )
     contexts = build_contexts(files) if jobs == 1 else None
     results, driver_stats = solve_tasks(
-        tasks, jobs=jobs, cache=cache, contexts=contexts
+        tasks,
+        jobs=jobs,
+        cache=cache,
+        contexts=contexts,
+        registry=registry,
+        trace=trace,
     )
     measurements = pair_rows(results, meta)
     print(f"  {len(tasks)} measurements in {time.time() - t0:.1f}s"
@@ -220,7 +231,12 @@ def run_benchmark(
             "speedup": distribution(speedups),
         }
     headline = summary["propagation"]["speedup"]["p50"]
-    return {
+    metrics = (
+        registry.to_dict()
+        if registry is not None and registry.enabled
+        else None
+    )
+    record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "params": {
@@ -243,6 +259,9 @@ def run_benchmark(
         "speedup_target": SPEEDUP_TARGET,
         "target_met": headline >= SPEEDUP_TARGET,
     }
+    if metrics is not None:
+        record["metrics"] = metrics
+    return record
 
 
 def append_trajectory(path: pathlib.Path, record: Dict) -> None:
@@ -290,21 +309,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--cache-dir", type=pathlib.Path, default=pathlib.Path(".repro-cache")
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect obs metrics into the run record (measured wall"
+        " times are unaffected: only the untimed solve is profiled)",
+    )
+    parser.add_argument(
+        "--trace-out", type=pathlib.Path, default=None,
+        help="write JSONL trace events here (implies --profile)",
+    )
     args = parser.parse_args(argv)
     repetitions = args.repetitions
     if repetitions is None:
         repetitions = 1 if args.quick else 2
 
-    record = run_benchmark(
-        files_scale=args.files_scale,
-        size_scale=args.size_scale,
-        seed=args.seed,
-        min_vars=args.min_vars,
-        repetitions=repetitions,
-        quick=args.quick,
-        jobs=args.jobs,
-        cache=ResultCache(args.cache_dir) if args.cache else None,
+    profiling = args.profile or args.trace_out is not None
+    registry = Registry() if profiling else None
+    trace = (
+        TraceWriter(args.trace_out) if args.trace_out is not None else None
     )
+    try:
+        record = run_benchmark(
+            files_scale=args.files_scale,
+            size_scale=args.size_scale,
+            seed=args.seed,
+            min_vars=args.min_vars,
+            repetitions=repetitions,
+            quick=args.quick,
+            jobs=args.jobs,
+            cache=ResultCache(args.cache_dir) if args.cache else None,
+            registry=registry,
+            trace=trace,
+        )
+        if trace is not None:
+            trace.emit("metrics", "solverbench", registry.to_dict())
+    finally:
+        if trace is not None:
+            trace.close()
     append_trajectory(args.out, record)
 
     print(f"\nwrote {args.out}")

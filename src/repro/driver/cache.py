@@ -31,7 +31,7 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: bump to invalidate every existing entry (e.g. when the canonical
 #: solution encoding or the stats schema changes shape)
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2  # 2: SolverStats grew the pair_evals counter
 
 
 @dataclass
@@ -76,6 +76,38 @@ class ResultCache:
         # collide with (or corrupt-delete) solve-task entries.
         return self.root / "stages" / stage / key[:2] / f"{key}.json"
 
+    @staticmethod
+    def _read_entry(path: pathlib.Path, stats: CacheStats) -> Optional[str]:
+        """Read one entry file, or None on a miss.
+
+        Only the errors a healthy cache can produce are swallowed: a
+        missing file (or a parent directory that is not a directory) is
+        a plain miss, undecodable bytes are a corrupt entry.  Any other
+        OSError — permissions, I/O failure, too many open files — is a
+        real environment problem and propagates to the caller instead of
+        being silently re-solved around.
+        """
+        try:
+            return path.read_text()
+        except (FileNotFoundError, NotADirectoryError):
+            stats.misses += 1
+            return None
+        except (UnicodeDecodeError, IsADirectoryError):
+            ResultCache._discard_corrupt(path, stats)
+            return None
+
+    @staticmethod
+    def _discard_corrupt(path: pathlib.Path, stats: CacheStats) -> None:
+        """Count and delete one unusable entry (self-healing miss)."""
+        stats.corrupted += 1
+        stats.misses += 1
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+        except IsADirectoryError:  # a directory squatting on the path
+            pass
+
     # ------------------------------------------------------------------
     # Generic stage entries (repro.pipeline)
     # ------------------------------------------------------------------
@@ -95,10 +127,8 @@ class ResultCache:
         """
         stats = self.stats_for(stage)
         path = self._stage_path(stage, key)
-        try:
-            text = path.read_text()
-        except OSError:
-            stats.misses += 1
+        text = self._read_entry(path, stats)
+        if text is None:
             return None
         try:
             entry = json.loads(text)
@@ -110,12 +140,7 @@ class ResultCache:
             if not isinstance(payload, dict):
                 raise ValueError("payload is not a dict")
         except (ValueError, KeyError, TypeError):
-            stats.corrupted += 1
-            stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._discard_corrupt(path, stats)
             return None
         stats.hits += 1
         return payload
@@ -136,7 +161,7 @@ class ResultCache:
         except BaseException:
             try:
                 os.unlink(tmp)
-            except OSError:
+            except FileNotFoundError:
                 pass
             raise
         self.stats_for(stage).stores += 1
@@ -151,10 +176,8 @@ class ResultCache:
         time but never correctness.
         """
         path = self._path(task.cache_key())
-        try:
-            text = path.read_text()
-        except OSError:
-            self.stats.misses += 1
+        text = self._read_entry(path, self.stats)
+        if text is None:
             return None
         try:
             entry = json.loads(text)
@@ -170,12 +193,7 @@ class ResultCache:
                 raise ValueError("external is not a list")
             int(solution["stats"]["explicit_pointees"])
         except (ValueError, KeyError, TypeError):
-            self.stats.corrupted += 1
-            self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._discard_corrupt(path, self.stats)
             return None
         self.stats.hits += 1
         return TaskResult(
@@ -211,7 +229,7 @@ class ResultCache:
         except BaseException:
             try:
                 os.unlink(tmp)
-            except OSError:
+            except FileNotFoundError:
                 pass
             raise
         self.stats.stores += 1

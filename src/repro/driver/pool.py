@@ -22,13 +22,22 @@ process boundary.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import Registry, TraceWriter, record_solver_stats
 from .cache import CacheStats, ResultCache
-from .tasks import FileContext, SolveTask, TaskResult, context_for, execute_task
+from .tasks import (
+    FileContext,
+    SolveTask,
+    TaskResult,
+    context_for,
+    execute_task,
+    reset_contexts,
+)
 
 
 @dataclass
@@ -59,13 +68,40 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer fork (fast start, inherits PYTHONPATH and loaded modules);
-    fall back to the platform default where fork is unavailable."""
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context()
+def _pool_context(
+    start_method: Optional[str] = None,
+) -> multiprocessing.context.BaseContext:
+    """The multiprocessing context the pool runs on.
+
+    Prefers ``fork`` (fast start, inherits ``sys.path`` and loaded
+    modules) and falls back to ``spawn`` where fork does not exist —
+    asking the platform which methods it *supports* rather than probing
+    with try/except, because ``get_context`` also raises ValueError for
+    typos, which must not silently downgrade to the platform default.
+    An explicit ``start_method`` must be supported or this raises.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in available:
+            raise ValueError(
+                f"start method {start_method!r} not available"
+                f" (supported: {available})"
+            )
+        return multiprocessing.get_context(start_method)
+    for method in ("fork", "spawn"):
+        if method in available:
+            return multiprocessing.get_context(method)
+    return multiprocessing.get_context()  # pragma: no cover - exotic platform
+
+
+def _init_worker() -> None:
+    """Pool initializer: start every worker with an empty FileContext
+    memo.  Under spawn the module is re-imported fresh anyway; under
+    fork the worker would otherwise inherit whatever the parent process
+    had memoised, making worker behaviour depend on the start method
+    (and on parent history).  Resetting here makes both methods solve
+    from identical state."""
+    reset_contexts()
 
 
 def solve_tasks(
@@ -74,6 +110,9 @@ def solve_tasks(
     cache: Optional[ResultCache] = None,
     contexts: Optional[Dict[str, FileContext]] = None,
     progress: Optional[Callable[[TaskResult], None]] = None,
+    registry: Optional[Registry] = None,
+    trace: Optional[TraceWriter] = None,
+    start_method: Optional[str] = None,
 ) -> Tuple[List[TaskResult], DriverStats]:
     """Execute ``tasks``, returning results ordered by task index.
 
@@ -82,6 +121,14 @@ def solve_tasks(
     :class:`FileContext`); it only applies to the ``jobs=1`` path —
     worker processes always re-derive their own.  ``progress`` is called
     once per completed task, in completion order.
+
+    An enabled ``registry`` turns on per-task profiling: every solved
+    task carries its worker-local metrics back on the result, and they
+    are merged here **in task-index order** (with ``driver.*`` and
+    ``driver.cache.*`` counters added on top), so the merged registry is
+    identical for any ``jobs`` value and either pool start method.  A
+    ``trace`` writer gets one ``solve`` event per task, also in index
+    order.  Neither affects solutions, runtimes or cache keys.
     """
     tasks = list(tasks)
     if len({t.index for t in tasks}) != len(tasks):
@@ -89,6 +136,12 @@ def solve_tasks(
     jobs = max(1, jobs)
     stats = DriverStats(jobs=jobs, tasks=len(tasks))
     results: Dict[int, TaskResult] = {}
+    profiling = registry is not None and registry.enabled
+    if profiling:
+        # Delta-snapshot the cache counters: the same ResultCache object
+        # is commonly reused across solve_tasks calls, and this call
+        # must only account for its own hits/misses.
+        cache_before = cache.stats.to_dict() if cache is not None else None
 
     pending: List[SolveTask] = []
     if cache is not None:
@@ -103,6 +156,11 @@ def solve_tasks(
                 pending.append(task)
     else:
         pending = tasks
+    if profiling:
+        # Replay tasks with profiling on so workers build a registry.
+        # ``profile`` is not part of the cache identity, so this cannot
+        # change which entries hit above or where results get stored.
+        pending = [dataclasses.replace(t, profile=True) for t in pending]
 
     # Coalesce duplicate work: tasks sharing a cache identity (same
     # content, configuration and timing — e.g. a configuration listed in
@@ -126,11 +184,12 @@ def solve_tasks(
             unique_keys.append(key)
 
     stats.solved = len(unique)
+    coalesced = sum(len(v) for v in duplicates.values())
     if unique:
         if jobs == 1:
             completed = _run_serial(unique, contexts or {})
         else:
-            completed = _run_pool(unique, jobs)
+            completed = _run_pool(unique, jobs, start_method)
         for task, key, result in zip(unique, unique_keys, completed):
             if cache is not None:
                 cache.store(task, result)
@@ -150,7 +209,38 @@ def solve_tasks(
                 if progress is not None:
                     progress(echo)
 
-    return [results[t.index] for t in tasks], stats
+    ordered = [results[t.index] for t in tasks]
+    if profiling:
+        registry.add("driver.tasks", len(tasks))
+        registry.add("driver.solved", stats.solved)
+        registry.add("driver.coalesced", coalesced)
+        if cache is not None:
+            after = cache.stats.to_dict()
+            for field, n in after.items():
+                registry.add(f"driver.cache.{field}", n - cache_before[field])
+        # Index-order merge: every worker's registry lands in the same
+        # place no matter which process solved it or when it finished.
+        # Cache hits and coalesced echoes carry no worker registry —
+        # replay their stored solver stats instead, so the ``solver.*``
+        # counters aggregate every *task* exactly once and a warm run
+        # reports the same counts as its cold run.
+        for result in ordered:
+            if result.metrics:
+                registry.merge_dict(result.metrics)
+            else:
+                record_solver_stats(registry, result.solution["stats"])
+    if trace is not None:
+        for result in ordered:
+            trace.emit(
+                "solve",
+                f"{result.file_name}::{result.config_name}",
+                {
+                    "runtime_s": result.runtime_s,
+                    "from_cache": result.from_cache,
+                    "stats": result.solution["stats"],
+                },
+            )
+    return ordered, stats
 
 
 def _run_serial(
@@ -167,7 +257,11 @@ def _run_serial(
     return out
 
 
-def _run_pool(tasks: Sequence[SolveTask], jobs: int) -> List[TaskResult]:
+def _run_pool(
+    tasks: Sequence[SolveTask],
+    jobs: int,
+    start_method: Optional[str] = None,
+) -> List[TaskResult]:
     """Fan out over a process pool; reorder to submission order.
 
     ``imap_unordered`` maximises throughput (a worker never idles
@@ -176,9 +270,9 @@ def _run_pool(tasks: Sequence[SolveTask], jobs: int) -> List[TaskResult]:
     keeps the longest-solve stragglers from pinning a whole chunk of
     queued tasks behind them.
     """
-    ctx = _pool_context()
+    ctx = _pool_context(start_method)
     workers = min(jobs, len(tasks))
-    with ctx.Pool(processes=workers) as pool:
+    with ctx.Pool(processes=workers, initializer=_init_worker) as pool:
         unordered = list(pool.imap_unordered(execute_task, tasks, chunksize=1))
     by_index = {r.index: r for r in unordered}
     return [by_index[t.index] for t in tasks]

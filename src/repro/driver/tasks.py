@@ -78,6 +78,10 @@ class SolveTask:
     pts_backend: Optional[str] = None
     repetitions: int = 3
     timing: str = "wall"
+    #: collect per-task metrics (obs registry dict on the result).
+    #: Deliberately NOT part of :meth:`cache_key` — observing a solve
+    #: must never invalidate or fork its cached artifact.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if (self.spec is None) == (self.source is None):
@@ -120,6 +124,8 @@ class TaskResult:
     runtime_s: float
     solution: Dict  # Solution.to_canonical_dict() form
     from_cache: bool = False
+    #: Registry.to_dict() snapshot when the task ran with profile=True
+    metrics: Optional[Dict] = None
 
     @property
     def explicit_pointees(self) -> int:
@@ -196,20 +202,38 @@ def execute_task(
     """
     from ..bench.timing import time_callable
 
-    ctx = context if context is not None else context_for(task)
-    config = task.configuration()
-    prepared = ctx.prepared(config)
-    solution: Solution = solve_prepared(prepared, config)
+    reg = None
+    if task.profile:
+        from ..obs import Registry, record_solver_stats
+
+        reg = Registry()
+    if reg is not None:
+        with reg.scope("task.derive"):
+            ctx = context if context is not None else context_for(task)
+            config = task.configuration()
+            prepared = ctx.prepared(config)
+        with reg.scope("task.solve"):
+            solution: Solution = solve_prepared(prepared, config)
+    else:
+        ctx = context if context is not None else context_for(task)
+        config = task.configuration()
+        prepared = ctx.prepared(config)
+        solution = solve_prepared(prepared, config)
     if task.timing == "cost":
         runtime = cost_runtime(solution.stats)
     else:
         runtime = time_callable(
             lambda: solve_prepared(prepared, config), task.repetitions
         )
+    metrics = None
+    if reg is not None:
+        record_solver_stats(reg, solution.stats.to_dict())
+        metrics = reg.to_dict()
     return TaskResult(
         task.index,
         task.file_name,
         task.config_name,
         runtime,
         solution.to_canonical_dict(),
+        metrics=metrics,
     )

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.constraints import ConstraintProgram, ProgramSymbol
+from ..obs import Registry, scope as _obs_scope
 
 
 class LinkError(Exception):
@@ -254,8 +255,14 @@ def resolve_symbols(
 def link_programs(
     programs: Sequence[ConstraintProgram],
     options: Optional[LinkOptions] = None,
+    registry: Optional[Registry] = None,
 ) -> LinkedProgram:
-    """Merge per-TU constraint programs into one joint program."""
+    """Merge per-TU constraint programs into one joint program.
+
+    ``registry`` (optional) receives ``link.*`` counters and one timer
+    per pass (``link.resolve`` / ``link.renumber`` / ``link.copy`` /
+    ``link.deescape``); profiling never changes the linked output.
+    """
     options = options if options is not None else LinkOptions()
     programs = list(programs)
     if not programs:
@@ -272,7 +279,8 @@ def link_programs(
                 ]
             )
 
-    occurrences = resolve_symbols(programs)
+    with _obs_scope(registry, "link.resolve"):
+        occurrences = resolve_symbols(programs)
     defined_in: Dict[str, str] = {}
     def_sym_of: Dict[str, ProgramSymbol] = {}
     for name, occs in occurrences.items():
@@ -286,109 +294,131 @@ def link_programs(
     # --- pass 1: renumber ---------------------------------------------
     rep: Dict[str, int] = {}  # symbol name → joint representative var
     var_maps: Dict[str, List[int]] = {}
-    for program in programs:
-        sym_by_var = {
-            s.var: s
-            for s in program.symbols.values()
-            if s.linkage != "internal"
-        }
-        mapping: List[int] = []
-        for v in range(program.num_vars):
-            sym = sym_by_var.get(v)
-            if sym is not None and sym.name in rep:
-                j = rep[sym.name]
-                # Classification must agree across occurrences; tolerate
-                # a pointer-compatible occurrence widening the joint var.
-                if program.in_p[v]:
-                    linked.in_p[j] = True
-            else:
-                j = linked.add_var(
-                    program.var_names[v], program.in_p[v], program.in_m[v]
-                )
-                if sym is not None:
-                    rep[sym.name] = j
-            mapping.append(j)
-        var_maps[program.name] = mapping
+    with _obs_scope(registry, "link.renumber"):
+        for program in programs:
+            sym_by_var = {
+                s.var: s
+                for s in program.symbols.values()
+                if s.linkage != "internal"
+            }
+            mapping: List[int] = []
+            for v in range(program.num_vars):
+                sym = sym_by_var.get(v)
+                if sym is not None and sym.name in rep:
+                    j = rep[sym.name]
+                    # Classification must agree across occurrences;
+                    # tolerate a pointer-compatible occurrence widening
+                    # the joint var.
+                    if program.in_p[v]:
+                        linked.in_p[j] = True
+                else:
+                    j = linked.add_var(
+                        program.var_names[v], program.in_p[v], program.in_m[v]
+                    )
+                    if sym is not None:
+                        rep[sym.name] = j
+                mapping.append(j)
+            var_maps[program.name] = mapping
 
     # --- pass 2: copy constraints and semantic flags ------------------
-    for program in programs:
-        m = var_maps[program.name]
-        for v in range(program.num_vars):
-            j = m[v]
-            linked.base[j].update(m[x] for x in program.base[v])
-            linked.simple_out[j].update(
-                m[x] for x in program.simple_out[v] if m[x] != j
-            )
-            linked.load_from[j].extend(m[x] for x in program.load_from[v])
-            linked.store_into[j].extend(m[x] for x in program.store_into[v])
-            if program.flag_pte[v]:
-                linked.flag_pte[j] = True
-            if program.flag_pe[v]:
-                linked.flag_pe[j] = True
-            if program.flag_sscalar[v]:
-                linked.flag_sscalar[j] = True
-            if program.flag_lscalar[v]:
-                linked.flag_lscalar[j] = True
-            if program.flag_ea[v] and v not in program.linkage_ea:
-                linked.mark_externally_accessible(j)  # semantic: survives
-        for fc in program.funcs:
-            linked.add_func(
-                m[fc.func],
-                None if fc.ret is None else m[fc.ret],
-                [None if a is None else m[a] for a in fc.args],
-                variadic=fc.variadic,
-            )
-        for cc in program.calls:
-            linked.add_call(
-                m[cc.target],
-                None if cc.ret is None else m[cc.ret],
-                [None if a is None else m[a] for a in cc.args],
-            )
+    with _obs_scope(registry, "link.copy"):
+        for program in programs:
+            m = var_maps[program.name]
+            for v in range(program.num_vars):
+                j = m[v]
+                linked.base[j].update(m[x] for x in program.base[v])
+                linked.simple_out[j].update(
+                    m[x] for x in program.simple_out[v] if m[x] != j
+                )
+                linked.load_from[j].extend(m[x] for x in program.load_from[v])
+                linked.store_into[j].extend(
+                    m[x] for x in program.store_into[v]
+                )
+                if program.flag_pte[v]:
+                    linked.flag_pte[j] = True
+                if program.flag_pe[v]:
+                    linked.flag_pe[j] = True
+                if program.flag_sscalar[v]:
+                    linked.flag_sscalar[j] = True
+                if program.flag_lscalar[v]:
+                    linked.flag_lscalar[j] = True
+                if program.flag_ea[v] and v not in program.linkage_ea:
+                    linked.mark_externally_accessible(j)  # semantic
+            for fc in program.funcs:
+                linked.add_func(
+                    m[fc.func],
+                    None if fc.ret is None else m[fc.ret],
+                    [None if a is None else m[a] for a in fc.args],
+                    variadic=fc.variadic,
+                )
+            for cc in program.calls:
+                linked.add_call(
+                    m[cc.target],
+                    None if cc.ret is None else m[cc.ret],
+                    [None if a is None else m[a] for a in cc.args],
+                )
 
     # --- pass 3: de-escape (recompute linkage seeds) ------------------
     resolutions: Dict[str, SymbolResolution] = {}
-    for name in sorted(occurrences):
-        occs = occurrences[name]
-        j = rep[name]
-        resolved = name in defined_in
-        kind = occs[0][1].kind
-        referenced_by = [p.name for p, s in occs if not s.defined]
-        internalized = False
-        if not resolved:
-            # Still satisfied only by the external world.
-            linked.mark_externally_accessible(j, linkage=True)
-            if kind == "func" and any(
-                p.flag_impfunc[s.var] for p, s in occs
-            ):
-                linked.mark_imported_function(j)
-        elif options.internalize and name not in options.keep:
-            internalized = True  # hidden: no linkage escape
-        else:
-            linked.mark_externally_accessible(j, linkage=True)
-        resolutions[name] = SymbolResolution(
-            name=name,
-            kind=kind,
-            var=j,
-            defined_in=defined_in.get(name),
-            referenced_by=referenced_by,
-            internalized=internalized,
-        )
-        # Joint symbol table: the linked program is itself linkable.
-        def_sym = def_sym_of.get(name)
-        linked.add_symbol(
-            ProgramSymbol(
+    with _obs_scope(registry, "link.deescape"):
+        for name in sorted(occurrences):
+            occs = occurrences[name]
+            j = rep[name]
+            resolved = name in defined_in
+            kind = occs[0][1].kind
+            referenced_by = [p.name for p, s in occs if not s.defined]
+            internalized = False
+            if not resolved:
+                # Still satisfied only by the external world.
+                linked.mark_externally_accessible(j, linkage=True)
+                if kind == "func" and any(
+                    p.flag_impfunc[s.var] for p, s in occs
+                ):
+                    linked.mark_imported_function(j)
+            elif options.internalize and name not in options.keep:
+                internalized = True  # hidden: no linkage escape
+            else:
+                linked.mark_externally_accessible(j, linkage=True)
+            resolutions[name] = SymbolResolution(
                 name=name,
-                var=j,
                 kind=kind,
-                linkage=(
-                    "internal"
-                    if internalized
-                    else ("external" if resolved else "import")
-                ),
-                defined=resolved,
-                type_key=(def_sym or occs[0][1]).type_key,
+                var=j,
+                defined_in=defined_in.get(name),
+                referenced_by=referenced_by,
+                internalized=internalized,
             )
+            # Joint symbol table: the linked program is itself linkable.
+            def_sym = def_sym_of.get(name)
+            linked.add_symbol(
+                ProgramSymbol(
+                    name=name,
+                    var=j,
+                    kind=kind,
+                    linkage=(
+                        "internal"
+                        if internalized
+                        else ("external" if resolved else "import")
+                    ),
+                    defined=resolved,
+                    type_key=(def_sym or occs[0][1]).type_key,
+                )
+            )
+
+    if registry is not None and registry.enabled:
+        registry.add("link.links")
+        registry.add("link.members", len(programs))
+        registry.add("link.symbols", len(resolutions))
+        registry.add("link.joint_vars", linked.num_vars)
+        resolved_n = sum(
+            1
+            for res in resolutions.values()
+            if res.resolved and res.referenced_by
         )
+        unresolved_n = sum(
+            1 for res in resolutions.values() if not res.resolved
+        )
+        registry.add("link.resolved_imports", resolved_n)
+        registry.add("link.unresolved_imports", unresolved_n)
 
     return LinkedProgram(
         program=linked,

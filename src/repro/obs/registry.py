@@ -1,0 +1,207 @@
+"""Hierarchical metrics registry: monotone counters and wall timers.
+
+A :class:`Registry` is a flat map of dotted names ("``driver.cache.hits``",
+"``solver.propagations``") to integer counters plus a parallel map of
+names to accumulated seconds.  The dots are the hierarchy: tooling can
+roll any subtree up with :meth:`Registry.total` without the registry
+itself maintaining a tree.
+
+Design rules (the contract the rest of the system builds on):
+
+- **Zero cost when disabled.**  A disabled registry (``enabled=False``,
+  e.g. the shared :data:`NULL_REGISTRY`) turns every mutation into an
+  early return and :meth:`Registry.scope` into a shared no-op context
+  manager that never reads the clock.  The solver hot paths go one step
+  further and never call the registry at all — they keep counting into
+  :class:`repro.analysis.solution.SolverStats` natively, and the
+  profiling layer *harvests* those counters afterwards
+  (:func:`record_solver_stats`), so enabling profiling cannot perturb
+  the measured region.
+- **Deterministic merge.**  Counters and timers merge by summation, so
+  merging per-worker registries (or their wire dicts) is commutative
+  and associative for counters; callers merge in task-index order so
+  even float timer sums are reproducible for a given result set.
+- **Canonical encoding.**  :meth:`Registry.to_dict` sorts every key and
+  rounds timers, so equal registries always encode byte-identically
+  under ``json.dumps(..., sort_keys=True)``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, Mapping, Optional
+
+__all__ = [
+    "NULL_REGISTRY",
+    "Registry",
+    "record_solver_stats",
+    "scope",
+]
+
+
+class _NullScope:
+    """Shared do-nothing context manager for disabled registries."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class _Scope:
+    """Times a ``with`` block into one named timer."""
+
+    __slots__ = ("_registry", "_name", "_t0")
+
+    def __init__(self, registry: "Registry", name: str):
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Scope":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._registry.add_time(self._name, time.perf_counter() - self._t0)
+
+
+class Registry:
+    """Dotted-name counters and timers with deterministic merging."""
+
+    __slots__ = ("enabled", "counters", "timers")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        #: name → monotone integer count
+        self.counters: Dict[str, int] = {}
+        #: name → accumulated seconds
+        self.timers: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, name: str, n: int = 1) -> None:
+        """Increment the counter ``name`` by ``n`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into the timer ``name``."""
+        if not self.enabled:
+            return
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def scope(self, name: str):
+        """Context manager timing its block into the timer ``name``."""
+        if not self.enabled:
+            return _NULL_SCOPE
+        return _Scope(self, name)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def timer(self, name: str) -> float:
+        return self.timers.get(name, 0.0)
+
+    def total(self, prefix: str) -> int:
+        """Sum of all counters at or under one hierarchy node.
+
+        ``total("driver.cache")`` sums ``driver.cache`` itself plus every
+        ``driver.cache.*`` counter — the dotted names *are* the tree.
+        """
+        dotted = prefix + "."
+        return sum(
+            n
+            for name, n in self.counters.items()
+            if name == prefix or name.startswith(dotted)
+        )
+
+    def names(self) -> Iterator[str]:
+        yield from sorted(set(self.counters) | set(self.timers))
+
+    # ------------------------------------------------------------------
+    # Merge / wire form
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "Registry") -> "Registry":
+        """Sum ``other`` into this registry (associative, commutative
+        for counters); returns self for chaining."""
+        for name, n in other.counters.items():
+            self.add(name, n)
+        for name, seconds in other.timers.items():
+            self.add_time(name, seconds)
+        return self
+
+    def merge_dict(self, data: Mapping) -> "Registry":
+        """Merge the wire form of :meth:`to_dict` (per-worker metrics
+        travel across the process boundary as plain dicts)."""
+        for name, n in data.get("counters", {}).items():
+            self.add(name, int(n))
+        for name, seconds in data.get("timers", {}).items():
+            self.add_time(name, float(seconds))
+        return self
+
+    def to_dict(self) -> Dict:
+        """Canonical wire form: sorted keys, timers rounded to 9 d.p."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "timers": {
+                k: round(self.timers[k], 9) for k in sorted(self.timers)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Registry":
+        return cls().merge_dict(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"<Registry {state}: {len(self.counters)} counters,"
+            f" {len(self.timers)} timers>"
+        )
+
+
+#: the shared disabled registry: pass it anywhere a registry is accepted
+#: to keep all instrumentation compiled out of the run
+NULL_REGISTRY = Registry(enabled=False)
+
+
+def scope(registry: Optional[Registry], name: str):
+    """Module-level helper tolerating ``registry=None`` (common for
+    optional profiling parameters): a timing scope, or a no-op."""
+    if registry is None:
+        return _NULL_SCOPE
+    return registry.scope(name)
+
+
+def record_solver_stats(
+    registry: Optional[Registry],
+    stats: Mapping[str, int],
+    prefix: str = "solver",
+) -> None:
+    """Harvest one solve's :class:`SolverStats` counters into ``registry``.
+
+    ``stats`` is the plain-dict form (``SolverStats.to_dict()`` or the
+    ``stats`` block of a canonical solution).  Every field is summed
+    under ``<prefix>.<field>`` and ``<prefix>.solves`` counts the solve
+    itself, so a registry accumulated over a run reports exactly the sum
+    of the per-solve stats the solvers returned.
+    """
+    if registry is None or not registry.enabled:
+        return
+    registry.add(f"{prefix}.solves", 1)
+    for name in sorted(stats):
+        registry.add(f"{prefix}.{name}", int(stats[name]))

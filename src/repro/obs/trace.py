@@ -1,0 +1,168 @@
+"""Structured JSONL trace events with a stable, versioned schema.
+
+A trace is a sequence of newline-delimited JSON objects, one event per
+line, each with exactly four keys::
+
+    {"schema": 1, "event": "<type>", "name": "<subject>", "data": {...}}
+
+- ``schema`` — the integer :data:`TRACE_SCHEMA`; bumped whenever the
+  envelope or the meaning of an event type changes.
+- ``event`` — one of :data:`EVENT_TYPES`.
+- ``name`` — the event's subject (a ``file::config`` pair for solves, a
+  stage name for stages, …); free-form but never empty.
+- ``data`` — the event payload, a JSON object.
+
+Event types
+-----------
+``solve``
+    One (file, configuration) solve, emitted by the driver at merge
+    time **in task-index order** (so a ``--jobs 8`` trace is
+    byte-comparable to a ``--jobs 1`` trace modulo timing values).
+    ``data`` carries ``runtime_s``, ``from_cache`` and the solver's
+    ``stats`` dict verbatim — a trace therefore replays the exact
+    per-solver visit/propagation counts the solver returned.
+``stage``
+    One pipeline stage's accounting (runs/hits/misses/seconds).
+``link``
+    One cross-TU link (member count, joint sizes, resolution counts).
+``metrics``
+    A full registry snapshot (:meth:`repro.obs.Registry.to_dict`),
+    conventionally the last event of a run.
+
+Writers emit canonical JSON (sorted keys, compact separators) so two
+traces of identical runs differ only where the measured values do.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pathlib
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+__all__ = [
+    "EVENT_TYPES",
+    "TRACE_SCHEMA",
+    "TraceError",
+    "TraceWriter",
+    "read_trace",
+    "validate_trace_line",
+    "validate_trace_text",
+]
+
+#: bump whenever the event envelope or an event's meaning changes
+TRACE_SCHEMA = 1
+
+#: the closed set of event types (validation rejects anything else)
+EVENT_TYPES = ("solve", "stage", "link", "metrics")
+
+
+class TraceError(ValueError):
+    """A trace line violates the schema."""
+
+
+class TraceWriter:
+    """Appends schema-versioned events to a JSONL stream.
+
+    Accepts a path (opened for writing, closed by :meth:`close` or the
+    context manager) or any text file object (left open — the caller
+    owns it).
+    """
+
+    def __init__(self, target: Union[str, os.PathLike, io.TextIOBase]):
+        if isinstance(target, (str, os.PathLike)):
+            self._file = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+        self.events = 0
+
+    def emit(self, event: str, name: str, data: Mapping) -> None:
+        """Write one event line (validated before writing)."""
+        obj = {
+            "schema": TRACE_SCHEMA,
+            "event": event,
+            "name": name,
+            "data": dict(data),
+        }
+        validate_trace_line(obj)
+        self._file.write(
+            json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self.events += 1
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Validation / reading
+# ----------------------------------------------------------------------
+
+
+def validate_trace_line(obj: object) -> Dict:
+    """Check one decoded event against the schema; returns it typed.
+
+    Raises :class:`TraceError` naming the first violation — used by the
+    CI smoke job to gate emitted traces and by tests as the golden
+    schema contract.
+    """
+    if not isinstance(obj, dict):
+        raise TraceError(f"event is not an object: {type(obj).__name__}")
+    keys = set(obj)
+    expected = {"schema", "event", "name", "data"}
+    if keys != expected:
+        extra = sorted(keys - expected)
+        missing = sorted(expected - keys)
+        raise TraceError(
+            f"bad event keys: missing={missing} unexpected={extra}"
+        )
+    if obj["schema"] != TRACE_SCHEMA:
+        raise TraceError(
+            f"schema {obj['schema']!r} != {TRACE_SCHEMA} (regenerate the trace)"
+        )
+    if obj["event"] not in EVENT_TYPES:
+        raise TraceError(f"unknown event type {obj['event']!r}")
+    if not isinstance(obj["name"], str) or not obj["name"]:
+        raise TraceError(f"event name must be a non-empty string: {obj['name']!r}")
+    if not isinstance(obj["data"], dict):
+        raise TraceError(f"event data must be an object: {obj['data']!r}")
+    return obj
+
+
+def validate_trace_text(text: str) -> List[Dict]:
+    """Validate a whole JSONL trace; returns the decoded events."""
+    events: List[Dict] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"line {lineno}: not JSON ({exc})") from None
+        try:
+            events.append(validate_trace_line(obj))
+        except TraceError as exc:
+            raise TraceError(f"line {lineno}: {exc}") from None
+    return events
+
+
+def read_trace(
+    path: Union[str, os.PathLike], events: Optional[Iterable[str]] = None
+) -> List[Dict]:
+    """Load and validate a trace file, optionally filtered by type."""
+    decoded = validate_trace_text(pathlib.Path(path).read_text())
+    if events is None:
+        return decoded
+    wanted = set(events)
+    return [e for e in decoded if e["event"] in wanted]

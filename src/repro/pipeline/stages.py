@@ -42,13 +42,14 @@ from ..frontend import analyse, lower, parse, preprocess
 from ..ir.module import Module
 from ..ir.verifier import compute_address_taken, verify_module
 from ..link import LinkedProgram, LinkOptions, link_programs
+from ..obs import NULL_REGISTRY, Registry, record_solver_stats
 
 #: per-stage artifact-encoding versions; bumping one invalidates exactly
 #: that stage's cache entries (and, through key chaining, downstream ones)
 STAGE_VERSIONS = {
     "constraints": "1",
     "link": "1",
-    "solve": "1",
+    "solve": "2",  # 2: solution stats gained pair_evals
 }
 
 
@@ -141,17 +142,27 @@ class StageStats:
 
 
 class _Timed:
-    """Context manager accumulating wall time into a stage's stats."""
+    """Context manager accumulating wall time into a stage's stats (and,
+    when profiling, mirroring it onto the registry timer ``name``)."""
 
-    def __init__(self, stats: StageStats):
+    def __init__(
+        self,
+        stats: StageStats,
+        registry: Registry = NULL_REGISTRY,
+        name: str = "",
+    ):
         self.stats = stats
+        self.registry = registry
+        self.name = name
 
     def __enter__(self) -> "_Timed":
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
-        self.stats.seconds += time.perf_counter() - self._t0
+        elapsed = time.perf_counter() - self._t0
+        self.stats.seconds += elapsed
+        self.registry.add_time(self.name, elapsed)
 
 
 # ----------------------------------------------------------------------
@@ -176,6 +187,7 @@ class Pipeline:
         cache: Optional[ResultCache] = None,
         summaries: Optional[Dict[str, SummaryFn]] = None,
         summaries_tag: str = "default",
+        registry: Optional[Registry] = None,
     ) -> None:
         if summaries is not None and summaries_tag == "default":
             raise ValueError(
@@ -184,6 +196,10 @@ class Pipeline:
         self.cache = cache
         self.summaries = summaries
         self.summaries_tag = summaries_tag
+        #: obs registry mirrored by every stage counter/timer under
+        #: ``pipeline.<stage>.*`` (the disabled NULL_REGISTRY by default,
+        #: so unprofiled pipelines never touch dict machinery)
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self.stats: Dict[str, StageStats] = {
             stage: StageStats() for stage in self.STAGES
         }
@@ -195,6 +211,17 @@ class Pipeline:
 
     # ------------------------------------------------------------------
 
+    def _bump(self, stage: str, counter: str, n: int = 1) -> None:
+        """Increment one StageStats field and its registry mirror."""
+        stats = self.stats[stage]
+        setattr(stats, counter, getattr(stats, counter) + n)
+        self.registry.add(f"pipeline.{stage}.{counter}", n)
+
+    def _timed(self, stage: str) -> _Timed:
+        return _Timed(self.stats[stage], self.registry, f"pipeline.{stage}")
+
+    # ------------------------------------------------------------------
+
     def source(self, name: str, text: str) -> SourceArtifact:
         return SourceArtifact.of(name, text)
 
@@ -202,12 +229,12 @@ class Pipeline:
         """Source → AST translation unit (in-memory memo)."""
         unit = self._units.get((src.name, src.digest))
         if unit is not None:
-            self.stats["parse"].memo_hits += 1
+            self._bump("parse", "memo_hits")
             return unit
-        with _Timed(self.stats["parse"]):
+        with self._timed("parse"):
             text = preprocess(src.text, filename=src.name)
             unit = parse(text, src.name)
-        self.stats["parse"].runs += 1
+        self._bump("parse", "runs")
         self._units[(src.name, src.digest)] = unit
         return unit
 
@@ -215,14 +242,14 @@ class Pipeline:
         """AST translation unit → verified ir.Module (in-memory memo)."""
         module = self._modules.get((src.name, src.digest))
         if module is not None:
-            self.stats["lower"].memo_hits += 1
+            self._bump("lower", "memo_hits")
             return module
         unit = self.parse(src)
-        with _Timed(self.stats["lower"]):
+        with self._timed("lower"):
             module = lower(analyse(unit), src.name)
             verify_module(module)
             compute_address_taken(module)
-        self.stats["lower"].runs += 1
+        self._bump("lower", "runs")
         self._modules[(src.name, src.digest)] = module
         return module
 
@@ -233,12 +260,11 @@ class Pipeline:
         ever parsing the source — the stage that makes configuration
         changes and N−1 unchanged files cheap.
         """
-        stats = self.stats["constraints"]
         key = _key("constraints", src.digest, self.summaries_tag)
         if self.cache is not None:
             payload = self.cache.load_stage("constraints", key)
             if payload is not None:
-                stats.hits += 1
+                self._bump("constraints", "hits")
                 program = ConstraintProgram.from_dict(payload["program"])
                 digest = payload["digest"]
                 if program.name != src.name:
@@ -250,12 +276,12 @@ class Pipeline:
                 return ConstraintsArtifact(
                     src.name, key, program, digest, from_cache=True
                 )
-            stats.misses += 1
+            self._bump("constraints", "misses")
         module = self.lower(src)
-        with _Timed(stats):
+        with self._timed("constraints"):
             program = build_constraints(module, self.summaries).program
             digest = program.digest()
-        stats.runs += 1
+        self._bump("constraints", "runs")
         if self.cache is not None:
             self.cache.store_stage(
                 "constraints",
@@ -271,7 +297,6 @@ class Pipeline:
     ) -> LinkArtifact:
         """Constraint programs → joint linked program (persistent stage)."""
         options = options if options is not None else LinkOptions()
-        stats = self.stats["link"]
         key = _key(
             "link",
             options.cache_key,
@@ -280,14 +305,18 @@ class Pipeline:
         if self.cache is not None:
             payload = self.cache.load_stage("link", key)
             if payload is not None:
-                stats.hits += 1
+                self._bump("link", "hits")
                 return LinkArtifact(
                     key, LinkedProgram.from_dict(payload), from_cache=True
                 )
-            stats.misses += 1
-        with _Timed(stats):
-            linked = link_programs([m.program for m in members], options)
-        stats.runs += 1
+            self._bump("link", "misses")
+        with self._timed("link"):
+            linked = link_programs(
+                [m.program for m in members],
+                options,
+                registry=self.registry,
+            )
+        self._bump("link", "runs")
         if self.cache is not None:
             self.cache.store_stage("link", key, linked.to_dict())
         return LinkArtifact(key, linked)
@@ -299,7 +328,6 @@ class Pipeline:
         program_digest: Optional[str] = None,
     ) -> SolveArtifact:
         """Constraint program → canonical solution (persistent stage)."""
-        stats = self.stats["solve"]
         digest = (
             program_digest if program_digest is not None else program.digest()
         )
@@ -307,15 +335,19 @@ class Pipeline:
         if self.cache is not None:
             payload = self.cache.load_stage("solve", key)
             if payload is not None:
-                stats.hits += 1
+                self._bump("solve", "hits")
+                record_solver_stats(
+                    self.registry, payload["solution"]["stats"]
+                )
                 return SolveArtifact(
                     key, config.name, payload["solution"], from_cache=True
                 )
-            stats.misses += 1
-        with _Timed(stats):
+            self._bump("solve", "misses")
+        with self._timed("solve"):
             solution = solve_prepared(prepare_program(program, config), config)
-        stats.runs += 1
+        self._bump("solve", "runs")
         canonical = solution.to_canonical_dict()
+        record_solver_stats(self.registry, canonical["stats"])
         if self.cache is not None:
             self.cache.store_stage("solve", key, {"solution": canonical})
         return SolveArtifact(key, config.name, canonical)

@@ -118,3 +118,83 @@ class TestTopo:
 
 def test_registry_complete():
     assert set(WORKLIST_ORDERS) == {"FIFO", "LIFO", "LRF", "2LRF", "TOPO"}
+
+
+class TestCanonicalisation:
+    """Regression: nodes unified while queued (cycle collapses) must not
+    leave stale ids in ``_pending`` — pops skip-and-discard through the
+    injected canonicaliser and aliases never fire."""
+
+    @staticmethod
+    def make(order, rep):
+        return WORKLIST_ORDERS[order](10, canon=lambda v: rep.get(v, v))
+
+    @pytest.mark.parametrize("order", sorted(WORKLIST_ORDERS))
+    def test_push_canonicalises(self, order):
+        rep = {2: 1}
+        wl = self.make(order, rep)
+        wl.push(2)  # canonicalised to 1 on entry
+        wl.push(1)  # already pending under its own id
+        assert drain(wl) == [1]
+
+    @pytest.mark.parametrize("order", sorted(WORKLIST_ORDERS))
+    def test_mid_solve_unification_discards_alias(self, order):
+        """Unify while both ids are queued: the alias entry is dropped,
+        the survivor fires exactly once, and the worklist drains empty
+        (no dead id lingers in ``_pending`` keeping ``__bool__`` true)."""
+        rep = {}
+        wl = self.make(order, rep)
+        wl.push(1)
+        wl.push(2)
+        rep[2] = 1  # solver unified 2 into 1...
+        wl.push(1)  # ...and pushed the survivor (solver contract)
+        out = drain(wl)
+        assert out.count(1) == 1
+        assert 2 not in out
+        assert not wl
+
+    @pytest.mark.parametrize("order", sorted(WORKLIST_ORDERS))
+    def test_alias_does_not_refire_popped_survivor(self, order):
+        """The survivor already fired; the stale alias queued behind it
+        must not fire it a second time."""
+        rep = {}
+        wl = self.make(order, rep)
+        wl.push(1)
+        wl.push(2)
+        assert wl.pop() in (1, 2)
+        rep[2] = 1
+        # Whichever id remains queued is now an alias or the survivor;
+        # unifying 2→1 after the first pop leaves at most one real fire.
+        out = drain(wl)
+        assert len(out) <= 1
+        assert 2 not in out
+
+    def test_lrf_priority_charged_to_survivor(self):
+        rep = {}
+        wl = self.make("LRF", rep)
+        wl.push(1)
+        assert wl.pop() == 1  # 1 fires: its next push sorts after fresh ids
+        rep[2] = 1
+        wl.push(2)  # canonicalised push of the survivor
+        wl.push(3)  # never fired: must come first under LRF
+        assert wl.pop() == 3
+        assert wl.pop() == 1
+        assert wl.pop() is None
+
+
+class TestSolverUnificationRegression:
+    """End-to-end: cycle-collapsing configurations (which unify mid-
+    solve) still produce the oracle solution with every order."""
+
+    @pytest.mark.parametrize("order", ["FIFO", "LIFO", "LRF", "2LRF", "TOPO"])
+    @pytest.mark.parametrize("detector", ["OCD", "LCD"])
+    def test_orders_with_cycle_detection_match_naive(self, order, detector):
+        from repro.analysis import parse_name, run_configuration
+        from repro.analysis.testing import random_program
+
+        program = random_program(29, n_vars=40, n_constraints=120)
+        oracle = run_configuration(program, parse_name("EP+Naive"))
+        got = run_configuration(
+            program, parse_name(f"EP+WL({order})+{detector}")
+        )
+        assert got == oracle, oracle.diff(got)

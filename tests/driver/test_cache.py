@@ -202,3 +202,59 @@ class TestCacheBehaviour:
         warm, _ = self.solve(task, ResultCache(tmp_path))
         assert warm.solution == direct.solution
         assert warm.explicit_pointees == direct.explicit_pointees
+
+
+class TestNarrowedErrorHandling:
+    """The read path only swallows the errors a healthy cache can
+    produce; every swallow that discards an entry counts ``corrupted``
+    and anything unexpected propagates."""
+
+    def test_undecodable_bytes_count_corrupted_and_heal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = make_task()
+        solve_tasks([task], cache=cache)
+        entry = cache._path(task.cache_key())
+        entry.write_bytes(b"\xff\xfe\x00 not utf-8")
+
+        healed = ResultCache(tmp_path)
+        assert healed.load(task) is None
+        assert healed.stats.corrupted == 1
+        assert healed.stats.misses == 1
+        assert not entry.exists()
+
+    def test_directory_squatting_on_entry_counts_corrupted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = make_task()
+        entry = cache._path(task.cache_key())
+        entry.mkdir(parents=True)
+        assert cache.load(task) is None
+        assert cache.stats.corrupted == 1
+
+    def test_unexpected_oserror_propagates(self):
+        """PermissionError (or any OSError that is neither a miss nor
+        corruption) is an environment problem — never silently
+        re-solved around."""
+
+        class DenyingPath:
+            def read_text(self):
+                raise PermissionError("cache dir unreadable")
+
+        cache = ResultCache()
+        with pytest.raises(PermissionError):
+            ResultCache._read_entry(DenyingPath(), cache.stats)
+        assert cache.stats.misses == 0
+        assert cache.stats.corrupted == 0
+
+    def test_stage_garbage_counts_in_stage_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store_stage("constraints", "ab" * 32, {"program": {}})
+        path = cache._stage_path("constraints", "ab" * 32)
+        path.write_text("{broken")
+        fresh = ResultCache(tmp_path)
+        assert fresh.load_stage("constraints", "ab" * 32) is None
+        stats = fresh.stats_for("constraints")
+        assert stats.corrupted == 1
+        assert stats.misses == 1
+        assert not path.exists()
+        # Solve-task counters are untouched by stage-entry corruption.
+        assert fresh.stats.corrupted == 0

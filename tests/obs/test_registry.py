@@ -1,0 +1,178 @@
+"""Unit tests for the metrics registry (``repro.obs.registry``):
+deterministic merging, canonical encoding, and the zero-cost-when-
+disabled contract."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import NULL_REGISTRY, Registry, record_solver_stats, scope
+from repro.obs.registry import _NULL_SCOPE
+
+
+def make(counters=(), timers=()):
+    reg = Registry()
+    for name, n in counters:
+        reg.add(name, n)
+    for name, seconds in timers:
+        reg.add_time(name, seconds)
+    return reg
+
+
+class TestCounters:
+    def test_add_and_read(self):
+        reg = Registry()
+        reg.add("a.b")
+        reg.add("a.b", 4)
+        assert reg.counter("a.b") == 5
+        assert reg.counter("missing") == 0
+
+    def test_total_rolls_up_the_dotted_hierarchy(self):
+        reg = make(
+            [("driver.cache", 1), ("driver.cache.hits", 2),
+             ("driver.cache.misses", 3), ("driver.cachet", 100),
+             ("solver.visits", 7)]
+        )
+        assert reg.total("driver.cache") == 6  # not the "cachet" impostor
+        assert reg.total("driver") == 106
+        assert reg.total("nothing") == 0
+
+    def test_names_sorted_union(self):
+        reg = make([("z", 1), ("a", 1)], [("m", 0.5), ("a", 0.5)])
+        assert list(reg.names()) == ["a", "m", "z"]
+
+
+class TestMerge:
+    A = [("x", 1), ("y", 2)]
+    B = [("y", 3), ("z", 4)]
+    C = [("x", 5), ("z", 6)]
+    T = [("t.a", 0.25), ("t.b", 0.5)]
+
+    def test_associative(self):
+        left = make(self.A, self.T).merge(make(self.B)).merge(make(self.C))
+        right = make(self.A, self.T).merge(
+            make(self.B).merge(make(self.C))
+        )
+        assert left.to_dict() == right.to_dict()
+
+    def test_commutative_for_counters(self):
+        ab = make(self.A).merge(make(self.B))
+        ba = make(self.B).merge(make(self.A))
+        assert ab.to_dict()["counters"] == ba.to_dict()["counters"]
+
+    def test_wire_round_trip(self):
+        reg = make(self.A, self.T)
+        assert Registry.from_dict(reg.to_dict()).to_dict() == reg.to_dict()
+
+    def test_merge_dict_equals_merge(self):
+        via_obj = make(self.A, self.T).merge(make(self.B, self.T))
+        via_dict = make(self.A, self.T).merge_dict(
+            make(self.B, self.T).to_dict()
+        )
+        assert via_obj.to_dict() == via_dict.to_dict()
+
+
+class TestCanonicalEncoding:
+    def test_insertion_order_does_not_matter(self):
+        fwd = make([("a", 1), ("b", 2)], [("t", 0.5)])
+        rev = make([("b", 2), ("a", 1)], [("t", 0.5)])
+        assert json.dumps(fwd.to_dict(), sort_keys=True) == json.dumps(
+            rev.to_dict(), sort_keys=True
+        )
+
+    def test_keys_sorted(self):
+        reg = make([("z", 1), ("a", 1)], [("z.t", 0.1), ("a.t", 0.1)])
+        data = reg.to_dict()
+        assert list(data["counters"]) == sorted(data["counters"])
+        assert list(data["timers"]) == sorted(data["timers"])
+
+    def test_timers_rounded(self):
+        reg = Registry()
+        reg.add_time("t", 0.1)
+        reg.add_time("t", 0.2)
+        assert reg.to_dict()["timers"]["t"] == round(0.1 + 0.2, 9)
+
+
+class TestScopes:
+    def test_scope_times_the_block(self):
+        reg = Registry()
+        with reg.scope("outer"):
+            time.sleep(0.002)
+        assert reg.timer("outer") > 0.0
+
+    def test_module_scope_tolerates_none(self):
+        with scope(None, "ignored"):
+            pass  # must simply not blow up, and allocate nothing
+
+    def test_disabled_scope_is_the_shared_singleton(self):
+        assert NULL_REGISTRY.scope("x") is _NULL_SCOPE
+        assert scope(None, "x") is _NULL_SCOPE
+        assert scope(NULL_REGISTRY, "x") is _NULL_SCOPE
+
+
+class TestDisabled:
+    def test_mutations_are_no_ops(self):
+        reg = Registry(enabled=False)
+        reg.add("c", 5)
+        reg.add_time("t", 1.0)
+        with reg.scope("s"):
+            pass
+        assert reg.counters == {} and reg.timers == {}
+        assert reg.to_dict() == {"counters": {}, "timers": {}}
+
+    def test_null_registry_is_disabled_and_stays_empty(self):
+        NULL_REGISTRY.add("leak", 1)
+        assert not NULL_REGISTRY.enabled
+        assert NULL_REGISTRY.counters == {}
+
+    def test_disabled_add_is_not_slower_than_enabled(self):
+        """The zero-cost contract, bounded loosely enough for CI noise:
+        a disabled ``add`` (attribute check + return) must not cost more
+        than an enabled one (dict read-modify-write)."""
+
+        def best_of(reg, trials=7, iters=20_000):
+            best = float("inf")
+            add = reg.add
+            for _ in range(trials):
+                t0 = time.perf_counter()
+                for _ in range(iters):
+                    add("bench.counter")
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        disabled = best_of(Registry(enabled=False))
+        enabled = best_of(Registry())
+        assert disabled <= enabled * 1.5
+
+
+class TestRecordSolverStats:
+    STATS = {"visits": 7, "propagations": 3, "pair_evals": 11}
+
+    def test_harvests_every_field_plus_solves(self):
+        reg = Registry()
+        record_solver_stats(reg, self.STATS)
+        assert reg.counter("solver.solves") == 1
+        assert reg.counter("solver.visits") == 7
+        assert reg.counter("solver.propagations") == 3
+        assert reg.counter("solver.pair_evals") == 11
+
+    def test_accumulates_across_solves(self):
+        reg = Registry()
+        record_solver_stats(reg, self.STATS)
+        record_solver_stats(reg, self.STATS)
+        assert reg.counter("solver.solves") == 2
+        assert reg.counter("solver.visits") == 14
+
+    def test_custom_prefix(self):
+        reg = Registry()
+        record_solver_stats(reg, {"visits": 1}, prefix="warm")
+        assert reg.counter("warm.solves") == 1
+        assert reg.counter("warm.visits") == 1
+        assert reg.counter("solver.solves") == 0
+
+    @pytest.mark.parametrize("reg", [None, Registry(enabled=False)])
+    def test_none_and_disabled_are_no_ops(self, reg):
+        record_solver_stats(reg, self.STATS)
+        if reg is not None:
+            assert reg.counters == {}
