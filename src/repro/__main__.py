@@ -18,15 +18,28 @@ Commands
     ``--cache`` memoises every stage artifact on disk, and ``--out``
     writes the full report (link summary, solution, per-stage timings
     and cache counters) as JSON.
+``serve [FILE...]``
+    The persistent analysis server (``repro.serve``): builds the files
+    into a linked project and answers NDJSON protocol requests over
+    stdio (default) or ``--tcp HOST:PORT``.
+``query FILE... -q REQUEST``
+    One-shot queries against an in-process server — answers are
+    byte-identical to a served session over the same sources.
 ``run ...``
     The corpus experiment runner (``repro.bench.runner``); all its
     arguments pass through, e.g. ``repro run --jobs 4 --profile``.
 ``configs``
     List all valid solver configurations.
 
-``sweep``, ``link`` and ``run`` accept ``--profile`` (collect obs
-metrics) and ``--trace-out FILE`` (JSONL trace events; implies
-``--profile``).  Profiling never changes solutions or cache contents.
+``sweep``, ``link``, ``serve``, ``query`` and ``run`` accept
+``--profile`` (collect obs metrics) and ``--trace-out FILE`` (JSONL
+trace events; implies ``--profile``).  Profiling never changes
+solutions or cache contents.  Caching commands accept
+``--cache-max-entries N`` to bound each on-disk cache namespace with
+LRU eviction.
+
+Frontend failures (preprocessor, parse, sema, lowering) exit 1 with a
+one-line ``file:line: message`` diagnostic instead of a traceback.
 """
 
 from __future__ import annotations
@@ -37,6 +50,7 @@ import pathlib
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .analysis import (
     DEFAULT_CONFIGURATION,
     analyze_module,
@@ -44,7 +58,7 @@ from .analysis import (
     enumerate_configurations,
     parse_name,
 )
-from .frontend import compile_c
+from .frontend import FRONTEND_ERRORS, compile_c, describe_error
 from .ir import print_module
 
 
@@ -77,7 +91,12 @@ def _load_module(path: str, headers_dir: Optional[str]):
     if headers_dir:
         for header in pathlib.Path(headers_dir).glob("*.h"):
             headers[header.name] = header.read_text()
-    return compile_c(source, pathlib.Path(path).name, headers=headers)
+    try:
+        return compile_c(source, pathlib.Path(path).name, headers=headers)
+    except FRONTEND_ERRORS as exc:
+        if getattr(exc, "source_name", None) is None:
+            exc.source_name = pathlib.Path(path).name
+        raise
 
 
 def cmd_compile(args) -> int:
@@ -158,7 +177,11 @@ def cmd_sweep(args) -> int:
         module = _load_module(args.file, args.include)
         built = build_constraints(module)
         contexts = {digest: FileContext(path.name, digest, built.program)}
-    cache = ResultCache(args.cache_dir) if args.cache else None
+    cache = (
+        ResultCache(args.cache_dir, max_entries=args.cache_max_entries)
+        if args.cache
+        else None
+    )
     registry, trace = _obs_setup(args)
     try:
         results, stats = solve_tasks(
@@ -208,7 +231,11 @@ def cmd_link(args) -> int:
         internalize=args.internalize,
         keep=tuple(args.keep.split(",")) if args.keep else ("main",),
     )
-    cache = ResultCache(args.cache_dir) if args.cache else None
+    cache = (
+        ResultCache(args.cache_dir, max_entries=args.cache_max_entries)
+        if args.cache
+        else None
+    )
     registry, trace = _obs_setup(args)
     pipeline = Pipeline(cache=cache, registry=registry)
 
@@ -216,7 +243,14 @@ def cmd_link(args) -> int:
         pipeline.source(pathlib.Path(f).name, pathlib.Path(f).read_text())
         for f in args.files
     ]
-    members = [pipeline.constraints(src) for src in sources]
+    members = []
+    for src in sources:
+        try:
+            members.append(pipeline.constraints(src))
+        except FRONTEND_ERRORS as exc:
+            if getattr(exc, "source_name", None) is None:
+                exc.source_name = src.name
+            raise
     try:
         link_art = pipeline.link(members, options)
     except LinkError as exc:
@@ -306,6 +340,128 @@ def cmd_link(args) -> int:
     return 0
 
 
+def _read_project_files(paths) -> dict:
+    """CLI FILE arguments → {member name: source text} in link order."""
+    return {
+        pathlib.Path(f).name: pathlib.Path(f).read_text() for f in paths
+    }
+
+
+def _serve_components(args):
+    """(project, server, trace) shared by ``serve`` and ``query``."""
+    from .driver import ResultCache
+    from .link import LinkOptions
+    from .serve import DEFAULT_MAX_REQUEST_BYTES, AnalysisServer, Project
+
+    config = parse_name(args.config) if args.config else DEFAULT_CONFIGURATION
+    options = LinkOptions(
+        internalize=args.internalize,
+        keep=tuple(args.keep.split(",")) if args.keep else ("main",),
+    )
+    cache = (
+        ResultCache(args.cache_dir, max_entries=args.cache_max_entries)
+        if args.cache
+        else None
+    )
+    registry, trace = _obs_setup(args)
+    project = Project(config, options, cache=cache, registry=registry)
+    server = AnalysisServer(
+        project,
+        timeout=args.timeout,
+        max_request_bytes=(
+            args.max_request_bytes
+            if args.max_request_bytes is not None
+            else DEFAULT_MAX_REQUEST_BYTES
+        ),
+        memo_entries=args.memo_entries,
+        registry=registry,
+        trace=trace,
+    )
+    return project, server, trace
+
+
+def cmd_serve(args) -> int:
+    from .serve import serve_stdio, serve_tcp
+
+    project, server, trace = _serve_components(args)
+    try:
+        if args.files:
+            project.open(_read_project_files(args.files))
+        if args.tcp is not None:
+            host, _, port_text = args.tcp.rpartition(":")
+            try:
+                port = int(port_text)
+            except ValueError:
+                print(
+                    f"repro: error: bad --tcp address {args.tcp!r}"
+                    " (expected HOST:PORT)",
+                    file=sys.stderr,
+                )
+                return 2
+
+            def ready(bound_host: str, bound_port: int) -> None:
+                # The banner goes to stderr: on --stdio, stdout *is*
+                # the protocol stream, and tcp keeps the convention.
+                print(
+                    f"repro serve: listening on {bound_host}:{bound_port}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+            return serve_tcp(
+                server, host or "127.0.0.1", port, ready=ready
+            )
+        return serve_stdio(server)
+    finally:
+        if trace is not None:
+            trace.close()
+            print(f"wrote {args.trace_out}", file=sys.stderr)
+
+
+def cmd_query(args) -> int:
+    import json
+
+    from .serve import InProcessClient, encode_frame
+
+    project, server, trace = _serve_components(args)
+    client = InProcessClient(server)
+    failures = 0
+    try:
+        project.open(_read_project_files(args.files))
+        for raw in args.query:
+            raw = raw.strip()
+            if raw.startswith("{"):
+                try:
+                    obj = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    print(
+                        f"repro: error: bad --query JSON: {exc}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                if not isinstance(obj, dict) or "method" not in obj:
+                    print(
+                        "repro: error: --query object needs a 'method' key",
+                        file=sys.stderr,
+                    )
+                    return 2
+                method = obj["method"]
+                params = obj.get("params", {})
+            else:
+                method, params = raw, {}
+            response = client.request(method, params)
+            # Re-encode canonically: the printed line is byte-identical
+            # to what a served session would have written.
+            print(encode_frame(response))
+            if not response["ok"]:
+                failures += 1
+    finally:
+        server.finish()
+        if trace is not None:
+            trace.close()
+    return 1 if failures else 0
+
+
 def cmd_run(args) -> int:
     from .bench.runner import main as runner_main
 
@@ -331,7 +487,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         return runner_main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_cache_options(p, what: str) -> None:
+        p.add_argument(
+            "--cache",
+            action=argparse.BooleanOptionalAction,
+            default=False,
+            help=f"memoise {what} under --cache-dir",
+        )
+        p.add_argument(
+            "--cache-dir",
+            type=pathlib.Path,
+            default=pathlib.Path(".repro-cache"),
+        )
+        p.add_argument(
+            "--cache-max-entries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="bound each cache namespace to N entries (LRU eviction;"
+            " default: unbounded)",
+        )
 
     p = sub.add_parser("compile", help="compile C to textual IR")
     p.add_argument("file")
@@ -364,15 +544,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--jobs", type=int, default=1,
         help="solve configurations on N worker processes",
     )
-    p.add_argument(
-        "--cache",
-        action=argparse.BooleanOptionalAction,
-        default=False,
-        help="memoise solved results under --cache-dir",
-    )
-    p.add_argument(
-        "--cache-dir", type=pathlib.Path, default=pathlib.Path(".repro-cache")
-    )
+    _add_cache_options(p, "solved results")
     _add_obs_options(p)
     p.add_argument("configs", nargs="*", default=None)
     p.set_defaults(func=cmd_sweep)
@@ -399,21 +571,78 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also solve every TU prefix and report the Ω-shrinkage ladder",
     )
     p.add_argument("--show-solution", action="store_true")
-    p.add_argument(
-        "--cache",
-        action=argparse.BooleanOptionalAction,
-        default=False,
-        help="memoise stage artifacts under --cache-dir",
-    )
-    p.add_argument(
-        "--cache-dir", type=pathlib.Path, default=pathlib.Path(".repro-cache")
-    )
+    _add_cache_options(p, "stage artifacts")
     p.add_argument(
         "--out", type=pathlib.Path, default=None,
         help="write the full report JSON here",
     )
     _add_obs_options(p)
     p.set_defaults(func=cmd_link)
+
+    def _add_serve_options(p) -> None:
+        p.add_argument("--config", default=None, help="e.g. IP+WL(FIFO)+PIP")
+        p.add_argument(
+            "--internalize",
+            action="store_true",
+            help="treat the link set as the whole program (LTO-style)",
+        )
+        p.add_argument(
+            "--keep", default=None,
+            help="comma-separated symbols kept external under --internalize"
+            " (default: main)",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-request deadline (an expired request answers a"
+            " structured 'timeout' error; default: none)",
+        )
+        p.add_argument(
+            "--max-request-bytes", type=int, default=None, metavar="N",
+            help="reject request lines longer than N bytes"
+            " (default: 1 MiB)",
+        )
+        p.add_argument(
+            "--memo-entries", type=int, default=1024, metavar="N",
+            help="query-memo capacity shared across generations",
+        )
+        _add_cache_options(p, "pipeline stage artifacts")
+        _add_obs_options(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="persistent analysis server speaking NDJSON over"
+        " stdio or TCP",
+    )
+    p.add_argument(
+        "files", nargs="*", metavar="FILE",
+        help="sources to open at startup, in link order"
+        " (a client can also send an 'open' request)",
+    )
+    transport = p.add_mutually_exclusive_group()
+    transport.add_argument(
+        "--stdio", action="store_true",
+        help="serve requests from stdin, one response line each (default)",
+    )
+    transport.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="serve sequential TCP connections; PORT 0 binds an"
+        " ephemeral port (the bound address is printed to stderr)",
+    )
+    _add_serve_options(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "query",
+        help="one-shot queries against an in-process analysis server",
+    )
+    p.add_argument("files", nargs="+", metavar="FILE")
+    p.add_argument(
+        "-q", "--query", action="append", required=True, metavar="REQUEST",
+        help="a method name (e.g. 'classify') or a JSON object"
+        ' {"method": ..., "params": {...}}; repeatable, answered in order',
+    )
+    _add_serve_options(p)
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
         "run",
@@ -429,7 +658,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.set_defaults(func=cmd_configs)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except FRONTEND_ERRORS as exc:
+        print(f"repro: error: {describe_error(exc)}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

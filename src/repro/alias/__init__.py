@@ -13,7 +13,12 @@ Typical use::
 
 from .andersen import AndersenAA
 from .basicaa import BasicAA, Decomposed, decompose
-from .client import ConflictStats, conflict_rate, memory_accesses
+from .client import (
+    ConflictStats,
+    conflict_rate,
+    conflict_rate_fn,
+    memory_accesses,
+)
 from .combined import CombinedAA
 from .result import MAY_ALIAS, MUST_ALIAS, NO_ALIAS, AliasResult
 
@@ -29,5 +34,6 @@ __all__ = [
     "Decomposed",
     "ConflictStats",
     "conflict_rate",
+    "conflict_rate_fn",
     "memory_accesses",
 ]

@@ -46,6 +46,16 @@ class ConflictStats:
         """Fraction of queries answered MayAlias (lower is better)."""
         return self.may_alias / self.queries if self.queries else 0.0
 
+    def to_dict(self) -> Dict:
+        """Canonical wire form (serve conflict-rate answers)."""
+        return {
+            "queries": self.queries,
+            "no_alias": self.no_alias,
+            "may_alias": self.may_alias,
+            "must_alias": self.must_alias,
+            "may_alias_rate": round(self.may_alias_rate, 9),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"<ConflictStats {self.queries} queries:"
@@ -71,18 +81,25 @@ def memory_accesses(fn: Function) -> Iterator[Tuple[str, object, Optional[int]]]
             yield "store", inst.pointer, _access_size(inst.pointer.type)
 
 
+def conflict_rate_fn(fn: Function, aa) -> ConflictStats:
+    """The store-vs-access query client over one function."""
+    stats = ConflictStats()
+    accesses = list(memory_accesses(fn))
+    for i, (kind_i, ptr_i, size_i) in enumerate(accesses):
+        if kind_i != "store":
+            continue
+        for j, (kind_j, ptr_j, size_j) in enumerate(accesses):
+            if i == j:
+                continue
+            if kind_j == "store" and j < i:
+                continue  # count each store/store pair once
+            stats.record(aa.alias(ptr_i, size_i, ptr_j, size_j))
+    return stats
+
+
 def conflict_rate(module: Module, aa) -> ConflictStats:
     """Run the paper's intra-procedural store-vs-access query client."""
     stats = ConflictStats()
     for fn in module.defined_functions():
-        accesses = list(memory_accesses(fn))
-        for i, (kind_i, ptr_i, size_i) in enumerate(accesses):
-            if kind_i != "store":
-                continue
-            for j, (kind_j, ptr_j, size_j) in enumerate(accesses):
-                if i == j:
-                    continue
-                if kind_j == "store" and j < i:
-                    continue  # count each store/store pair once
-                stats.record(aa.alias(ptr_i, size_i, ptr_j, size_j))
+        stats.merge(conflict_rate_fn(fn, aa))
     return stats

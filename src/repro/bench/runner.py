@@ -273,6 +273,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--cache-dir", type=pathlib.Path, default=pathlib.Path(".repro-cache")
     )
     parser.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="bound each cache namespace to N entries (LRU eviction;"
+        " default: unbounded)",
+    )
+    parser.add_argument(
         "--configs", nargs="*", default=None,
         help=f"configuration names (default: {' '.join(TABLE5_CONFIGS)})",
     )
@@ -325,7 +330,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     files = flatten(corpus)
     print(f"corpus: {len(files)} files built in {time.time() - t0:.0f}s")
 
-    cache = ResultCache(args.cache_dir) if args.cache else None
+    cache = (
+        ResultCache(args.cache_dir, max_entries=args.cache_max_entries)
+        if args.cache
+        else None
+    )
     profiling = args.profile or args.trace_out is not None
     registry = Registry() if profiling else None
     trace = (

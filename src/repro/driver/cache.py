@@ -42,6 +42,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupted: int = 0
+    evicted: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -49,20 +50,37 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "corrupted": self.corrupted,
+            "evicted": self.evicted,
         }
 
     def __str__(self) -> str:
         return (
             f"{self.hits} hits, {self.misses} misses,"
-            f" {self.stores} stored, {self.corrupted} corrupted"
+            f" {self.stores} stored, {self.corrupted} corrupted,"
+            f" {self.evicted} evicted"
         )
 
 
 class ResultCache:
-    """Content-addressed store of solved task results."""
+    """Content-addressed store of solved task results.
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+    ``max_entries`` (optional) bounds every namespace — the solve-task
+    store and each pipeline-stage store — to that many entries with
+    least-recently-*used* eviction: a hit refreshes the entry's mtime,
+    and a store that pushes a namespace over the bound deletes the
+    stalest entries (counted in :attr:`CacheStats.evicted`).  Unbounded
+    by default, preserving the original grow-forever behaviour.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
         self.root = pathlib.Path(root if root is not None else DEFAULT_CACHE_DIR)
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
         self.stats = CacheStats()
         #: per-pipeline-stage hit counters (stage name → stats); the
         #: solve-task counters above are kept separate for compatibility
@@ -75,6 +93,52 @@ class ResultCache:
         # Stage entries live in their own namespace so they can never
         # collide with (or corrupt-delete) solve-task entries.
         return self.root / "stages" / stage / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # LRU bound
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _touch(path: pathlib.Path) -> None:
+        """Refresh one entry's recency (best-effort: a failed utime
+        only makes the entry look older than it is)."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _prune(
+        self, namespace: pathlib.Path, keep: pathlib.Path, stats: CacheStats
+    ) -> None:
+        """Evict stalest entries of one namespace beyond ``max_entries``.
+
+        ``keep`` (the entry just stored) is never evicted, so a store
+        can't immediately sacrifice itself on filesystems with coarse
+        mtimes.  Ties break on path name for determinism.
+        """
+        if self.max_entries is None:
+            return
+        entries = [
+            p
+            for p in namespace.glob("*/*.json")
+            if p != keep and p.is_file()
+        ]
+        excess = len(entries) + 1 - self.max_entries
+        if excess <= 0:
+            return
+
+        def _age(path: pathlib.Path):
+            try:
+                return (path.stat().st_mtime, path.name)
+            except OSError:  # raced away: sort first, unlink is a no-op
+                return (float("-inf"), path.name)
+
+        for path in sorted(entries, key=_age)[:excess]:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            stats.evicted += 1
 
     @staticmethod
     def _read_entry(path: pathlib.Path, stats: CacheStats) -> Optional[str]:
@@ -143,6 +207,8 @@ class ResultCache:
             self._discard_corrupt(path, stats)
             return None
         stats.hits += 1
+        if self.max_entries is not None:
+            self._touch(path)
         return payload
 
     def store_stage(self, stage: str, key: str, payload: Dict) -> None:
@@ -164,7 +230,9 @@ class ResultCache:
             except FileNotFoundError:
                 pass
             raise
-        self.stats_for(stage).stores += 1
+        stats = self.stats_for(stage)
+        stats.stores += 1
+        self._prune(self.root / "stages" / stage, path, stats)
 
     # ------------------------------------------------------------------
 
@@ -196,6 +264,8 @@ class ResultCache:
             self._discard_corrupt(path, self.stats)
             return None
         self.stats.hits += 1
+        if self.max_entries is not None:
+            self._touch(path)
         return TaskResult(
             task.index,
             task.file_name,
@@ -233,3 +303,4 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        self._prune(self.root / "solve", path, self.stats)

@@ -12,6 +12,7 @@ own substrate; `module` is a :class:`repro.ir.Module` ready for
 
 from __future__ import annotations
 
+import re
 from typing import Dict, Optional
 
 from ..ir.module import Module
@@ -47,6 +48,44 @@ def compile_c(
     return module
 
 
+#: every exception the frontend raises on bad source text — callers
+#: that need "diagnose, don't crash" behaviour (the CLI, the analysis
+#: server) catch exactly this tuple
+FRONTEND_ERRORS = (
+    PreprocessorError,
+    LexError,
+    ParseError,
+    SemaError,
+    LowerError,
+)
+
+_LINE_PREFIX = re.compile(r"^line \d+(?::\d+)?: ")
+
+
+def error_line(exc: BaseException) -> int:
+    """The source line an error points at (0 when unknown)."""
+    token = getattr(exc, "token", None)
+    if token is not None:
+        return int(token.line)
+    return int(getattr(exc, "line", 0) or 0)
+
+
+def describe_error(exc: BaseException, source_name: str = "") -> str:
+    """One-line ``file:line: message`` diagnostic for a frontend error.
+
+    ``source_name`` (or an attached ``exc.source_name``) names the file;
+    preprocessor messages already carry ``file:line`` and pass through
+    unchanged.
+    """
+    message = str(exc)
+    if isinstance(exc, PreprocessorError):
+        return message
+    name = source_name or getattr(exc, "source_name", "") or "<source>"
+    line = error_line(exc)
+    message = _LINE_PREFIX.sub("", message)
+    return f"{name}:{line}: {message}" if line else f"{name}: {message}"
+
+
 __all__ = [
     "compile_c",
     "preprocess",
@@ -65,4 +104,7 @@ __all__ = [
     "lower",
     "LowerError",
     "ast_nodes",
+    "FRONTEND_ERRORS",
+    "describe_error",
+    "error_line",
 ]

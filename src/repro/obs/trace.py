@@ -25,6 +25,12 @@ Event types
     One pipeline stage's accounting (runs/hits/misses/seconds).
 ``link``
     One cross-TU link (member count, joint sizes, resolution counts).
+``serve``
+    One analysis-server request/response round trip (``repro serve``):
+    the event name is the request method, ``data`` carries the request
+    id, ``ok`` and either the answering generation or the structured
+    error code.  Added additively under schema 1 — every event set
+    valid before it remains valid.
 ``metrics``
     A full registry snapshot (:meth:`repro.obs.Registry.to_dict`),
     conventionally the last event of a run.
@@ -55,7 +61,7 @@ __all__ = [
 TRACE_SCHEMA = 1
 
 #: the closed set of event types (validation rejects anything else)
-EVENT_TYPES = ("solve", "stage", "link", "metrics")
+EVENT_TYPES = ("solve", "stage", "link", "serve", "metrics")
 
 
 class TraceError(ValueError):

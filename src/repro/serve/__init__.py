@@ -1,0 +1,61 @@
+"""``repro.serve`` — the persistent analysis server.
+
+The subsystem that turns the staged pipeline into an always-available
+alias/points-to oracle (docs/internals.md §11):
+
+- :class:`Project` / :class:`Snapshot` — in-memory sources kept built
+  through parse→lower→constraints→link→solve with a monotone generation
+  counter; :meth:`Project.update` rebuilds stage-granularly, re-running
+  the frontend for exactly the edited members.
+- :class:`QueryEngine` — batched points-to / alias / conflict-rate /
+  call-graph / Ω-classification queries over one generation snapshot,
+  memoised in a shared :class:`LRUMemo` keyed by (generation, query).
+- :mod:`~repro.serve.protocol` — the schema-versioned NDJSON frames.
+- :class:`AnalysisServer` with :func:`serve_stdio` / :func:`serve_tcp`
+  transports, and the matching clients.
+
+Surfaced on the command line as ``repro serve`` (persistent) and
+``repro query`` (one-shot, byte-identical answers).
+"""
+
+from .client import InProcessClient, ServeClient, ServeError
+from .project import MemberBinding, Project, Snapshot
+from .protocol import (
+    DEFAULT_MAX_REQUEST_BYTES,
+    ERROR_CODES,
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+    validate_response,
+)
+from .queries import LRUMemo, ORACLES, QUERY_METHODS, QueryEngine, QueryError
+from .server import AnalysisServer, serve_stdio, serve_tcp
+
+__all__ = [
+    "AnalysisServer",
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "ERROR_CODES",
+    "InProcessClient",
+    "LRUMemo",
+    "MemberBinding",
+    "ORACLES",
+    "PROTOCOL_SCHEMA",
+    "Project",
+    "ProtocolError",
+    "QUERY_METHODS",
+    "QueryEngine",
+    "QueryError",
+    "ServeClient",
+    "ServeError",
+    "Snapshot",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "serve_stdio",
+    "serve_tcp",
+    "validate_response",
+]

@@ -1,0 +1,269 @@
+"""The ``repro.serve`` wire protocol: schema-versioned NDJSON frames.
+
+A session is a sequence of newline-delimited JSON frames, one request
+per line and exactly one response line per request — the same canonical
+encoding discipline as :mod:`repro.obs.trace` (sorted keys, compact
+separators), so equal answers are byte-identical across transports and
+across the one-shot ``repro query`` path.
+
+Request envelope (keys are closed — anything else is rejected)::
+
+    {"schema": 1, "id": <str|int>, "method": "<name>", "params": {...}}
+
+``params`` may be omitted (defaults to ``{}``).  Responses echo ``id``
+and carry the project generation the answer was computed against::
+
+    {"schema": 1, "id": 7, "ok": true,  "generation": 2, "result": {...}}
+    {"schema": 1, "id": 7, "ok": false, "error": {"code": "...",
+                                                  "message": "...",
+                                                  "details": {...}}}
+
+A request whose ``id`` could not be recovered (unparsable JSON,
+oversized line) is answered with ``id: null``.  Error objects always
+have ``code`` from :data:`ERROR_CODES` and a human-readable
+``message``; ``details`` is optional structured context (e.g.
+``{"file": "a.c", "line": 3}`` for ``build_error``).
+
+The protocol is *stateful only through the project*: requests are
+processed strictly in order, and every response names the generation it
+was answered at, so a client can correlate answers across an
+interleaved ``update``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping, Optional, Union
+
+__all__ = [
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "ERROR_CODES",
+    "PROTOCOL_SCHEMA",
+    "ProtocolError",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "validate_response",
+]
+
+#: bump whenever the envelope or the meaning of a method changes
+PROTOCOL_SCHEMA = 1
+
+#: requests longer than this (in UTF-8 bytes, including the newline's
+#: absence) are rejected *before* JSON parsing — the server's first
+#: line of defence against hostile or corrupted streams
+DEFAULT_MAX_REQUEST_BYTES = 1 << 20
+
+#: the closed set of structured error codes
+ERROR_CODES = (
+    "parse_error",  # the line is not valid JSON
+    "invalid_request",  # envelope violates the schema
+    "request_too_large",  # line exceeds the size limit
+    "unknown_method",  # no such method
+    "invalid_params",  # params malformed, or name an unknown entity
+    "build_error",  # open/update failed in the frontend or linker
+    "timeout",  # the per-request deadline expired
+    "shutting_down",  # received after a shutdown was accepted
+    "internal",  # unexpected server-side failure
+)
+
+RequestId = Union[str, int, None]
+
+
+class ProtocolError(Exception):
+    """A request that cannot be dispatched; maps onto an error frame."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        details: Optional[Mapping] = None,
+        request_id: RequestId = None,
+    ):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        self.code = code
+        self.message = message
+        self.details = dict(details) if details else None
+        self.request_id = request_id
+        super().__init__(f"{code}: {message}")
+
+
+def encode_frame(obj: Mapping) -> str:
+    """Canonical one-line JSON encoding (no trailing newline)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def ok_response(request_id: RequestId, generation: int, result: Mapping) -> Dict:
+    return {
+        "schema": PROTOCOL_SCHEMA,
+        "id": request_id,
+        "ok": True,
+        "generation": generation,
+        "result": dict(result),
+    }
+
+
+def error_response(
+    request_id: RequestId,
+    code: str,
+    message: str,
+    details: Optional[Mapping] = None,
+) -> Dict:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    error: Dict = {"code": code, "message": message}
+    if details:
+        error["details"] = dict(details)
+    return {
+        "schema": PROTOCOL_SCHEMA,
+        "id": request_id,
+        "ok": False,
+        "error": error,
+    }
+
+
+def _salvage_id(obj: object) -> RequestId:
+    """Best-effort request id recovery from a rejected envelope."""
+    if isinstance(obj, dict):
+        request_id = obj.get("id")
+        if isinstance(request_id, (str, int)) and not isinstance(
+            request_id, bool
+        ):
+            return request_id
+    return None
+
+
+def parse_request(
+    line: str, max_bytes: int = DEFAULT_MAX_REQUEST_BYTES
+) -> Dict:
+    """Decode and validate one request line.
+
+    Raises :class:`ProtocolError` carrying the salvaged request id (when
+    one could be recovered) so the caller can still address its error
+    response.  The size limit is enforced on the UTF-8 byte length and
+    checked before any JSON work.
+    """
+    size = len(line.encode("utf-8"))
+    if size > max_bytes:
+        raise ProtocolError(
+            "request_too_large",
+            f"request is {size} bytes (limit {max_bytes})",
+        )
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("parse_error", f"not JSON: {exc}") from None
+    request_id = _salvage_id(obj)
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            "invalid_request",
+            f"request is not an object: {type(obj).__name__}",
+        )
+    keys = set(obj)
+    expected = {"schema", "id", "method", "params"}
+    if not keys <= expected:
+        raise ProtocolError(
+            "invalid_request",
+            f"unexpected request keys: {sorted(keys - expected)}",
+            request_id=request_id,
+        )
+    missing = {"schema", "id", "method"} - keys
+    if missing:
+        raise ProtocolError(
+            "invalid_request",
+            f"missing request keys: {sorted(missing)}",
+            request_id=request_id,
+        )
+    if obj["schema"] != PROTOCOL_SCHEMA:
+        raise ProtocolError(
+            "invalid_request",
+            f"schema {obj['schema']!r} != {PROTOCOL_SCHEMA}",
+            request_id=request_id,
+        )
+    if request_id is None:
+        raise ProtocolError(
+            "invalid_request",
+            f"request id must be a string or integer: {obj['id']!r}",
+        )
+    if not isinstance(obj["method"], str) or not obj["method"]:
+        raise ProtocolError(
+            "invalid_request",
+            f"method must be a non-empty string: {obj['method']!r}",
+            request_id=request_id,
+        )
+    params = obj.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            "invalid_params",
+            f"params must be an object: {params!r}",
+            request_id=request_id,
+        )
+    return {
+        "schema": PROTOCOL_SCHEMA,
+        "id": request_id,
+        "method": obj["method"],
+        "params": params,
+    }
+
+
+def validate_response(obj: object) -> Dict:
+    """Check one decoded response frame; returns it typed.
+
+    The serve smoke job and the tests use this as the golden contract
+    for everything the server emits.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            "invalid_request", f"response is not an object: {type(obj).__name__}"
+        )
+    if obj.get("schema") != PROTOCOL_SCHEMA:
+        raise ProtocolError(
+            "invalid_request", f"response schema {obj.get('schema')!r}"
+        )
+    if not isinstance(obj.get("ok"), bool):
+        raise ProtocolError("invalid_request", "response missing boolean 'ok'")
+    request_id = obj.get("id")
+    if request_id is not None and (
+        isinstance(request_id, bool)
+        or not isinstance(request_id, (str, int))
+    ):
+        raise ProtocolError(
+            "invalid_request", f"bad response id: {request_id!r}"
+        )
+    if obj["ok"]:
+        expected = {"schema", "id", "ok", "generation", "result"}
+        if set(obj) != expected:
+            raise ProtocolError(
+                "invalid_request",
+                f"ok-response keys {sorted(obj)} != {sorted(expected)}",
+            )
+        if not isinstance(obj["generation"], int):
+            raise ProtocolError(
+                "invalid_request", "generation must be an integer"
+            )
+        if not isinstance(obj["result"], dict):
+            raise ProtocolError("invalid_request", "result must be an object")
+    else:
+        expected = {"schema", "id", "ok", "error"}
+        if set(obj) != expected:
+            raise ProtocolError(
+                "invalid_request",
+                f"error-response keys {sorted(obj)} != {sorted(expected)}",
+            )
+        error = obj["error"]
+        if not isinstance(error, dict) or not {"code", "message"} <= set(error):
+            raise ProtocolError(
+                "invalid_request", f"bad error object: {error!r}"
+            )
+        if error["code"] not in ERROR_CODES:
+            raise ProtocolError(
+                "invalid_request", f"unknown error code {error['code']!r}"
+            )
+        if not set(error) <= {"code", "message", "details"}:
+            raise ProtocolError(
+                "invalid_request",
+                f"unexpected error keys: {sorted(set(error))}",
+            )
+    return obj

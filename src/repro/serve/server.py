@@ -1,0 +1,387 @@
+"""The persistent analysis server: dispatch plus stdio/TCP transports.
+
+One :class:`AnalysisServer` wraps a :class:`~repro.serve.project.Project`
+and answers protocol frames (:mod:`repro.serve.protocol`) strictly in
+order.  Life-cycle methods (``open``/``update``/``shutdown``) mutate the
+project; query methods are delegated to a
+:class:`~repro.serve.queries.QueryEngine` rebuilt per generation over
+the shared LRU memo.  Every failure mode an untrusted client can
+produce — unparsable lines, oversized lines, bad envelopes, unknown
+methods, frontend errors in submitted sources, per-request deadline
+expiry — is answered with a structured error frame; nothing a client
+sends can terminate the server.
+
+Observability: the server mirrors itself onto a
+:class:`repro.obs.Registry` (``serve.requests``, ``serve.errors.<code>``,
+``serve.method.<name>`` counters, the ``serve.request`` timer) and
+optionally emits one ``serve`` trace event per request plus a closing
+``metrics`` snapshot — the same JSONL schema the rest of the system
+traces into, validated by the CI smoke job.
+
+Timeout semantics: requests are executed on a single worker thread and
+the transport waits ``timeout`` seconds before answering ``timeout``
+and moving on; the expired computation finishes (or blocks the worker)
+in the background — later requests queue behind it, so a deadline is a
+latency bound for the *client*, not a cancellation.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Callable, Dict, Optional, TextIO
+
+from ..frontend import FRONTEND_ERRORS, describe_error, error_line
+from ..link import LinkError
+from ..obs import NULL_REGISTRY, Registry, TraceWriter
+from .project import Project
+from .protocol import (
+    DEFAULT_MAX_REQUEST_BYTES,
+    ProtocolError,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .queries import QUERY_METHODS, LRUMemo, QueryEngine, QueryError
+
+__all__ = ["AnalysisServer", "serve_stdio", "serve_tcp"]
+
+#: methods the server dispatches (life-cycle + queries)
+SERVER_METHODS = (
+    "ping",
+    "status",
+    "open",
+    "update",
+    "batch",
+    "sleep",
+    "shutdown",
+) + QUERY_METHODS
+
+
+class AnalysisServer:
+    """Protocol dispatcher over one project (transport-agnostic)."""
+
+    def __init__(
+        self,
+        project: Project,
+        timeout: Optional[float] = None,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        memo_entries: int = 1024,
+        registry: Optional[Registry] = None,
+        trace: Optional[TraceWriter] = None,
+    ) -> None:
+        self.project = project
+        self.timeout = timeout
+        self.max_request_bytes = max_request_bytes
+        self.memo = LRUMemo(memo_entries)
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.trace = trace
+        #: set once a shutdown has been accepted; transports drain the
+        #: in-flight request, answer it, then stop reading
+        self.closing = False
+        self._engine: Optional[QueryEngine] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+
+    def _engine_for_snapshot(self) -> QueryEngine:
+        snapshot = self.project.snapshot  # raises before the first open
+        if self._engine is None or self._engine.snapshot is not snapshot:
+            self._engine = QueryEngine(snapshot, self.memo)
+        return self._engine
+
+    # ------------------------------------------------------------------
+
+    def handle_line(self, line: str) -> str:
+        """One request line → exactly one response line (never raises)."""
+        method = "<invalid>"
+        with self.registry.scope("serve.request"):
+            self.registry.add("serve.requests")
+            try:
+                request = parse_request(line, self.max_request_bytes)
+            except ProtocolError as exc:
+                response = error_response(
+                    exc.request_id, exc.code, exc.message, exc.details
+                )
+            else:
+                method = request["method"]
+                response = self._timed_dispatch(request)
+        ok = bool(response.get("ok"))
+        if not ok:
+            self.registry.add("serve.errors")
+            self.registry.add(f"serve.errors.{response['error']['code']}")
+        if self.trace is not None:
+            data: Dict = {"id": response.get("id"), "ok": ok}
+            if ok:
+                data["generation"] = response["generation"]
+            else:
+                data["error"] = response["error"]["code"]
+            self.trace.emit("serve", method, data)
+        return encode_frame(response)
+
+    def _timed_dispatch(self, request: Dict) -> Dict:
+        self.registry.add(f"serve.method.{request['method']}")
+        if self.timeout is None:
+            return self._safe_dispatch(request)
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve"
+            )
+        future = self._pool.submit(self._safe_dispatch, request)
+        try:
+            return future.result(timeout=self.timeout)
+        except FutureTimeout:
+            return error_response(
+                request["id"],
+                "timeout",
+                f"request exceeded the {self.timeout}s deadline",
+                {"method": request["method"]},
+            )
+
+    def _safe_dispatch(self, request: Dict) -> Dict:
+        request_id = request["id"]
+        method = request["method"]
+        params = request["params"]
+        try:
+            result = self._dispatch(method, params)
+        except ProtocolError as exc:
+            return error_response(request_id, exc.code, exc.message, exc.details)
+        except QueryError as exc:
+            return error_response(
+                request_id, "invalid_params", str(exc), exc.details
+            )
+        except FRONTEND_ERRORS as exc:
+            details = {"file": getattr(exc, "source_name", None)}
+            line = error_line(exc)
+            if line:
+                details["line"] = line
+            return error_response(
+                request_id, "build_error", describe_error(exc), details
+            )
+        except LinkError as exc:
+            return error_response(
+                request_id,
+                "build_error",
+                "; ".join(exc.errors),
+                {"errors": exc.errors},
+            )
+        except (KeyError, ValueError, RuntimeError, TypeError) as exc:
+            return error_response(request_id, "invalid_params", str(exc))
+        except Exception as exc:  # noqa: BLE001 - the server must survive
+            return error_response(
+                request_id,
+                "internal",
+                f"{type(exc).__name__}: {exc}",
+            )
+        generation = self.project.generation
+        return ok_response(request_id, generation, result)
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, method: str, params: Dict) -> Dict:
+        if self.closing:
+            raise ProtocolError(
+                "shutting_down", "server is shutting down"
+            )
+        if method == "ping":
+            return {"pong": True}
+        if method == "status":
+            return self._status()
+        if method == "open":
+            return self._open(params)
+        if method == "update":
+            return self._update(params)
+        if method == "batch":
+            queries = params.get("queries")
+            if not isinstance(queries, list):
+                raise ProtocolError(
+                    "invalid_params", "batch requires a 'queries' list"
+                )
+            return {"results": self._engine_for_snapshot().batch(queries)}
+        if method == "sleep":
+            # Diagnostic aid for exercising the per-request deadline.
+            seconds = params.get("seconds", 0)
+            if not isinstance(seconds, (int, float)) or seconds < 0:
+                raise ProtocolError(
+                    "invalid_params", f"bad sleep duration: {seconds!r}"
+                )
+            time.sleep(float(seconds))
+            return {"slept": float(seconds)}
+        if method == "shutdown":
+            self.closing = True
+            return {"closing": True}
+        if method in QUERY_METHODS:
+            return self._engine_for_snapshot().evaluate(method, params)
+        raise ProtocolError(
+            "unknown_method",
+            f"unknown method {method!r} (methods: {sorted(SERVER_METHODS)})",
+        )
+
+    # ------------------------------------------------------------------
+
+    def _status(self) -> Dict:
+        status: Dict = {
+            "open": self.project.is_open,
+            "generation": self.project.generation,
+            "memo": self.memo.to_dict(),
+            "stages": self.project.stage_report(timings=False),
+        }
+        if self.project.is_open:
+            status["project"] = self.project.snapshot.summary()
+        return status
+
+    @staticmethod
+    def _files_param(params: Dict, key: str = "files") -> Dict[str, str]:
+        files = params.get(key)
+        if not isinstance(files, dict) or not all(
+            isinstance(name, str) and isinstance(text, str)
+            for name, text in files.items()
+        ):
+            raise ProtocolError(
+                "invalid_params",
+                f"{key!r} must map member names to source text",
+            )
+        return files
+
+    def _open(self, params: Dict) -> Dict:
+        unknown = set(params) - {"files"}
+        if unknown:
+            raise ProtocolError(
+                "invalid_params", f"open: unexpected params {sorted(unknown)}"
+            )
+        snapshot = self.project.open(self._files_param(params))
+        return snapshot.summary()
+
+    def _update(self, params: Dict) -> Dict:
+        unknown = set(params) - {"files", "removed"}
+        if unknown:
+            raise ProtocolError(
+                "invalid_params",
+                f"update: unexpected params {sorted(unknown)}",
+            )
+        changed = (
+            self._files_param(params) if "files" in params else {}
+        )
+        removed = params.get("removed", [])
+        if not isinstance(removed, list) or not all(
+            isinstance(name, str) for name in removed
+        ):
+            raise ProtocolError(
+                "invalid_params", "'removed' must be a list of member names"
+            )
+        before = {
+            stage: dict(counts)
+            for stage, counts in self.project.stage_report(
+                timings=False
+            ).items()
+        }
+        snapshot = self.project.update(changed, removed)
+        after = self.project.stage_report(timings=False)
+        delta = {
+            stage: {
+                counter: after[stage][counter] - before[stage][counter]
+                for counter in after[stage]
+            }
+            for stage in after
+        }
+        summary = snapshot.summary()
+        summary["stages"] = delta
+        return summary
+
+    # ------------------------------------------------------------------
+
+    def finish(self) -> None:
+        """Drain-and-close: final metrics event, worker pool shutdown."""
+        self.closing = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self.trace is not None and self.registry.enabled:
+            self.trace.emit("metrics", "serve", self.registry.to_dict())
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+
+
+def serve_stdio(
+    server: AnalysisServer,
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+) -> int:
+    """Serve newline-delimited requests from a text stream pair.
+
+    Responses are flushed per line; the loop drains the request that
+    carried ``shutdown`` (answering it) before returning.  EOF on stdin
+    is a graceful shutdown too.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    try:
+        for line in stdin:
+            if not line.strip():
+                continue
+            stdout.write(server.handle_line(line.rstrip("\n")))
+            stdout.write("\n")
+            stdout.flush()
+            if server.closing:
+                break
+    except KeyboardInterrupt:
+        pass  # graceful: fall through to finish()
+    finally:
+        server.finish()
+    return 0
+
+
+def serve_tcp(
+    server: AnalysisServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: Optional[Callable[[str, int], None]] = None,
+) -> int:
+    """Serve sequential TCP connections (one line protocol each).
+
+    ``port=0`` binds an ephemeral port; ``ready`` (if given) receives
+    the bound ``(host, port)`` once listening — tests and parent
+    processes use it instead of racing the bind.  Connections are
+    served one at a time in arrival order, matching the strictly
+    ordered protocol semantics.
+    """
+    sock = socket.create_server((host, port))
+    sock.settimeout(0.2)
+    bound_host, bound_port = sock.getsockname()[:2]
+    if ready is not None:
+        ready(bound_host, bound_port)
+    try:
+        while not server.closing:
+            try:
+                conn, _ = sock.accept()
+            except socket.timeout:
+                continue
+            except KeyboardInterrupt:
+                break
+            with conn:
+                rfile = conn.makefile("r", encoding="utf-8", newline="\n")
+                wfile = conn.makefile("w", encoding="utf-8", newline="\n")
+                try:
+                    for line in rfile:
+                        if not line.strip():
+                            continue
+                        wfile.write(server.handle_line(line.rstrip("\n")))
+                        wfile.write("\n")
+                        wfile.flush()
+                        if server.closing:
+                            break
+                except (BrokenPipeError, ConnectionResetError):
+                    continue  # client went away; keep serving
+                except KeyboardInterrupt:
+                    break
+    finally:
+        sock.close()
+        server.finish()
+    return 0

@@ -1,0 +1,140 @@
+"""Property tests for the alias-oracle algebra over corpus programs.
+
+For arbitrary generated C translation units, every oracle must behave
+like a partial equivalence oracle:
+
+- **symmetry** — ``alias(a, b) == alias(b, a)``;
+- **reflexivity** — an access never gets NoAlias against itself, and
+  ``must_alias ⇒ may_alias`` (a definitive Must answer is also a May
+  answer);
+- **component consistency** — two sound oracles never contradict each
+  other definitively (one proving NoAlias while the other proves
+  MustAlias on the same pair);
+- **combined precision** — :class:`CombinedAA` is definitive whenever
+  either component is, answers with that component's verdict, and is
+  therefore never strictly less precise than either component.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alias import (
+    MAY_ALIAS,
+    MUST_ALIAS,
+    NO_ALIAS,
+    AndersenAA,
+    BasicAA,
+    CombinedAA,
+    memory_accesses,
+)
+from repro.analysis import analyze_module
+from repro.bench.corpus import ProgramSpec, generate_c_source, plan_program
+from repro.frontend import compile_c
+
+#: per-example ceiling on access pairs, keeping examples sub-second
+MAX_PAIRS = 200
+
+
+def corpus_module(seed, unit_size):
+    spec = ProgramSpec(
+        name=f"alias{seed}", seed=seed, n_units=1, unit_size=unit_size
+    )
+    unit = plan_program(spec)[0]
+    return compile_c(generate_c_source(unit), unit.name)
+
+
+def access_pairs(module):
+    """Up to MAX_PAIRS intra-function (access, access) pairs."""
+    pairs = []
+    for fn in module.defined_functions():
+        accesses = list(memory_accesses(fn))
+        for i, (_, ptr_a, size_a) in enumerate(accesses):
+            for _, ptr_b, size_b in accesses[i:]:
+                pairs.append((ptr_a, size_a, ptr_b, size_b))
+                if len(pairs) >= MAX_PAIRS:
+                    return pairs
+    return pairs
+
+
+def oracles(module):
+    andersen = AndersenAA(analyze_module(module))
+    basic = BasicAA()
+    return {
+        "andersen": andersen,
+        "basicaa": basic,
+        "combined": CombinedAA([andersen, basic]),
+    }
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), unit_size=st.integers(10, 40))
+def test_every_oracle_is_symmetric(seed, unit_size):
+    module = corpus_module(seed, unit_size)
+    pairs = access_pairs(module)
+    for name, aa in oracles(module).items():
+        for ptr_a, size_a, ptr_b, size_b in pairs:
+            forward = aa.alias(ptr_a, size_a, ptr_b, size_b)
+            backward = aa.alias(ptr_b, size_b, ptr_a, size_a)
+            assert forward is backward, (
+                f"{name} asymmetric: {forward} vs {backward}"
+            )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), unit_size=st.integers(10, 40))
+def test_reflexivity_and_must_implies_may(seed, unit_size):
+    module = corpus_module(seed, unit_size)
+    pairs = access_pairs(module)
+    for name, aa in oracles(module).items():
+        for ptr_a, size_a, ptr_b, size_b in pairs:
+            # Self-alias: an access always overlaps itself.
+            assert aa.alias(ptr_a, size_a, ptr_a, size_a) is not NO_ALIAS, (
+                f"{name} claims an access does not alias itself"
+            )
+            result = aa.alias(ptr_a, size_a, ptr_b, size_b)
+            must = result is MUST_ALIAS
+            may = result is not NO_ALIAS
+            assert not must or may
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), unit_size=st.integers(10, 40))
+def test_sound_components_never_contradict(seed, unit_size):
+    module = corpus_module(seed, unit_size)
+    pairs = access_pairs(module)
+    aas = oracles(module)
+    for ptr_a, size_a, ptr_b, size_b in pairs:
+        answers = {
+            name: aas[name].alias(ptr_a, size_a, ptr_b, size_b)
+            for name in ("andersen", "basicaa")
+        }
+        definitive = {
+            name: result
+            for name, result in answers.items()
+            if result is not MAY_ALIAS
+        }
+        # Both sound: one proving NoAlias while the other proves
+        # MustAlias would make at least one of them wrong.
+        assert len(set(definitive.values())) <= 1, (
+            f"contradictory definitive answers: {definitive}"
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), unit_size=st.integers(10, 40))
+def test_combined_never_less_precise_than_components(seed, unit_size):
+    module = corpus_module(seed, unit_size)
+    pairs = access_pairs(module)
+    aas = oracles(module)
+    for ptr_a, size_a, ptr_b, size_b in pairs:
+        combined = aas["combined"].alias(ptr_a, size_a, ptr_b, size_b)
+        components = [
+            aas[name].alias(ptr_a, size_a, ptr_b, size_b)
+            for name in ("andersen", "basicaa")
+        ]
+        definitive = [r for r in components if r is not MAY_ALIAS]
+        if definitive:
+            # Definitive whenever either component is, with that answer.
+            assert combined is definitive[0]
+        else:
+            assert combined is MAY_ALIAS

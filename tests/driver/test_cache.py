@@ -1,8 +1,10 @@
 """Unit tests for the on-disk result cache and the task/solution wire
 forms (``repro.driver``): key composition, invalidation, self-healing
-on corruption, and canonical (de)serialisation."""
+on corruption, canonical (de)serialisation, and the optional
+``max_entries`` LRU bound."""
 
 import json
+import os
 
 import pytest
 
@@ -258,3 +260,109 @@ class TestNarrowedErrorHandling:
         assert not path.exists()
         # Solve-task counters are untouched by stage-entry corruption.
         assert fresh.stats.corrupted == 0
+
+
+class TestMaxEntriesLRU:
+    """The optional ``max_entries`` bound: LRU eviction per namespace,
+    recency refreshed on hits, the just-stored entry never sacrificed."""
+
+    @staticmethod
+    def set_age(path, seconds):
+        """Pin one entry's mtime ``seconds`` in the past."""
+        stamp = os.stat(path).st_mtime - seconds
+        os.utime(path, (stamp, stamp))
+
+    def stage_paths(self, cache, stage="constraints"):
+        return sorted((cache.root / "stages" / stage).glob("*/*.json"))
+
+    def test_max_entries_must_be_positive(self, tmp_path):
+        for bad in (0, -1):
+            with pytest.raises(ValueError):
+                ResultCache(tmp_path, max_entries=bad)
+        assert ResultCache(tmp_path).max_entries is None
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(10):
+            cache.store_stage("constraints", f"{i:02d}" * 32, {"i": i})
+        assert len(self.stage_paths(cache)) == 10
+        assert cache.stats_for("constraints").evicted == 0
+
+    def test_stage_namespace_bounded_with_stalest_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=3)
+        for i in range(3):
+            cache.store_stage("constraints", f"{i:02d}" * 32, {"i": i})
+            self.set_age(
+                cache._stage_path("constraints", f"{i:02d}" * 32),
+                seconds=1000 - 100 * i,
+            )
+        cache.store_stage("constraints", "aa" * 32, {"i": 99})
+        assert len(self.stage_paths(cache)) == 3
+        # The stalest entry (i=0) went; the newest survives.
+        assert cache.load_stage("constraints", "00" * 32) is None
+        assert cache.load_stage("constraints", "aa" * 32) == {"i": 99}
+        assert cache.stats_for("constraints").evicted == 1
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        for key, payload in (("aa" * 32, {"k": "a"}), ("bb" * 32, {"k": "b"})):
+            cache.store_stage("parse", key, payload)
+            self.set_age(cache._stage_path("parse", key), seconds=1000)
+        # Touch A: it becomes the most recently used despite being old.
+        assert cache.load_stage("parse", "aa" * 32) == {"k": "a"}
+        cache.store_stage("parse", "cc" * 32, {"k": "c"})
+        assert cache.load_stage("parse", "aa" * 32) == {"k": "a"}
+        assert cache.load_stage("parse", "bb" * 32) is None
+        assert cache.stats_for("parse").evicted == 1
+
+    def test_fresh_store_never_evicts_itself(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=1)
+        cache.store_stage("solve", "aa" * 32, {"k": "a"})
+        # Make the existing entry look *newer* than anything to come:
+        # on coarse-mtime filesystems the new store could otherwise
+        # sort below it and be pruned immediately.
+        future = os.stat(cache._stage_path("solve", "aa" * 32)).st_mtime + 9999
+        os.utime(cache._stage_path("solve", "aa" * 32), (future, future))
+        cache.store_stage("solve", "bb" * 32, {"k": "b"})
+        assert cache.load_stage("solve", "bb" * 32) == {"k": "b"}
+        assert cache.load_stage("solve", "aa" * 32) is None
+
+    def test_namespaces_bounded_independently(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        for i in range(2):
+            cache.store_stage("parse", f"{i:02d}" * 32, {"i": i})
+            cache.store_stage("lower", f"{i:02d}" * 32, {"i": i})
+        # Both namespaces are full; neither evicts the other's entries.
+        assert cache.stats_for("parse").evicted == 0
+        assert cache.stats_for("lower").evicted == 0
+        cache.store_stage("parse", "aa" * 32, {"i": 9})
+        assert cache.stats_for("parse").evicted == 1
+        assert cache.stats_for("lower").evicted == 0
+        assert len(self.stage_paths(cache, "lower")) == 2
+
+    def test_solve_namespace_bounded(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        tasks = [
+            make_task(),
+            make_task(source=SOURCE_B),
+            make_task(config="EP+Naive"),
+        ]
+        for age, task in zip((3000, 2000, 1000), tasks):
+            result = execute_task(task)
+            cache.store(task, result)
+            self.set_age(cache._path(task.cache_key()), seconds=age)
+        assert cache.stats.evicted == 1
+        assert cache.load(tasks[0]) is None  # stalest
+        assert cache.load(tasks[2]) is not None
+        # Warm loads still replay identically through the bound.
+        warm, _ = solve_tasks([tasks[2]], cache=cache)
+        assert warm[0].from_cache
+
+    def test_evicted_surfaces_in_wire_and_text_forms(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=1)
+        cache.store_stage("link", "aa" * 32, {})
+        self.set_age(cache._stage_path("link", "aa" * 32), seconds=1000)
+        cache.store_stage("link", "bb" * 32, {})
+        stats = cache.stats_for("link")
+        assert stats.to_dict()["evicted"] == 1
+        assert "1 evicted" in str(stats)

@@ -1,0 +1,154 @@
+"""Wire-protocol unit tests: framing, validation, error salvage."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    DEFAULT_MAX_REQUEST_BYTES,
+    ERROR_CODES,
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+    validate_response,
+)
+
+
+def frame(**overrides):
+    obj = {"schema": PROTOCOL_SCHEMA, "id": 1, "method": "ping", "params": {}}
+    obj.update(overrides)
+    return encode_frame(obj)
+
+
+class TestParseRequest:
+    def test_roundtrip(self):
+        request = parse_request(frame(id=7, method="status"))
+        assert request == {
+            "schema": PROTOCOL_SCHEMA,
+            "id": 7,
+            "method": "status",
+            "params": {},
+        }
+
+    def test_params_default_to_empty(self):
+        line = encode_frame(
+            {"schema": PROTOCOL_SCHEMA, "id": "a", "method": "ping"}
+        )
+        assert parse_request(line)["params"] == {}
+
+    def test_string_ids_allowed(self):
+        assert parse_request(frame(id="req-1"))["id"] == "req-1"
+
+    def test_not_json(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request("{nope")
+        assert exc.value.code == "parse_error"
+        assert exc.value.request_id is None
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request("[1,2,3]")
+        assert exc.value.code == "invalid_request"
+
+    def test_unknown_keys_rejected_with_salvaged_id(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(frame(extra=True))
+        assert exc.value.code == "invalid_request"
+        assert exc.value.request_id == 1
+
+    def test_missing_method(self):
+        line = encode_frame({"schema": PROTOCOL_SCHEMA, "id": 3})
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(line)
+        assert exc.value.code == "invalid_request"
+        assert exc.value.request_id == 3
+
+    def test_wrong_schema(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(frame(schema=99))
+        assert exc.value.code == "invalid_request"
+
+    def test_bad_id_types(self):
+        for bad in (None, True, 1.5, [1], {}):
+            with pytest.raises(ProtocolError) as exc:
+                parse_request(frame(id=bad))
+            assert exc.value.code == "invalid_request"
+
+    def test_bad_params(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(frame(params=[1]))
+        assert exc.value.code == "invalid_params"
+        assert exc.value.request_id == 1
+
+    def test_oversized_rejected_before_json(self):
+        # Not even valid JSON — the size gate must fire first.
+        line = "x" * 100
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(line, max_bytes=64)
+        assert exc.value.code == "request_too_large"
+        assert "100 bytes" in exc.value.message
+
+    def test_size_limit_counts_utf8_bytes(self):
+        # Raw (unescaped) UTF-8 on the wire: Ω is 1 char but 2 bytes.
+        obj = {"schema": PROTOCOL_SCHEMA, "id": 1, "method": "Ω" * 40}
+        line = json.dumps(obj, ensure_ascii=False)
+        size = len(line.encode("utf-8"))
+        assert len(line) < size
+        parse_request(line, max_bytes=size)
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(line, max_bytes=size - 1)
+        assert exc.value.code == "request_too_large"
+
+    def test_default_limit_accepts_normal_requests(self):
+        assert parse_request(frame())["method"] == "ping"
+        assert DEFAULT_MAX_REQUEST_BYTES >= 1 << 20
+
+
+class TestResponses:
+    def test_ok_response_validates(self):
+        response = ok_response(4, 2, {"pong": True})
+        assert validate_response(response) is response
+        assert response["generation"] == 2
+
+    def test_error_response_validates(self):
+        for code in ERROR_CODES:
+            assert validate_response(error_response(None, code, "boom"))
+
+    def test_error_details_roundtrip(self):
+        response = error_response(1, "build_error", "bad", {"file": "a.c"})
+        decoded = json.loads(encode_frame(response))
+        assert validate_response(decoded)["error"]["details"] == {
+            "file": "a.c"
+        }
+
+    def test_unknown_error_code_rejected_at_build(self):
+        with pytest.raises(ValueError):
+            error_response(1, "nope", "boom")
+        with pytest.raises(ValueError):
+            ProtocolError("nope", "boom")
+
+    def test_validate_rejects_mixed_shapes(self):
+        ok = ok_response(1, 1, {})
+        bad = dict(ok)
+        bad["error"] = {"code": "internal", "message": "x"}
+        with pytest.raises(ProtocolError):
+            validate_response(bad)
+        err = error_response(1, "internal", "x")
+        bad = dict(err)
+        bad["result"] = {}
+        with pytest.raises(ProtocolError):
+            validate_response(bad)
+
+    def test_validate_rejects_unknown_code_on_wire(self):
+        err = error_response(1, "internal", "x")
+        err["error"]["code"] = "made-up"
+        with pytest.raises(ProtocolError):
+            validate_response(err)
+
+    def test_encode_frame_is_canonical(self):
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b == '{"a":2,"b":1}'

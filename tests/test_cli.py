@@ -1,7 +1,10 @@
 """CLI tests (python -m repro)."""
 
+import json
+
 import pytest
 
+from repro import __version__
 from repro.__main__ import main
 
 SRC = """
@@ -164,3 +167,147 @@ class TestLinkCLI:
         out = capsys.readouterr().out
         assert "linked 1 modules" in out
         assert "getPtr" in out
+
+    def test_link_cache_max_entries(self, tu_pair, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = [
+            "link", *tu_pair, "--cache", "--cache-dir", str(cache_dir),
+            "--cache-max-entries", "1",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Two TUs through a 1-entry bound: the per-TU constraints
+        # namespace is evicted down to one entry; the command still
+        # succeeds and re-runs.
+        assert len(list(cache_dir.glob("stages/constraints/*/*.json"))) == 1
+        assert main(args) == 0
+        capsys.readouterr()
+
+
+class TestVersionAndDiagnostics:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    @pytest.fixture
+    def badfile(self, tmp_path):
+        path = tmp_path / "broken.c"
+        path.write_text("int main(void) { return 0\n")
+        return str(path)
+
+    @pytest.mark.parametrize(
+        "command",
+        [
+            lambda f: ["compile", f],
+            lambda f: ["analyze", f],
+            lambda f: ["sweep", f],
+            lambda f: ["link", f],
+            lambda f: ["query", f, "-q", "classify"],
+        ],
+    )
+    def test_frontend_errors_are_one_line_diagnostics(
+        self, badfile, capsys, command
+    ):
+        assert main(command(badfile)) == 1
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+        [line] = [l for l in captured.err.splitlines() if l]
+        assert line.startswith("repro: error: broken.c:2: ")
+
+    def test_sema_error_diagnostic(self, tmp_path, capsys):
+        path = tmp_path / "sema.c"
+        path.write_text("int f(void) { return undeclared_name; }\n")
+        assert main(["analyze", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: sema.c:1: ")
+        assert "undeclared_name" in err
+
+
+class TestServeQueryCLI:
+    def test_query_single_and_json_forms(self, tu_pair, capsys):
+        assert main([
+            "query", *tu_pair,
+            "-q", "classify",
+            "-q", json.dumps(
+                {"method": "points_to", "params": {"var": "ap"}}
+            ),
+        ]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["ok"] and first["generation"] == 1
+        assert "cell" in first["result"]["external"]
+        # Open-world linking: ap is itself external, so its Sol keeps Ω.
+        assert "cell" in second["result"]["pointees"]
+        assert second["result"]["omega"] is True
+
+    def test_query_internalized_is_precise(self, tu_pair, capsys):
+        assert main([
+            "query", *tu_pair, "--internalize", "--keep", "use",
+            "-q", json.dumps(
+                {"method": "points_to", "params": {"var": "ap"}}
+            ),
+        ]) == 0
+        response = json.loads(capsys.readouterr().out)
+        # Whole-program view: ap can only hold &cell, no Ω.
+        assert response["result"]["pointees"] == ["cell"]
+        assert response["result"]["omega"] is False
+
+    def test_query_error_exits_nonzero(self, tu_pair, capsys):
+        assert main(["query", *tu_pair, "-q", "frobnicate"]) == 1
+        response = json.loads(capsys.readouterr().out)
+        assert response["error"]["code"] == "unknown_method"
+
+    def test_query_bad_json(self, tu_pair, capsys):
+        assert main(["query", *tu_pair, "-q", "{nope"]) == 2
+        assert "bad --query JSON" in capsys.readouterr().err
+
+    def test_query_matches_repeat_runs_byte_identically(
+        self, tu_pair, capsys
+    ):
+        argv = ["query", *tu_pair, "-q", "solution"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_serve_stdio_subprocess_session(self, tu_pair, tmp_path):
+        import subprocess
+        import sys
+
+        from repro.obs import read_trace
+        from repro.serve import validate_response
+
+        trace_path = tmp_path / "serve-trace.jsonl"
+        requests = [
+            {"schema": 1, "id": 1, "method": "ping", "params": {}},
+            {"schema": 1, "id": 2, "method": "open",
+             "params": {"files": {
+                 "a.c": "int cell; int *get(void) { return &cell; }",
+             }}},
+            {"schema": 1, "id": 3, "method": "points_to",
+             "params": {"var": "get.ret"}},
+            {"schema": 1, "id": 4, "method": "shutdown", "params": {}},
+        ]
+        stdin = "not even json\n" + "".join(
+            json.dumps(r) + "\n" for r in requests
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--stdio",
+             "--trace-out", str(trace_path)],
+            input=stdin, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        responses = [
+            validate_response(json.loads(line))
+            for line in proc.stdout.splitlines()
+        ]
+        assert [r.get("id") for r in responses] == [None, 1, 2, 3, 4]
+        assert responses[0]["error"]["code"] == "parse_error"
+        assert all(r["ok"] for r in responses[1:])
+        events = read_trace(trace_path, events=["serve"])
+        assert [e["name"] for e in events] == [
+            "<invalid>", "ping", "open", "points_to", "shutdown"
+        ]
