@@ -376,6 +376,8 @@ def _serve_components(args):
         memo_entries=args.memo_entries,
         registry=registry,
         trace=trace,
+        workers=getattr(args, "workers", 1),
+        state_dir=getattr(args, "state_dir", None),
     )
     return project, server, trace
 
@@ -386,7 +388,15 @@ def cmd_serve(args) -> int:
     project, server, trace = _serve_components(args)
     try:
         if args.files:
-            project.open(_read_project_files(args.files))
+            # Address the fleet's default project (a --state-dir restore
+            # may have replaced the one _serve_components built), and
+            # persist the startup generation like any other commit.
+            from .serve import DEFAULT_PROJECT
+
+            state = server._state(DEFAULT_PROJECT)
+            with state.write_lock:
+                state.project.open(_read_project_files(args.files))
+                server._persist(state)
         if args.tcp is not None:
             host, _, port_text = args.tcp.rpartition(":")
             try:
@@ -602,8 +612,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             " (default: 1 MiB)",
         )
         p.add_argument(
-            "--memo-entries", type=int, default=1024, metavar="N",
-            help="query-memo capacity shared across generations",
+            "--memo-max-entries", "--memo-entries", dest="memo_entries",
+            type=int, default=1024, metavar="N",
+            help="per-project query-memo capacity, shared across"
+            " generations (--memo-entries is the old spelling)",
         )
         _add_cache_options(p, "pipeline stage artifacts")
         _add_obs_options(p)
@@ -625,8 +637,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     transport.add_argument(
         "--tcp", default=None, metavar="HOST:PORT",
-        help="serve sequential TCP connections; PORT 0 binds an"
-        " ephemeral port (the bound address is printed to stderr)",
+        help="serve TCP connections; PORT 0 binds an ephemeral port"
+        " (the bound address is printed to stderr)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent query workers; 1 (default) keeps the"
+        " sequential one-connection-at-a-time behaviour, more turns"
+        " --tcp into a thread-per-connection fleet",
+    )
+    p.add_argument(
+        "--state-dir", type=pathlib.Path, default=None, metavar="DIR",
+        help="persist every committed generation here and warm-start"
+        " from it on restart (digest-validated)",
     )
     _add_serve_options(p)
     p.set_defaults(func=cmd_serve)

@@ -24,10 +24,15 @@ Design rules (the contract the rest of the system builds on):
 - **Canonical encoding.**  :meth:`Registry.to_dict` sorts every key and
   rounds timers, so equal registries always encode byte-identically
   under ``json.dumps(..., sort_keys=True)``.
+- **Thread-safe mutation.**  ``add``/``add_time`` are guarded by a
+  per-registry lock, so concurrent serve workers never lose increments
+  to read-modify-write races.  Disabled registries still return before
+  touching the lock, preserving the zero-cost rule.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Iterator, Mapping, Optional
 
@@ -74,7 +79,7 @@ class _Scope:
 class Registry:
     """Dotted-name counters and timers with deterministic merging."""
 
-    __slots__ = ("enabled", "counters", "timers")
+    __slots__ = ("enabled", "counters", "timers", "_lock")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
@@ -82,6 +87,7 @@ class Registry:
         self.counters: Dict[str, int] = {}
         #: name → accumulated seconds
         self.timers: Dict[str, float] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Mutation
@@ -91,13 +97,15 @@ class Registry:
         """Increment the counter ``name`` by ``n`` (no-op when disabled)."""
         if not self.enabled:
             return
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def add_time(self, name: str, seconds: float) -> None:
         """Accumulate ``seconds`` into the timer ``name``."""
         if not self.enabled:
             return
-        self.timers[name] = self.timers.get(name, 0.0) + seconds
+        with self._lock:
+            self.timers[name] = self.timers.get(name, 0.0) + seconds
 
     def scope(self, name: str):
         """Context manager timing its block into the timer ``name``."""

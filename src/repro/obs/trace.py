@@ -45,6 +45,7 @@ import io
 import json
 import os
 import pathlib
+import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 __all__ = [
@@ -84,6 +85,9 @@ class TraceWriter:
             self._file = target
             self._owns = False
         self.events = 0
+        # Concurrent serve workers emit per-request events; one lock
+        # keeps event lines whole (never interleaved mid-line).
+        self._lock = threading.Lock()
 
     def emit(self, event: str, name: str, data: Mapping) -> None:
         """Write one event line (validated before writing)."""
@@ -94,10 +98,10 @@ class TraceWriter:
             "data": dict(data),
         }
         validate_trace_line(obj)
-        self._file.write(
-            json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
-        )
-        self.events += 1
+        line = json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+        with self._lock:
+            self._file.write(line)
+            self.events += 1
 
     def close(self) -> None:
         self._file.flush()

@@ -29,6 +29,7 @@ artifact encoding or the producing algorithm changes meaning.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -143,17 +144,21 @@ class StageStats:
 
 class _Timed:
     """Context manager accumulating wall time into a stage's stats (and,
-    when profiling, mirroring it onto the registry timer ``name``)."""
+    when profiling, mirroring it onto the registry timer ``name``).
+    ``lock`` (when given) guards the stats accumulation — the serve
+    fleet runs one pipeline from several threads."""
 
     def __init__(
         self,
         stats: StageStats,
         registry: Registry = NULL_REGISTRY,
         name: str = "",
+        lock: Optional[threading.Lock] = None,
     ):
         self.stats = stats
         self.registry = registry
         self.name = name
+        self.lock = lock
 
     def __enter__(self) -> "_Timed":
         self._t0 = time.perf_counter()
@@ -161,7 +166,11 @@ class _Timed:
 
     def __exit__(self, *exc) -> None:
         elapsed = time.perf_counter() - self._t0
-        self.stats.seconds += elapsed
+        if self.lock is not None:
+            with self.lock:
+                self.stats.seconds += elapsed
+        else:
+            self.stats.seconds += elapsed
         self.registry.add_time(self.name, elapsed)
 
 
@@ -208,17 +217,26 @@ class Pipeline:
         # their own names into linker diagnostics).
         self._units: Dict[tuple, object] = {}  # (name, digest) → AST unit
         self._modules: Dict[tuple, Module] = {}  # (name, digest) → Module
+        # Guards the memos and stage stats: the serve fleet derives
+        # member bindings on reader threads while the writer rebuilds
+        # the next generation through the same pipeline.  Stage *work*
+        # runs outside the lock — two threads racing to the same memo
+        # entry recompute a deterministic value, never corrupt state.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
     def _bump(self, stage: str, counter: str, n: int = 1) -> None:
         """Increment one StageStats field and its registry mirror."""
-        stats = self.stats[stage]
-        setattr(stats, counter, getattr(stats, counter) + n)
+        with self._lock:
+            stats = self.stats[stage]
+            setattr(stats, counter, getattr(stats, counter) + n)
         self.registry.add(f"pipeline.{stage}.{counter}", n)
 
     def _timed(self, stage: str) -> _Timed:
-        return _Timed(self.stats[stage], self.registry, f"pipeline.{stage}")
+        return _Timed(
+            self.stats[stage], self.registry, f"pipeline.{stage}", self._lock
+        )
 
     # ------------------------------------------------------------------
 

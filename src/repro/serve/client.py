@@ -35,15 +35,27 @@ class ServeError(RuntimeError):
 
 
 class _ClientBase:
-    """Shared request framing over an abstract line exchange."""
+    """Shared request framing over an abstract line exchange.
 
-    def __init__(self) -> None:
+    A client constructed with ``project=`` addresses that tenant on
+    every request (override per call with the ``project`` argument);
+    without one, requests omit the field and land on the server's
+    default project — the schema-2 envelope stays back-compatible.
+    """
+
+    def __init__(self, project: Optional[str] = None) -> None:
         self._next_id = 0
+        self.project = project
 
     def _exchange(self, line: str) -> str:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def request(self, method: str, params: Optional[Dict] = None) -> Dict:
+    def request(
+        self,
+        method: str,
+        params: Optional[Dict] = None,
+        project: Optional[str] = None,
+    ) -> Dict:
         """Send one request; return the validated response frame."""
         self._next_id += 1
         request_id = self._next_id
@@ -53,6 +65,9 @@ class _ClientBase:
             "method": method,
             "params": params or {},
         }
+        target = project if project is not None else self.project
+        if target is not None:
+            frame["project"] = target
         reply = self._exchange(encode_frame(frame))
         response = validate_response(json.loads(reply))
         if response["id"] != request_id:
@@ -62,9 +77,14 @@ class _ClientBase:
             )
         return response
 
-    def call(self, method: str, params: Optional[Dict] = None) -> Dict:
+    def call(
+        self,
+        method: str,
+        params: Optional[Dict] = None,
+        project: Optional[str] = None,
+    ) -> Dict:
         """Send one request; return its result or raise ServeError."""
-        response = self.request(method, params)
+        response = self.request(method, params, project=project)
         if not response["ok"]:
             error = response["error"]
             raise ServeError(
@@ -85,8 +105,8 @@ class _ClientBase:
 class InProcessClient(_ClientBase):
     """Talks to an :class:`AnalysisServer` without any transport."""
 
-    def __init__(self, server) -> None:
-        super().__init__()
+    def __init__(self, server, project: Optional[str] = None) -> None:
+        super().__init__(project=project)
         self.server = server
 
     def _exchange(self, line: str) -> str:
@@ -96,8 +116,10 @@ class InProcessClient(_ClientBase):
 class ServeClient(_ClientBase):
     """Line client over a (read, write) text-file pair."""
 
-    def __init__(self, rfile, wfile, process=None, sock=None) -> None:
-        super().__init__()
+    def __init__(
+        self, rfile, wfile, process=None, sock=None, project=None
+    ) -> None:
+        super().__init__(project=project)
         self._rfile = rfile
         self._wfile = wfile
         self._process = process
@@ -106,7 +128,7 @@ class ServeClient(_ClientBase):
     # ------------------------------------------------------------------
 
     @classmethod
-    def spawn_stdio(cls, argv, **popen_kwargs) -> "ServeClient":
+    def spawn_stdio(cls, argv, project=None, **popen_kwargs) -> "ServeClient":
         """Start ``argv`` (e.g. ``[sys.executable, "-m", "repro",
         "serve", "--stdio", ...]``) and speak over its pipes."""
         process = subprocess.Popen(
@@ -116,14 +138,18 @@ class ServeClient(_ClientBase):
             text=True,
             **popen_kwargs,
         )
-        return cls(process.stdout, process.stdin, process=process)
+        return cls(
+            process.stdout, process.stdin, process=process, project=project
+        )
 
     @classmethod
-    def connect_tcp(cls, host: str, port: int, timeout=10.0) -> "ServeClient":
+    def connect_tcp(
+        cls, host: str, port: int, timeout=10.0, project=None
+    ) -> "ServeClient":
         sock = socket.create_connection((host, port), timeout=timeout)
         rfile = sock.makefile("r", encoding="utf-8", newline="\n")
         wfile = sock.makefile("w", encoding="utf-8", newline="\n")
-        return cls(rfile, wfile, sock=sock)
+        return cls(rfile, wfile, sock=sock, project=project)
 
     # ------------------------------------------------------------------
 

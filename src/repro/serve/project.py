@@ -25,6 +25,7 @@ unchanged.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -116,6 +117,9 @@ class Snapshot:
     _summaries: Optional[Dict[str, SummaryFn]] = None
     _bindings: Dict[str, MemberBinding] = field(default_factory=dict)
     _vars_by_name: Optional[Dict[str, List[int]]] = None
+    #: guards the lazy binding/name-index memos — concurrent read-only
+    #: query workers share one snapshot and may race to derive them
+    _lock: threading.Lock = field(default_factory=threading.Lock)
 
     # ------------------------------------------------------------------
 
@@ -130,31 +134,33 @@ class Snapshot:
 
     def binding(self, name: str) -> MemberBinding:
         """The (lazily built) value-level view of one member."""
-        binding = self._bindings.get(name)
-        if binding is not None:
-            return binding
-        src = self.source(name)  # KeyError on unknown members
-        module = self._pipeline.lower(src)
-        built = build_constraints(module, self._summaries)
-        member = next(m for m in self.members if m.name == name)
-        if built.program.digest() != member.program_digest:
-            raise RuntimeError(
-                f"non-deterministic constraint build for member {name!r}"
+        with self._lock:
+            binding = self._bindings.get(name)
+            if binding is not None:
+                return binding
+            src = self.source(name)  # KeyError on unknown members
+            module = self._pipeline.lower(src)
+            built = build_constraints(module, self._summaries)
+            member = next(m for m in self.members if m.name == name)
+            if built.program.digest() != member.program_digest:
+                raise RuntimeError(
+                    f"non-deterministic constraint build for member {name!r}"
+                )
+            binding = MemberBinding(
+                built, self.linked.var_maps[name], self.solution
             )
-        binding = MemberBinding(
-            built, self.linked.var_maps[name], self.solution
-        )
-        self._bindings[name] = binding
-        return binding
+            self._bindings[name] = binding
+            return binding
 
     def vars_named(self, name: str) -> List[int]:
         """Joint variable indexes carrying ``name`` (usually 0 or 1)."""
-        index = self._vars_by_name
-        if index is None:
-            index = {}
-            for v, var_name in enumerate(self.linked.program.var_names):
-                index.setdefault(var_name, []).append(v)
-            self._vars_by_name = index
+        with self._lock:
+            index = self._vars_by_name
+            if index is None:
+                index = {}
+                for v, var_name in enumerate(self.linked.program.var_names):
+                    index.setdefault(var_name, []).append(v)
+                self._vars_by_name = index
         return index.get(name, [])
 
     # ------------------------------------------------------------------
@@ -228,6 +234,10 @@ class Project:
         #: that makes an N−1-unchanged update skip N−1 constraint builds
         self._member_memo: Dict[Tuple[str, str], ConstraintsArtifact] = {}
         self._snapshot: Optional[Snapshot] = None
+        #: serializes rebuilds: one writer builds generation G+1 while
+        #: readers keep answering against the immutable snapshot G (the
+        #: commit is a single attribute assignment, atomic under the GIL)
+        self._write_lock = threading.RLock()
 
     # ------------------------------------------------------------------
 
@@ -252,13 +262,14 @@ class Project:
         """
         if not files:
             raise ValueError("cannot open a project with no sources")
-        sources = {
-            name: SourceArtifact.of(name, text)
-            for name, text in files.items()
-        }
-        snapshot = self._rebuild(sources)
-        self._sources = sources
-        return snapshot
+        with self._write_lock:
+            sources = {
+                name: SourceArtifact.of(name, text)
+                for name, text in files.items()
+            }
+            snapshot = self._rebuild(sources)
+            self._sources = sources
+            return snapshot
 
     def update(
         self,
@@ -272,20 +283,55 @@ class Project:
         project.  An update that changes nothing still advances the
         generation (the rebuild replays entirely from memos).
         """
-        if self._snapshot is None:
-            raise RuntimeError("no project open (call open() first)")
-        sources = dict(self._sources)
-        for name in removed:
-            if name not in sources:
-                raise KeyError(f"cannot remove unknown member {name!r}")
-            del sources[name]
-        for name, text in (changed or {}).items():
-            sources[name] = SourceArtifact.of(name, text)
-        if not sources:
-            raise ValueError("update would leave the project empty")
-        snapshot = self._rebuild(sources)
-        self._sources = sources
-        return snapshot
+        with self._write_lock:
+            if self._snapshot is None:
+                raise RuntimeError("no project open (call open() first)")
+            sources = dict(self._sources)
+            for name in removed:
+                if name not in sources:
+                    raise KeyError(f"cannot remove unknown member {name!r}")
+                del sources[name]
+            for name, text in (changed or {}).items():
+                sources[name] = SourceArtifact.of(name, text)
+            if not sources:
+                raise ValueError("update would leave the project empty")
+            snapshot = self._rebuild(sources)
+            self._sources = sources
+            return snapshot
+
+    def restore(
+        self,
+        sources: Sequence[SourceArtifact],
+        members: Sequence[ConstraintsArtifact],
+        linked: LinkedProgram,
+        solution: Solution,
+        generation: int,
+    ) -> Snapshot:
+        """Adopt a previously persisted generation without rebuilding.
+
+        The snapshot-persistence layer (:mod:`repro.serve.state`) calls
+        this with fully validated artifacts: the project starts serving
+        ``generation`` immediately, and the member memo is seeded so the
+        first ``update`` is as incremental as it would have been in the
+        original process.
+        """
+        with self._write_lock:
+            self.generation = generation
+            self._sources = {src.name: src for src in sources}
+            for src, member in zip(sources, members):
+                self._member_memo[(src.name, src.digest)] = member
+            self._snapshot = Snapshot(
+                generation=generation,
+                config=self.config,
+                options=self.options,
+                sources=tuple(sources),
+                members=tuple(members),
+                linked=linked,
+                solution=solution,
+                _pipeline=self.pipeline,
+                _summaries=self._summaries,
+            )
+            return self._snapshot
 
     # ------------------------------------------------------------------
 

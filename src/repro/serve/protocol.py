@@ -8,13 +8,20 @@ across the one-shot ``repro query`` path.
 
 Request envelope (keys are closed — anything else is rejected)::
 
-    {"schema": 1, "id": <str|int>, "method": "<name>", "params": {...}}
+    {"schema": 2, "id": <str|int>, "method": "<name>",
+     "params": {...}, "project": "<id>"}
 
-``params`` may be omitted (defaults to ``{}``).  Responses echo ``id``
-and carry the project generation the answer was computed against::
+``params`` may be omitted (defaults to ``{}``).  ``project`` (schema 2)
+selects the tenant the request addresses and defaults to
+:data:`DEFAULT_PROJECT`; schema-1 requests are still accepted — they
+carry no ``project`` key and always address the default project, which
+is the whole back-compat story.  Responses echo ``id`` and carry the
+project id plus the project generation the answer was computed
+against::
 
-    {"schema": 1, "id": 7, "ok": true,  "generation": 2, "result": {...}}
-    {"schema": 1, "id": 7, "ok": false, "error": {"code": "...",
+    {"schema": 2, "id": 7, "ok": true,  "project": "default",
+     "generation": 2, "result": {...}}
+    {"schema": 2, "id": 7, "ok": false, "error": {"code": "...",
                                                   "message": "...",
                                                   "details": {...}}}
 
@@ -24,31 +31,49 @@ have ``code`` from :data:`ERROR_CODES` and a human-readable
 ``message``; ``details`` is optional structured context (e.g.
 ``{"file": "a.c", "line": 3}`` for ``build_error``).
 
-The protocol is *stateful only through the project*: requests are
-processed strictly in order, and every response names the generation it
-was answered at, so a client can correlate answers across an
-interleaved ``update``.
+The protocol is *stateful only through the projects*: requests on one
+connection are processed strictly in order, each response names the
+project and generation it was answered at, and concurrent connections
+interleave freely — every answer is attributable to exactly one
+committed generation (never a torn snapshot).
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Dict, Mapping, Optional, Union
 
 __all__ = [
     "DEFAULT_MAX_REQUEST_BYTES",
+    "DEFAULT_PROJECT",
     "ERROR_CODES",
     "PROTOCOL_SCHEMA",
+    "ACCEPTED_SCHEMAS",
     "ProtocolError",
     "encode_frame",
     "error_response",
     "ok_response",
     "parse_request",
+    "valid_project_id",
     "validate_response",
 ]
 
 #: bump whenever the envelope or the meaning of a method changes
-PROTOCOL_SCHEMA = 1
+#: (2: multi-project tenancy — requests may carry ``project``, ok
+#: responses name the answering project)
+PROTOCOL_SCHEMA = 2
+
+#: request schemas the server still accepts; schema-1 requests address
+#: the default project and are otherwise identical
+ACCEPTED_SCHEMAS = (1, 2)
+
+#: the tenant addressed when a request names no project
+DEFAULT_PROJECT = "default"
+
+#: valid project ids: filesystem-safe (they name state files on disk),
+#: bounded length, no leading punctuation
+_PROJECT_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 #: requests longer than this (in UTF-8 bytes, including the newline's
 #: absence) are rejected *before* JSON parsing — the server's first
@@ -62,6 +87,7 @@ ERROR_CODES = (
     "request_too_large",  # line exceeds the size limit
     "unknown_method",  # no such method
     "invalid_params",  # params malformed, or name an unknown entity
+    "unknown_project",  # request addresses a project that is not open
     "build_error",  # open/update failed in the frontend or linker
     "timeout",  # the per-request deadline expired
     "shutting_down",  # received after a shutdown was accepted
@@ -69,6 +95,11 @@ ERROR_CODES = (
 )
 
 RequestId = Union[str, int, None]
+
+
+def valid_project_id(project: object) -> bool:
+    """Whether ``project`` is an acceptable tenant id."""
+    return isinstance(project, str) and bool(_PROJECT_ID_RE.match(project))
 
 
 class ProtocolError(Exception):
@@ -95,11 +126,17 @@ def encode_frame(obj: Mapping) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
-def ok_response(request_id: RequestId, generation: int, result: Mapping) -> Dict:
+def ok_response(
+    request_id: RequestId,
+    generation: int,
+    result: Mapping,
+    project: str = DEFAULT_PROJECT,
+) -> Dict:
     return {
         "schema": PROTOCOL_SCHEMA,
         "id": request_id,
         "ok": True,
+        "project": project,
         "generation": generation,
         "result": dict(result),
     }
@@ -143,7 +180,8 @@ def parse_request(
     Raises :class:`ProtocolError` carrying the salvaged request id (when
     one could be recovered) so the caller can still address its error
     response.  The size limit is enforced on the UTF-8 byte length and
-    checked before any JSON work.
+    checked before any JSON work.  Schema-1 requests are accepted and
+    normalised to the default project.
     """
     size = len(line.encode("utf-8"))
     if size > max_bytes:
@@ -161,8 +199,17 @@ def parse_request(
             "invalid_request",
             f"request is not an object: {type(obj).__name__}",
         )
+    schema = obj.get("schema")
+    if schema not in ACCEPTED_SCHEMAS:
+        raise ProtocolError(
+            "invalid_request",
+            f"schema {schema!r} not in {list(ACCEPTED_SCHEMAS)}",
+            request_id=request_id,
+        )
     keys = set(obj)
     expected = {"schema", "id", "method", "params"}
+    if schema >= 2:
+        expected = expected | {"project"}
     if not keys <= expected:
         raise ProtocolError(
             "invalid_request",
@@ -174,12 +221,6 @@ def parse_request(
         raise ProtocolError(
             "invalid_request",
             f"missing request keys: {sorted(missing)}",
-            request_id=request_id,
-        )
-    if obj["schema"] != PROTOCOL_SCHEMA:
-        raise ProtocolError(
-            "invalid_request",
-            f"schema {obj['schema']!r} != {PROTOCOL_SCHEMA}",
             request_id=request_id,
         )
     if request_id is None:
@@ -200,11 +241,20 @@ def parse_request(
             f"params must be an object: {params!r}",
             request_id=request_id,
         )
+    project = obj.get("project", DEFAULT_PROJECT)
+    if not valid_project_id(project):
+        raise ProtocolError(
+            "invalid_request",
+            f"bad project id {project!r} (letters, digits, '._-',"
+            " max 64 chars, must not start with punctuation)",
+            request_id=request_id,
+        )
     return {
         "schema": PROTOCOL_SCHEMA,
         "id": request_id,
         "method": obj["method"],
         "params": params,
+        "project": project,
     }
 
 
@@ -233,11 +283,15 @@ def validate_response(obj: object) -> Dict:
             "invalid_request", f"bad response id: {request_id!r}"
         )
     if obj["ok"]:
-        expected = {"schema", "id", "ok", "generation", "result"}
+        expected = {"schema", "id", "ok", "project", "generation", "result"}
         if set(obj) != expected:
             raise ProtocolError(
                 "invalid_request",
                 f"ok-response keys {sorted(obj)} != {sorted(expected)}",
+            )
+        if not valid_project_id(obj["project"]):
+            raise ProtocolError(
+                "invalid_request", f"bad response project: {obj['project']!r}"
             )
         if not isinstance(obj["generation"], int):
             raise ProtocolError(

@@ -20,6 +20,7 @@ answer wins; never less precise than either component).
 from __future__ import annotations
 
 import json
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -61,44 +62,58 @@ class QueryError(Exception):
 
 
 class LRUMemo:
-    """Bounded memo with least-recently-used eviction and counters."""
+    """Bounded memo with least-recently-used eviction and counters.
+
+    Thread-safe: concurrent serve workers share one memo per project, so
+    every operation (including the counter updates) happens under one
+    lock.  The accounting mirrors :class:`repro.driver.cache.CacheStats`
+    — ``hits``/``misses``/``stores``/``evicted`` — so memo and disk
+    cache report in the same vocabulary.
+    """
 
     def __init__(self, max_entries: int = 1024):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._entries: "OrderedDict[Tuple, Dict]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
-        self.evictions = 0
+        self.stores = 0
+        self.evicted = 0
 
     def get(self, key: Tuple) -> Optional[Dict]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Tuple, value: Dict) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evicted += 1
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def to_dict(self) -> Dict:
-        return {
-            "entries": len(self._entries),
-            "max_entries": self.max_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evicted": self.evicted,
+            }
 
 
 class QueryEngine:

@@ -1,38 +1,58 @@
-"""The persistent analysis server: dispatch plus stdio/TCP transports.
+"""The analysis server fleet: dispatch, tenancy, and concurrent transports.
 
-One :class:`AnalysisServer` wraps a :class:`~repro.serve.project.Project`
-and answers protocol frames (:mod:`repro.serve.protocol`) strictly in
-order.  Life-cycle methods (``open``/``update``/``shutdown``) mutate the
-project; query methods are delegated to a
-:class:`~repro.serve.queries.QueryEngine` rebuilt per generation over
-the shared LRU memo.  Every failure mode an untrusted client can
-produce — unparsable lines, oversized lines, bad envelopes, unknown
-methods, frontend errors in submitted sources, per-request deadline
-expiry — is answered with a structured error frame; nothing a client
-sends can terminate the server.
+One :class:`AnalysisServer` owns a *fleet* of tenant projects (requests
+address one by the ``project`` envelope field; schema-1 requests land on
+the default project) and answers protocol frames
+(:mod:`repro.serve.protocol`) from any number of transport threads
+concurrently:
 
-Observability: the server mirrors itself onto a
-:class:`repro.obs.Registry` (``serve.requests``, ``serve.errors.<code>``,
-``serve.method.<name>`` counters, the ``serve.request`` timer) and
-optionally emits one ``serve`` trace event per request plus a closing
-``metrics`` snapshot — the same JSONL schema the rest of the system
-traces into, validated by the CI smoke job.
+- **Read path.**  Query methods are pure functions of an immutable,
+  generation-counted :class:`~repro.serve.project.Snapshot`; up to
+  ``workers`` requests execute at once, each against the snapshot it
+  captured at dispatch — never a torn one.  The per-project
+  :class:`~repro.serve.queries.LRUMemo` is thread-safe and shared by
+  all workers.
+- **Write path.**  ``open``/``update`` take the addressed project's
+  writer lock and build the next generation *off* the read path;
+  readers keep answering on generation G until G+1 commits (a single
+  snapshot-reference assignment, atomic under the GIL).
+- **Persistence.**  With a ``state_dir``, every committed generation is
+  serialized canonically to disk (:mod:`repro.serve.state`) and a
+  restarted server warm-starts from it, digest-validated, instead of
+  re-parsing/re-linking.
 
-Timeout semantics: requests are executed on a single worker thread and
-the transport waits ``timeout`` seconds before answering ``timeout``
-and moving on; the expired computation finishes (or blocks the worker)
-in the background — later requests queue behind it, so a deadline is a
-latency bound for the *client*, not a cancellation.
+Every failure mode an untrusted client can produce — unparsable lines,
+oversized lines, bad envelopes, unknown methods or projects, frontend
+errors in submitted sources, per-request deadline expiry — is answered
+with a structured error frame; nothing a client sends can terminate the
+server.
+
+Observability: ``serve.requests``, ``serve.errors.<code>``,
+``serve.method.<name>``, ``serve.project.<id>.requests``,
+``serve.timeouts``, ``serve.state.{loads,saves,invalid}`` counters, the
+``serve.request`` timer, one ``serve`` trace event per request and a
+closing ``metrics`` snapshot that folds in the per-project memo
+counters (``serve.memo.*``, including ``evicted``).
+
+Timeout semantics: with ``timeout`` set, requests run on a pool of
+``workers`` threads and the transport waits ``timeout`` seconds before
+answering ``timeout`` and moving on; the expired computation keeps a
+worker busy until it finishes — a deadline is a latency bound for the
+*client*, not a cancellation.  Abandoned-but-running requests are
+visible: ``serve.timeouts`` counts them and ``status`` reports the
+current in-flight and abandoned depth, so operators can see the latency
+bound being hit instead of silently queueing behind it.
 """
 
 from __future__ import annotations
 
 import socket
 import sys
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
-from typing import Callable, Dict, Optional, TextIO
+from typing import Callable, Dict, List, Optional, TextIO
 
 from ..frontend import FRONTEND_ERRORS, describe_error, error_line
 from ..link import LinkError
@@ -40,6 +60,7 @@ from ..obs import NULL_REGISTRY, Registry, TraceWriter
 from .project import Project
 from .protocol import (
     DEFAULT_MAX_REQUEST_BYTES,
+    DEFAULT_PROJECT,
     ProtocolError,
     encode_frame,
     error_response,
@@ -48,7 +69,7 @@ from .protocol import (
 )
 from .queries import QUERY_METHODS, LRUMemo, QueryEngine, QueryError
 
-__all__ = ["AnalysisServer", "serve_stdio", "serve_tcp"]
+__all__ = ["AnalysisServer", "ProjectState", "serve_stdio", "serve_tcp"]
 
 #: methods the server dispatches (life-cycle + queries)
 SERVER_METHODS = (
@@ -62,43 +83,183 @@ SERVER_METHODS = (
 ) + QUERY_METHODS
 
 
+class ProjectState:
+    """One tenant: a project, its query memo, and its writer lock."""
+
+    def __init__(self, project_id: str, project: Project, memo_entries: int):
+        self.id = project_id
+        self.project = project
+        self.memo = LRUMemo(memo_entries)
+        #: serializes open/update/persist for this tenant only — other
+        #: tenants' writers and every reader proceed concurrently
+        self.write_lock = threading.RLock()
+        self._engine: Optional[QueryEngine] = None
+
+    def engine(self) -> QueryEngine:
+        """The query engine over the *current* snapshot.
+
+        Raises ``RuntimeError`` before the first ``open``.  The cached
+        engine is replaced when a new generation commits; a benign race
+        between two readers builds two equivalent engines over the same
+        immutable snapshot (both share the memo).
+        """
+        snapshot = self.project.snapshot
+        engine = self._engine
+        if engine is None or engine.snapshot is not snapshot:
+            engine = QueryEngine(snapshot, self.memo)
+            self._engine = engine
+        return engine
+
+
 class AnalysisServer:
-    """Protocol dispatcher over one project (transport-agnostic)."""
+    """Protocol dispatcher over a project fleet (transport-agnostic)."""
 
     def __init__(
         self,
-        project: Project,
+        project: Optional[Project] = None,
         timeout: Optional[float] = None,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         memo_entries: int = 1024,
         registry: Optional[Registry] = None,
         trace: Optional[TraceWriter] = None,
+        workers: int = 1,
+        state_dir=None,
+        project_factory: Optional[Callable[[], Project]] = None,
     ) -> None:
-        self.project = project
+        if workers < 1:
+            raise ValueError("workers must be positive")
         self.timeout = timeout
         self.max_request_bytes = max_request_bytes
-        self.memo = LRUMemo(memo_entries)
+        self.memo_entries = memo_entries
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.trace = trace
+        self.workers = workers
+        self.state_dir = state_dir
         #: set once a shutdown has been accepted; transports drain the
         #: in-flight request, answer it, then stop reading
         self.closing = False
-        self._engine: Optional[QueryEngine] = None
+        default = project if project is not None else Project()
+        self._project_factory = project_factory or (
+            lambda: Project(
+                config=default.config,
+                options=default.options,
+                registry=self.registry,
+            )
+        )
+        self._projects: Dict[str, ProjectState] = {}
+        self._projects_lock = threading.Lock()
+        self._projects[DEFAULT_PROJECT] = ProjectState(
+            DEFAULT_PROJECT, default, memo_entries
+        )
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        #: bounds concurrent dispatches on the no-timeout path
+        self._slots = threading.BoundedSemaphore(workers)
+        self._depth_lock = threading.Lock()
+        self._in_flight = 0
+        self._abandoned = 0
+        self._timeouts = 0
+        self.state_counts = {"loads": 0, "saves": 0, "invalid": 0}
+        if state_dir is not None:
+            self._load_state_dir()
 
     # ------------------------------------------------------------------
+    # Tenancy
+    # ------------------------------------------------------------------
+
+    @property
+    def project(self) -> Project:
+        """The default tenant's project (single-project back-compat)."""
+        return self._projects[DEFAULT_PROJECT].project
+
+    @property
+    def memo(self) -> LRUMemo:
+        """The default tenant's query memo (back-compat)."""
+        return self._projects[DEFAULT_PROJECT].memo
 
     def _engine_for_snapshot(self) -> QueryEngine:
-        snapshot = self.project.snapshot  # raises before the first open
-        if self._engine is None or self._engine.snapshot is not snapshot:
-            self._engine = QueryEngine(snapshot, self.memo)
-        return self._engine
+        """The default tenant's query engine (back-compat helper)."""
+        return self._projects[DEFAULT_PROJECT].engine()
 
+    def project_ids(self) -> List[str]:
+        with self._projects_lock:
+            return sorted(self._projects)
+
+    def _state(self, project_id: str) -> Optional[ProjectState]:
+        with self._projects_lock:
+            return self._projects.get(project_id)
+
+    def _state_or_error(self, project_id: str) -> ProjectState:
+        state = self._state(project_id)
+        if state is None:
+            raise ProtocolError(
+                "unknown_project",
+                f"project {project_id!r} is not open"
+                f" (projects: {self.project_ids()})",
+            )
+        return state
+
+    def _state_or_create(self, project_id: str) -> ProjectState:
+        with self._projects_lock:
+            state = self._projects.get(project_id)
+            if state is None:
+                state = ProjectState(
+                    project_id, self._project_factory(), self.memo_entries
+                )
+                self._projects[project_id] = state
+            return state
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _load_state_dir(self) -> None:
+        """Warm-start every valid persisted project from ``state_dir``."""
+        from .state import StateError, list_state_files, load_project
+
+        default = self._projects[DEFAULT_PROJECT].project
+        for path in list_state_files(self.state_dir):
+            try:
+                project_id, restored = load_project(
+                    path,
+                    config=default.config,
+                    options=default.options,
+                    registry=self.registry,
+                )
+            except StateError as exc:
+                self.state_counts["invalid"] += 1
+                self.registry.add("serve.state.invalid")
+                print(f"repro serve: ignoring state: {exc}", file=sys.stderr)
+                continue
+            with self._projects_lock:
+                self._projects[project_id] = ProjectState(
+                    project_id, restored, self.memo_entries
+                )
+            self.state_counts["loads"] += 1
+            self.registry.add("serve.state.loads")
+
+    def _persist(self, state: ProjectState) -> None:
+        """Persist one tenant's committed generation (writer lock held)."""
+        if self.state_dir is None:
+            return
+        from .state import save_project
+
+        save_project(self.state_dir, state.id, state.project)
+        self.state_counts["saves"] += 1
+        self.registry.add("serve.state.saves")
+
+    # ------------------------------------------------------------------
+    # Dispatch
     # ------------------------------------------------------------------
 
     def handle_line(self, line: str) -> str:
-        """One request line → exactly one response line (never raises)."""
+        """One request line → exactly one response line (never raises).
+
+        Thread-safe: any number of transport threads may call this
+        concurrently; execution depth is bounded by ``workers``.
+        """
         method = "<invalid>"
+        project_id = None
         with self.registry.scope("serve.request"):
             self.registry.add("serve.requests")
             try:
@@ -109,6 +270,7 @@ class AnalysisServer:
                 )
             else:
                 method = request["method"]
+                project_id = request["project"]
                 response = self._timed_dispatch(request)
         ok = bool(response.get("ok"))
         if not ok:
@@ -116,6 +278,8 @@ class AnalysisServer:
             self.registry.add(f"serve.errors.{response['error']['code']}")
         if self.trace is not None:
             data: Dict = {"id": response.get("id"), "ok": ok}
+            if project_id is not None:
+                data["project"] = project_id
             if ok:
                 data["generation"] = response["generation"]
             else:
@@ -123,18 +287,44 @@ class AnalysisServer:
             self.trace.emit("serve", method, data)
         return encode_frame(response)
 
+    def _track(self, delta: int) -> None:
+        with self._depth_lock:
+            self._in_flight += delta
+
+    def _tracked_dispatch(self, request: Dict) -> Dict:
+        self._track(1)
+        try:
+            return self._safe_dispatch(request)
+        finally:
+            self._track(-1)
+
     def _timed_dispatch(self, request: Dict) -> Dict:
         self.registry.add(f"serve.method.{request['method']}")
+        self.registry.add(f"serve.project.{request['project']}.requests")
         if self.timeout is None:
-            return self._safe_dispatch(request)
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="repro-serve"
-            )
-        future = self._pool.submit(self._safe_dispatch, request)
+            with self._slots:
+                return self._tracked_dispatch(request)
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-serve",
+                )
+            pool = self._pool
+        future = pool.submit(self._tracked_dispatch, request)
         try:
             return future.result(timeout=self.timeout)
         except FutureTimeout:
+            self.registry.add("serve.timeouts")
+            with self._depth_lock:
+                self._timeouts += 1
+                self._abandoned += 1
+
+            def _drained(_future) -> None:
+                with self._depth_lock:
+                    self._abandoned -= 1
+
+            future.add_done_callback(_drained)
             return error_response(
                 request["id"],
                 "timeout",
@@ -144,10 +334,9 @@ class AnalysisServer:
 
     def _safe_dispatch(self, request: Dict) -> Dict:
         request_id = request["id"]
-        method = request["method"]
-        params = request["params"]
+        project_id = request["project"]
         try:
-            result = self._dispatch(method, params)
+            result, generation = self._dispatch(request)
         except ProtocolError as exc:
             return error_response(request_id, exc.code, exc.message, exc.details)
         except QueryError as exc:
@@ -177,31 +366,44 @@ class AnalysisServer:
                 "internal",
                 f"{type(exc).__name__}: {exc}",
             )
-        generation = self.project.generation
-        return ok_response(request_id, generation, result)
+        return ok_response(request_id, generation, result, project_id)
 
-    # ------------------------------------------------------------------
+    def _generation_of(self, project_id: str) -> int:
+        state = self._state(project_id)
+        return state.project.generation if state is not None else 0
 
-    def _dispatch(self, method: str, params: Dict) -> Dict:
+    def _dispatch(self, request: Dict) -> tuple:
+        """Answer one request; returns ``(result, generation)``.
+
+        The generation is captured *with* the answer — a query computed
+        against snapshot G reports G even if G+1 commits while it runs.
+        """
+        method = request["method"]
+        params = request["params"]
+        project_id = request["project"]
         if self.closing:
             raise ProtocolError(
                 "shutting_down", "server is shutting down"
             )
         if method == "ping":
-            return {"pong": True}
+            return {"pong": True}, self._generation_of(project_id)
         if method == "status":
-            return self._status()
+            return self._status(project_id), self._generation_of(project_id)
         if method == "open":
-            return self._open(params)
+            return self._open(project_id, params)
         if method == "update":
-            return self._update(params)
+            return self._update(project_id, params)
         if method == "batch":
             queries = params.get("queries")
             if not isinstance(queries, list):
                 raise ProtocolError(
                     "invalid_params", "batch requires a 'queries' list"
                 )
-            return {"results": self._engine_for_snapshot().batch(queries)}
+            engine = self._state_or_error(project_id).engine()
+            return (
+                {"results": engine.batch(queries)},
+                engine.snapshot.generation,
+            )
         if method == "sleep":
             # Diagnostic aid for exercising the per-request deadline.
             seconds = params.get("seconds", 0)
@@ -210,12 +412,16 @@ class AnalysisServer:
                     "invalid_params", f"bad sleep duration: {seconds!r}"
                 )
             time.sleep(float(seconds))
-            return {"slept": float(seconds)}
+            return {"slept": float(seconds)}, self._generation_of(project_id)
         if method == "shutdown":
             self.closing = True
-            return {"closing": True}
+            return {"closing": True}, self._generation_of(project_id)
         if method in QUERY_METHODS:
-            return self._engine_for_snapshot().evaluate(method, params)
+            engine = self._state_or_error(project_id).engine()
+            return (
+                engine.evaluate(method, params),
+                engine.snapshot.generation,
+            )
         raise ProtocolError(
             "unknown_method",
             f"unknown method {method!r} (methods: {sorted(SERVER_METHODS)})",
@@ -223,15 +429,29 @@ class AnalysisServer:
 
     # ------------------------------------------------------------------
 
-    def _status(self) -> Dict:
+    def _status(self, project_id: str) -> Dict:
+        state = self._state_or_error(project_id)
+        with self._depth_lock:
+            depth = {
+                "pool_size": self.workers,
+                "in_flight": self._in_flight,
+                "abandoned": self._abandoned,
+                "timeouts": self._timeouts,
+            }
         status: Dict = {
-            "open": self.project.is_open,
-            "generation": self.project.generation,
-            "memo": self.memo.to_dict(),
-            "stages": self.project.stage_report(timings=False),
+            "open": state.project.is_open,
+            "generation": state.project.generation,
+            "memo": state.memo.to_dict(),
+            "stages": state.project.stage_report(timings=False),
+            "projects": self.project_ids(),
+            "workers": depth,
+            "state": {
+                "dir": str(self.state_dir) if self.state_dir else None,
+                **self.state_counts,
+            },
         }
-        if self.project.is_open:
-            status["project"] = self.project.snapshot.summary()
+        if state.project.is_open:
+            status["project"] = state.project.snapshot.summary()
         return status
 
     @staticmethod
@@ -247,16 +467,20 @@ class AnalysisServer:
             )
         return files
 
-    def _open(self, params: Dict) -> Dict:
+    def _open(self, project_id: str, params: Dict) -> tuple:
         unknown = set(params) - {"files"}
         if unknown:
             raise ProtocolError(
                 "invalid_params", f"open: unexpected params {sorted(unknown)}"
             )
-        snapshot = self.project.open(self._files_param(params))
-        return snapshot.summary()
+        files = self._files_param(params)
+        state = self._state_or_create(project_id)
+        with state.write_lock:
+            snapshot = state.project.open(files)
+            self._persist(state)
+        return snapshot.summary(), snapshot.generation
 
-    def _update(self, params: Dict) -> Dict:
+    def _update(self, project_id: str, params: Dict) -> tuple:
         unknown = set(params) - {"files", "removed"}
         if unknown:
             raise ProtocolError(
@@ -273,14 +497,17 @@ class AnalysisServer:
             raise ProtocolError(
                 "invalid_params", "'removed' must be a list of member names"
             )
-        before = {
-            stage: dict(counts)
-            for stage, counts in self.project.stage_report(
-                timings=False
-            ).items()
-        }
-        snapshot = self.project.update(changed, removed)
-        after = self.project.stage_report(timings=False)
+        state = self._state_or_error(project_id)
+        with state.write_lock:
+            before = {
+                stage: dict(counts)
+                for stage, counts in state.project.stage_report(
+                    timings=False
+                ).items()
+            }
+            snapshot = state.project.update(changed, removed)
+            after = state.project.stage_report(timings=False)
+            self._persist(state)
         delta = {
             stage: {
                 counter: after[stage][counter] - before[stage][counter]
@@ -290,16 +517,29 @@ class AnalysisServer:
         }
         summary = snapshot.summary()
         summary["stages"] = delta
-        return summary
+        return summary, snapshot.generation
 
     # ------------------------------------------------------------------
 
     def finish(self) -> None:
         """Drain-and-close: final metrics event, worker pool shutdown."""
         self.closing = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+        if self.registry.enabled:
+            # Fold the per-project memo accounting into the registry so
+            # the closing metrics event reports hits/misses/stores/
+            # evicted alongside the serve.* counters.
+            for project_id in self.project_ids():
+                state = self._state(project_id)
+                if state is None:
+                    continue
+                for name, value in state.memo.to_dict().items():
+                    if name == "max_entries":
+                        continue
+                    self.registry.add(f"serve.memo.{name}", value)
         if self.trace is not None and self.registry.enabled:
             self.trace.emit("metrics", "serve", self.registry.to_dict())
 
@@ -318,7 +558,8 @@ def serve_stdio(
 
     Responses are flushed per line; the loop drains the request that
     carried ``shutdown`` (answering it) before returning.  EOF on stdin
-    is a graceful shutdown too.
+    is a graceful shutdown too.  stdio is inherently one ordered
+    stream, so this transport is sequential regardless of ``workers``.
     """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
@@ -338,25 +579,50 @@ def serve_stdio(
     return 0
 
 
+def _serve_connection(server: AnalysisServer, conn: socket.socket) -> None:
+    """One TCP connection's request loop (fleet mode, own thread)."""
+    with conn:
+        rfile = conn.makefile("r", encoding="utf-8", newline="\n")
+        wfile = conn.makefile("w", encoding="utf-8", newline="\n")
+        try:
+            for line in rfile:
+                if not line.strip():
+                    continue
+                wfile.write(server.handle_line(line.rstrip("\n")))
+                wfile.write("\n")
+                wfile.flush()
+                if server.closing:
+                    break
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away; the fleet keeps serving
+
+
 def serve_tcp(
     server: AnalysisServer,
     host: str = "127.0.0.1",
     port: int = 0,
     ready: Optional[Callable[[str, int], None]] = None,
 ) -> int:
-    """Serve sequential TCP connections (one line protocol each).
+    """Serve TCP connections (one line protocol each).
 
     ``port=0`` binds an ephemeral port; ``ready`` (if given) receives
     the bound ``(host, port)`` once listening — tests and parent
-    processes use it instead of racing the bind.  Connections are
-    served one at a time in arrival order, matching the strictly
-    ordered protocol semantics.
+    processes use it instead of racing the bind.
+
+    With ``server.workers == 1`` connections are served **sequentially**
+    in arrival order — the single-worker baseline, preserved exactly for
+    clients that depend on strict cross-connection ordering (and
+    measured as the control by ``repro.bench.servebench``).  With more
+    workers, every connection gets its own reader thread and requests
+    fan out across the worker pool: per-connection order is preserved,
+    cross-connection requests interleave.
     """
     sock = socket.create_server((host, port))
     sock.settimeout(0.2)
     bound_host, bound_port = sock.getsockname()[:2]
     if ready is not None:
         ready(bound_host, bound_port)
+    threads: List[threading.Thread] = []
     try:
         while not server.closing:
             try:
@@ -365,23 +631,37 @@ def serve_tcp(
                 continue
             except KeyboardInterrupt:
                 break
-            with conn:
-                rfile = conn.makefile("r", encoding="utf-8", newline="\n")
-                wfile = conn.makefile("w", encoding="utf-8", newline="\n")
-                try:
-                    for line in rfile:
-                        if not line.strip():
-                            continue
-                        wfile.write(server.handle_line(line.rstrip("\n")))
-                        wfile.write("\n")
-                        wfile.flush()
-                        if server.closing:
-                            break
-                except (BrokenPipeError, ConnectionResetError):
-                    continue  # client went away; keep serving
-                except KeyboardInterrupt:
-                    break
+            if server.workers <= 1:
+                with conn:
+                    rfile = conn.makefile("r", encoding="utf-8", newline="\n")
+                    wfile = conn.makefile("w", encoding="utf-8", newline="\n")
+                    try:
+                        for line in rfile:
+                            if not line.strip():
+                                continue
+                            wfile.write(server.handle_line(line.rstrip("\n")))
+                            wfile.write("\n")
+                            wfile.flush()
+                            if server.closing:
+                                break
+                    except (BrokenPipeError, ConnectionResetError):
+                        continue  # client went away; keep serving
+                    except KeyboardInterrupt:
+                        break
+            else:
+                thread = threading.Thread(
+                    target=_serve_connection,
+                    args=(server, conn),
+                    name="repro-serve-conn",
+                    daemon=True,
+                )
+                thread.start()
+                threads.append(thread)
+                threads = [t for t in threads if t.is_alive()]
     finally:
         sock.close()
+        deadline = time.monotonic() + 5.0
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
         server.finish()
     return 0

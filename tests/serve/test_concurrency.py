@@ -1,0 +1,367 @@
+"""Fleet concurrency tests: byte-identity under load, torn-snapshot
+freedom, tenancy isolation, and worker-pool accounting.
+
+The contract under test: N concurrent readers over the immutable
+generation snapshots must answer **exactly** what a serial server
+answers (byte-identical response lines), and a writer committing
+generation G+1 mid-query-storm must never produce an answer that mixes
+generations — every response is attributable to G or G+1.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import Registry
+from repro.serve import (
+    AnalysisServer,
+    InProcessClient,
+    PROTOCOL_SCHEMA,
+    Project,
+    ServeClient,
+    encode_frame,
+    serve_tcp,
+    validate_response,
+)
+
+A = """
+int *gp;
+int x;
+void set(int *p) { gp = p; }
+int main(void) { set(&x); return *gp; }
+"""
+
+B = """
+extern int *gp;
+int y;
+void other(void) { gp = &y; }
+"""
+
+B2 = """
+extern int *gp;
+int y;
+int z;
+void other(void) { gp = &y; }
+void another(void) { gp = &z; }
+"""
+
+
+def make_server(**kwargs):
+    registry = kwargs.pop("registry", Registry())
+    server = AnalysisServer(Project(), registry=registry, **kwargs)
+    return server, registry
+
+
+SCRIPT = [
+    ("classify", {}),
+    ("points_to", {"var": "gp"}),
+    ("callgraph", {"member": "a.c"}),
+    ("points_to", {"var": "x"}),
+    ("solution", {}),
+]
+
+
+def run_script(exchange, script=SCRIPT):
+    """Replay ``script`` through an exchange fn; returns raw lines."""
+    lines = []
+    for i, (method, params) in enumerate(script):
+        frame = encode_frame({
+            "schema": PROTOCOL_SCHEMA,
+            "id": i + 1,
+            "method": method,
+            "params": params,
+        })
+        lines.append(exchange(frame))
+    return lines
+
+
+class TestByteIdentityUnderLoad:
+    def test_concurrent_stress_matches_serial(self):
+        """8 threads hammering handle_line get byte-identical answers
+        to a fresh serial server over the same sources."""
+        serial, _ = make_server()
+        InProcessClient(serial).call(
+            "open", {"files": {"a.c": A, "b.c": B}}
+        )
+        reference = run_script(serial.handle_line)
+
+        server, _ = make_server(workers=8)
+        InProcessClient(server).call(
+            "open", {"files": {"a.c": A, "b.c": B}}
+        )
+        results = [None] * 8
+        gate = threading.Event()
+
+        def worker(slot):
+            gate.wait()
+            results[slot] = [
+                run_script(server.handle_line) for _ in range(5)
+            ]
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join()
+        for session_runs in results:
+            for lines in session_runs:
+                assert lines == reference
+
+    def test_concurrent_tcp_sessions_match_serial(self):
+        """Real fleet transport: concurrent TCP clients, one thread per
+        connection, all byte-identical to the single-client session."""
+        server, _ = make_server(workers=4)
+        InProcessClient(server).call(
+            "open", {"files": {"a.c": A, "b.c": B}}
+        )
+        bound = {}
+        ready = threading.Event()
+
+        def on_ready(host, port):
+            bound["addr"] = (host, port)
+            ready.set()
+
+        thread = threading.Thread(
+            target=serve_tcp, args=(server,), kwargs={"ready": on_ready},
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(10)
+        host, port = bound["addr"]
+
+        def tcp_session():
+            with ServeClient.connect_tcp(host, port) as client:
+                return run_script(
+                    lambda line: client._exchange(line).rstrip("\n")
+                )
+
+        reference = tcp_session()
+        results = [None] * 6
+        gate = threading.Event()
+
+        def worker(slot):
+            gate.wait()
+            results[slot] = tcp_session()
+
+        workers = [
+            threading.Thread(target=worker, args=(i,)) for i in range(6)
+        ]
+        for t in workers:
+            t.start()
+        gate.set()
+        for t in workers:
+            t.join()
+        assert all(lines == reference for lines in results)
+        with ServeClient.connect_tcp(host, port) as client:
+            client.shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestWriterReaderRace:
+    def test_update_mid_storm_never_tears(self):
+        """A writer committing G+1 during a query storm: every response
+        is wholly G or wholly G+1 (generation matches the result
+        payload), and the final generation is observed."""
+        server, _ = make_server(workers=8)
+        opener = InProcessClient(server)
+        opener.call("open", {"files": {"a.c": A, "b.c": B}})
+
+        # Answers the storm compares against: what generation 1 and
+        # generation 2 each say, captured serially.
+        gen_answers = {}
+        for gen, text in ((1, B), (2, B2)):
+            oracle, _ = make_server()
+            c = InProcessClient(oracle)
+            c.call("open", {"files": {"a.c": A, "b.c": text}})
+            gen_answers[gen] = {
+                method: c.call(method, dict(params))
+                for method, params in (
+                    ("points_to", {"var": "gp"}),
+                    ("classify", {}),
+                )
+            }
+
+        stop = threading.Event()
+        torn = []
+        seen_generations = set()
+
+        def reader():
+            client = InProcessClient(server)
+            while not stop.is_set():
+                for method, params in (
+                    ("points_to", {"var": "gp"}),
+                    ("classify", {}),
+                ):
+                    response = client.request(method, dict(params))
+                    assert response["ok"]
+                    gen = response["generation"]
+                    seen_generations.add(gen)
+                    if response["result"] != gen_answers[gen][method]:
+                        torn.append((gen, method, response["result"]))
+
+        readers = [threading.Thread(target=reader) for _ in range(6)]
+        for t in readers:
+            t.start()
+        # The write happens while the storm runs; keep the storm going
+        # briefly after the commit so readers observe generation 2.
+        opener.call("update", {"files": {"b.c": B2}})
+        import time
+
+        time.sleep(0.1)
+        stop.set()
+        for t in readers:
+            t.join()
+        assert torn == []
+        assert 2 in seen_generations  # the commit became visible
+        # The two generations genuinely answer differently, so a torn
+        # response could not have passed the oracle comparison.
+        assert gen_answers[1]["points_to"] != gen_answers[2]["points_to"]
+
+    def test_writers_serialize_per_project(self):
+        """Concurrent updates on one project serialize: generations are
+        dense and the final snapshot reflects some total order."""
+        server, _ = make_server(workers=8)
+        client = InProcessClient(server)
+        client.call("open", {"files": {"a.c": A, "b.c": B}})
+        errors = []
+
+        def updater(tag):
+            try:
+                c = InProcessClient(server)
+                c.call(
+                    "update",
+                    {"files": {"b.c": B + f"\nint extra_{tag};\n"}},
+                )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=updater, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert server.project.generation == 5  # 1 open + 4 updates
+
+
+class TestTenancy:
+    def test_projects_are_isolated(self):
+        server, registry = make_server(workers=4)
+        alpha = InProcessClient(server, project="alpha")
+        beta = InProcessClient(server, project="beta")
+        alpha.call("open", {"files": {"a.c": A, "b.c": B}})
+        beta.call("open", {"files": {"a.c": A}})
+        # Different projects, different link sets, different answers.
+        a_pts = alpha.call("points_to", {"var": "gp"})
+        b_pts = beta.call("points_to", {"var": "gp"})
+        assert a_pts != b_pts
+        # Updating one project leaves the other's generation untouched.
+        alpha.call("update", {"files": {"b.c": B2}})
+        assert alpha.request("ping")["generation"] == 2
+        assert beta.request("ping")["generation"] == 1
+        # Per-project request accounting.
+        assert registry.counter("serve.project.alpha.requests") >= 3
+        assert registry.counter("serve.project.beta.requests") >= 2
+
+    def test_unknown_project_is_structured_error(self):
+        server, _ = make_server()
+        client = InProcessClient(server, project="ghost")
+        response = client.request("points_to", {"var": "gp"})
+        assert response["error"]["code"] == "unknown_project"
+        response = client.request("update", {"files": {"a.c": A}})
+        assert response["error"]["code"] == "unknown_project"
+        # ping/status answer for unknown projects is also structured.
+        assert client.request("status")["error"]["code"] == "unknown_project"
+
+    def test_open_creates_project_and_responses_name_it(self):
+        server, _ = make_server()
+        client = InProcessClient(server, project="p1")
+        response = client.request("open", {"files": {"a.c": A}})
+        assert response["ok"] and response["project"] == "p1"
+        assert "p1" in server.project_ids()
+        status = client.call("status")
+        assert status["projects"] == ["default", "p1"]
+
+    def test_default_project_backcompat(self):
+        """Schema-1 frames (no project key) land on the default
+        project, exactly as before tenancy existed."""
+        server, _ = make_server()
+        line = encode_frame({
+            "schema": 1, "id": 1, "method": "open",
+            "params": {"files": {"a.c": A}},
+        })
+        response = validate_response(json.loads(server.handle_line(line)))
+        assert response["ok"] and response["project"] == "default"
+        assert server.project.generation == 1
+
+    def test_per_project_memos(self):
+        server, _ = make_server()
+        alpha = InProcessClient(server, project="alpha")
+        alpha.call("open", {"files": {"a.c": A}})
+        alpha.call("points_to", {"var": "gp"})
+        alpha.call("points_to", {"var": "gp"})
+        status = alpha.call("status")
+        assert status["memo"]["hits"] == 1
+        # The default project's memo is untouched.
+        assert server.memo.to_dict()["misses"] == 0
+
+
+class TestWorkerAccounting:
+    def test_status_reports_pool_depth(self):
+        server, _ = make_server(workers=3)
+        status = InProcessClient(server).call("status")
+        assert status["workers"]["pool_size"] == 3
+        assert status["workers"]["in_flight"] == 1  # this status request
+        assert status["workers"]["abandoned"] == 0
+        assert status["workers"]["timeouts"] == 0
+
+    def test_timeout_counts_and_abandoned_depth(self):
+        import time
+
+        server, registry = make_server(timeout=0.05, workers=2)
+        client = InProcessClient(server)
+        response = client.request("sleep", {"seconds": 0.4})
+        assert response["error"]["code"] == "timeout"
+        assert registry.counter("serve.timeouts") == 1
+        # The expired computation is still running on a worker: visible
+        # as abandoned depth until it drains.
+        status = client.call("status")
+        assert status["workers"]["timeouts"] == 1
+        assert status["workers"]["abandoned"] == 1
+        time.sleep(0.6)
+        status = client.call("status")
+        assert status["workers"]["abandoned"] == 0
+        server.finish()
+
+    def test_finish_folds_memo_counters_into_metrics(self, tmp_path):
+        from repro.obs import TraceWriter, read_trace
+
+        registry = Registry()
+        trace_path = tmp_path / "serve.jsonl"
+        with TraceWriter(trace_path) as trace:
+            server = AnalysisServer(
+                Project(), registry=registry, trace=trace, memo_entries=2
+            )
+            client = InProcessClient(server)
+            client.call("open", {"files": {"a.c": A}})
+            for var in ("gp", "x", "set", "main"):
+                client.call("points_to", {"var": var})
+            client.call("points_to", {"var": "gp"})
+            server.finish()
+        events = read_trace(trace_path)
+        counters = events[-1]["data"]["counters"]
+        assert counters["serve.memo.misses"] == 5
+        assert counters["serve.memo.stores"] == 5
+        assert counters["serve.memo.evicted"] == 3  # capacity 2
+        assert counters["serve.memo.hits"] == 0  # "gp" was evicted
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            AnalysisServer(Project(), workers=0)

@@ -5,7 +5,9 @@ import json
 import pytest
 
 from repro.serve.protocol import (
+    ACCEPTED_SCHEMAS,
     DEFAULT_MAX_REQUEST_BYTES,
+    DEFAULT_PROJECT,
     ERROR_CODES,
     PROTOCOL_SCHEMA,
     ProtocolError,
@@ -13,6 +15,7 @@ from repro.serve.protocol import (
     error_response,
     ok_response,
     parse_request,
+    valid_project_id,
     validate_response,
 )
 
@@ -31,7 +34,35 @@ class TestParseRequest:
             "id": 7,
             "method": "status",
             "params": {},
+            "project": DEFAULT_PROJECT,
         }
+
+    def test_schema1_still_accepted(self):
+        # The pre-tenancy envelope: no project key, schema 1 — lands on
+        # the default project, normalised to the current schema.
+        request = parse_request(frame(schema=1))
+        assert request["schema"] == PROTOCOL_SCHEMA
+        assert request["project"] == DEFAULT_PROJECT
+        assert 1 in ACCEPTED_SCHEMAS and PROTOCOL_SCHEMA in ACCEPTED_SCHEMAS
+
+    def test_schema1_rejects_project_key(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(frame(schema=1, project="p1"))
+        assert exc.value.code == "invalid_request"
+
+    def test_project_addressing(self):
+        assert parse_request(frame(project="web-app"))["project"] == "web-app"
+
+    def test_bad_project_ids_rejected(self):
+        for bad in ("", ".hidden", "a/b", "x" * 65, 7, None, ["p"]):
+            with pytest.raises(ProtocolError) as exc:
+                parse_request(frame(project=bad))
+            assert exc.value.code == "invalid_request"
+            assert not valid_project_id(bad)
+
+    def test_valid_project_ids(self):
+        for good in ("default", "p1", "web.app-v2_x", "A" * 64):
+            assert valid_project_id(good)
 
     def test_params_default_to_empty(self):
         line = encode_frame(
