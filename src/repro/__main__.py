@@ -110,6 +110,8 @@ def cmd_analyze(args) -> int:
     config = parse_name(args.config) if args.config else DEFAULT_CONFIGURATION
     if args.pts_backend:
         config = dataclasses.replace(config, pts=args.pts_backend)
+    if args.reduce:
+        config = dataclasses.replace(config, reduce=True)
     result = analyze_module(module, config)
     program = result.built.program
     solution = result.solution
@@ -537,6 +539,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=("set", "bitset"),
         default=None,
         help="points-to-set representation (default: the config's, i.e. set)",
+    )
+    p.add_argument(
+        "--reduce",
+        action="store_true",
+        help="apply the offline constraint reduction before solving",
     )
     p.add_argument("--dump-constraints", action="store_true")
     p.set_defaults(func=cmd_analyze)

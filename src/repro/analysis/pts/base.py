@@ -58,6 +58,16 @@ class PTSBackend:
         """An independent mutable copy of ``s``."""
         raise NotImplementedError
 
+    def copy_rows(self, rows: Iterable[Iterable[int]]) -> list:
+        """One mutable set per row — the SolverState bulk initialiser.
+
+        Semantically ``[self.from_iter(r) for r in rows]``; backends
+        override it to build all rows in one native pass (state
+        construction is a fixed per-solve cost, so this matters for the
+        small/offline-reduced programs where solving itself is cheap).
+        """
+        return [self.from_iter(r) for r in rows]
+
     def mask(self, items: Iterable[int]) -> Any:
         """An immutable filter value for use as ``S & mask`` / ``S - mask``."""
         raise NotImplementedError

@@ -150,6 +150,9 @@ class BitsetBackend(PTSBackend):
     def copy(self, s: Bitset) -> Bitset:
         return Bitset(s.bits)
 
+    def copy_rows(self, rows) -> list:
+        return list(map(Bitset.from_iter, rows))
+
     def mask(self, items: Iterable[int]) -> Bitset:
         return Bitset.from_iter(items)
 

@@ -26,6 +26,10 @@ class SetBackend(PTSBackend):
     def copy(self, s: Set[int]) -> Set[int]:
         return set(s)
 
+    def copy_rows(self, rows) -> list:
+        # map + the C-level set constructor: no Python frame per row.
+        return list(map(set, rows))
+
     def mask(self, items: Iterable[int]) -> frozenset:
         return frozenset(items)
 

@@ -23,11 +23,12 @@ with one native intersection instead of per-element Python tests.
 
 from __future__ import annotations
 
+from itertools import compress
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Union
 
 from ..constraints import ConstraintProgram
 from ..omega import OMEGA
-from ..pts import InternTable, PTSBackend, get_backend
+from ..pts import InternTable, OpMemo, PTSBackend, get_backend
 from ..solution import Solution, SolverStats
 from ..unionfind import UnionFind
 
@@ -47,13 +48,14 @@ class ProgramMasks:
         n = program.num_vars
         in_p, in_m, omega = program.in_p, program.in_m, program.omega
         mask = backend.mask
-        self.p = mask(x for x in range(n) if in_p[x])
+        rng = range(n)
+        self.p = mask(compress(rng, in_p))
         self.incompat = mask(
-            x for x in range(n) if in_m[x] and not in_p[x] and x != omega
+            x for x in compress(rng, in_m) if not in_p[x] and x != omega
         )
         self.func = mask(program.funcs_of.keys())
-        self.impfunc = mask(x for x in range(n) if program.flag_impfunc[x])
-        self.extfunc = mask(x for x in range(n) if program.flag_extfunc[x])
+        self.impfunc = mask(compress(rng, program.flag_impfunc))
+        self.extfunc = mask(compress(rng, program.flag_extfunc))
 
 
 class SolverState:
@@ -73,18 +75,22 @@ class SolverState:
         self.dp = dp
         #: explicit pointees (original M indexes); in DP mode this is the
         #: *processed* part and :attr:`dsol` holds the unprocessed delta
-        self.sol = [backend.from_iter(s) for s in program.base]
-        self.dsol = [backend.empty() for _ in range(n)] if dp else []
+        self.sol = backend.copy_rows(program.base)
         if dp:
             # Everything starts unprocessed.
-            self.dsol, self.sol = self.sol, [backend.empty() for _ in range(n)]
+            empty = backend.empty
+            self.dsol, self.sol = self.sol, [empty() for _ in range(n)]
+        else:
+            self.dsol = []
         self.masks = ProgramMasks(program, backend)
-        self.succ: List[Set[int]] = [set(s) for s in program.simple_out]
-        self.loads: List[Set[int]] = [set(l) for l in program.load_from]
-        self.stores: List[Set[int]] = [set(l) for l in program.store_into]
-        self.call_idx: List[List[int]] = [
-            list(program.calls_on.get(v, ())) for v in range(n)
-        ]
+        self.succ: List[Set[int]] = list(map(set, program.simple_out))
+        self.loads: List[Set[int]] = list(map(set, program.load_from))
+        self.stores: List[Set[int]] = list(map(set, program.store_into))
+        # calls_on is sparse: prefill and overwrite instead of n dict gets
+        call_idx: List[List[int]] = [[] for _ in range(n)]
+        for v, idxs in program.calls_on.items():
+            call_idx[v] = list(idxs)
+        self.call_idx = call_idx
         # Pointer-behaviour flags (merged on union).
         self.pte: List[bool] = list(program.flag_pte)  # p ⊒ Ω
         self.pe: List[bool] = list(program.flag_pe)  # Ω ⊒ p
@@ -95,13 +101,26 @@ class SolverState:
         self.ea: List[bool] = list(program.flag_ea)
         #: backend twin of :attr:`ea`, so the ToΩ sweep can subtract all
         #: already-marked locations in one native difference
-        self.ea_mask = backend.from_iter(x for x in range(n) if program.flag_ea[x])
+        self.ea_mask = backend.from_iter(compress(range(n), program.flag_ea))
         self.stats = SolverStats()
+        #: operation-level memo over Sol_e values (MDE-style dedup); a
+        #: no-op pass-through for backends without a cheap value key
+        self.memo = OpMemo(backend)
         #: hook set by cycle detectors; called as on_union(survivor, dead)
         self.on_union = None
+        #: set by :func:`repro.analysis.config.solve_prepared` when the
+        #: program is an offline-compacted rewrite: a (target program,
+        #: new2old, alias_of) triple making extraction emit the solution
+        #: directly in the original variable universe — one pass instead
+        #: of extract-then-expand
+        self.remap = None
         #: False until the first union: lets the hot paths skip
         #: canonicalisation entirely for the (common) cycle-free case
         self.any_unions = False
+        #: union counter + per-row clean marks for canonical_succ: a
+        #: succ row can only go stale when a union happens
+        self._union_epoch = 1
+        self._succ_epoch = [0] * n
 
     # ------------------------------------------------------------------
 
@@ -130,6 +149,7 @@ class SolverState:
         if ra == rb:
             return ra
         self.any_unions = True
+        self._union_epoch += 1
         r = self.uf.union(ra, rb)
         dead = rb if r == ra else ra
         self.stats.unifications += 1
@@ -155,15 +175,26 @@ class SolverState:
         return r
 
     def canonical_succ(self, n: int) -> Set[int]:
-        """Successor reps of n, with stale/self edges cleaned in place."""
+        """Successor reps of n, with stale/self edges cleaned in place.
+
+        A row can only go stale through a union (nothing else changes
+        ``find``), so a row verified clean at the current union epoch is
+        returned without the staleness scan — unions happen in early
+        bursts, visits don't stop, and the scan would otherwise pay
+        O(out-degree) on every visit forever after the first union.
+        """
         raw = self.succ[n]
         if not self.any_unions:
+            return raw
+        epoch = self._union_epoch
+        if self._succ_epoch[n] == epoch:
             return raw
         find = self.uf.find
         if any(find(d) != d for d in raw) or n in raw:
             raw = {find(d) for d in raw}
             raw.discard(n)
             self.succ[n] = raw
+        self._succ_epoch[n] = epoch
         return raw
 
     def canonical_targets(self, targets: Set[int]) -> Set[int]:
@@ -207,78 +238,162 @@ class SolverState:
         representative and interned (:class:`InternTable`), so every
         pointer sharing a solver-level set also shares one frozenset in
         the Solution — and coincidentally-equal sets collapse too.
+
+        With :attr:`remap` set (offline-compacted programs), every
+        index is translated back to the original variable universe as
+        it is emitted, and merged-away pointers receive their
+        representative's shared frozenset — the single extraction pass
+        produces the final original-universe solution.
         """
         program = self.program
         self.stats.explicit_pointees = self.count_explicit_pointees()
+        self.stats.memo_hits = self.memo.hits
+        self.stats.memo_misses = self.memo.misses
         omega = program.omega
         if omega is not None:
             return self._extract_ep(omega)
+        out_program, new2old, alias_of = self.remap or (program, None, None)
         find = self.uf.find
-        external = frozenset(
-            x for x in range(program.num_vars) if self.ea[x] and program.in_m[x]
+        ea_mvars = (
+            x
+            for x in compress(range(program.num_vars), program.in_m)
+            if self.ea[x]
         )
+        if new2old is None:
+            external = frozenset(ea_mvars)
+            lift = frozenset
+        else:
+            external = frozenset(new2old[x] for x in ea_mvars)
+            item = new2old.__getitem__
+
+            def lift(full):
+                return frozenset(map(item, full))
+
         ext_plus = external | {OMEGA}
         intern = InternTable()
         key_of = self.pts.cache_key
+        empty_sol = None
+        # Without unions every pointer is its own representative, so the
+        # per-rep memo would be all misses — skip its dict traffic.
+        unions = self.any_unions
         by_rep: Dict[int, FrozenSet] = {}
         by_key: Dict[object, FrozenSet] = {}
         points_to: Dict[int, FrozenSet] = {}
-        for p in range(program.num_vars):
-            if not program.in_p[p]:
-                continue
-            r = find(p)
-            s = by_rep.get(r)
+        for p in compress(range(program.num_vars), program.in_p):
+            r = find(p) if unions else p
+            s = by_rep.get(r) if unions else None
             if s is None:
                 full = self.full_sol(r)
-                # Freeze each distinct underlying set once: backends with
-                # a cheap value key (bitset: the packed int) dedup before
-                # paying the per-member decode.  pte is part of the key —
-                # it widens the canonical set.
-                k = key_of(full)
-                if k is not None:
-                    k = (k, self.pte[r])
-                    s = by_key.get(k)
-                if s is None:
-                    s = frozenset(full)
-                    if self.pte[r]:
-                        s = s | ext_plus
-                    s = intern.intern(s)
+                if not full and not self.pte[r]:
+                    # Empty and unwidened: one shared ∅, skipping the
+                    # freeze/key machinery — the common case after the
+                    # offline reduction hollows nodes.
+                    if empty_sol is None:
+                        empty_sol = intern.intern(frozenset())
+                    s = empty_sol
+                else:
+                    # Freeze each distinct underlying set once: backends
+                    # with a cheap value key (bitset: the packed int)
+                    # dedup before paying the per-member decode.  pte is
+                    # part of the key — it widens the canonical set.
+                    k = key_of(full)
                     if k is not None:
-                        by_key[k] = s
+                        k = (k, self.pte[r])
+                        s = by_key.get(k)
+                    if s is None:
+                        s = lift(full)
+                        if self.pte[r]:
+                            s = s | ext_plus
+                        s = intern.intern(s)
+                        if k is not None:
+                            by_key[k] = s
                 by_rep[r] = s
-            points_to[p] = s
+            points_to[p if new2old is None else new2old[p]] = s
+        if alias_of is not None:
+            self._fill_aliases(points_to, out_program, alias_of)
         self.stats.shared_sets = len(intern)
-        return Solution(program, points_to, external, self.stats)
+        return Solution(out_program, points_to, external, self.stats)
 
     def _extract_ep(self, omega: int) -> Solution:
         find = self.uf.find
         program = self.program
+        out_program, new2old, alias_of = self.remap or (program, None, None)
         sol_omega = self.full_sol(find(omega))
-        external = frozenset(x for x in sol_omega if x != omega)
+        wire = frozenset((OMEGA,))
+        if new2old is None:
+            external = frozenset(x for x in sol_omega if x != omega)
+            omega_set = frozenset((omega,))
+
+            def lift(full):
+                # One membership probe + C-level set ops beat a
+                # per-member conditional: Ω is in at most one slot.
+                if omega in full:
+                    return frozenset(full) - omega_set | wire
+                return frozenset(full)
+
+        else:
+            item = new2old.__getitem__
+            external = frozenset(
+                new2old[x] for x in sol_omega if x != omega
+            )
+            # new2old is injective: only the compact Ω maps to the
+            # original Ω index, so dropping it after the bulk remap is
+            # exact.
+            omega_set = frozenset((new2old[omega],))
+
+            def lift(full):
+                if omega in full:
+                    return frozenset(map(item, full)) - omega_set | wire
+                return frozenset(map(item, full))
+
         intern = InternTable()
         key_of = self.pts.cache_key
+        empty_sol = None
+        unions = self.any_unions
         by_rep: Dict[int, FrozenSet] = {}
         by_key: Dict[object, FrozenSet] = {}
         points_to: Dict[int, FrozenSet] = {}
-        for p in range(program.num_vars):
-            if not program.in_p[p] or p == omega:
+        for p in compress(range(program.num_vars), program.in_p):
+            if p == omega:
                 continue
-            r = find(p)
-            s = by_rep.get(r)
+            r = find(p) if unions else p
+            s = by_rep.get(r) if unions else None
             if s is None:
                 full = self.full_sol(r)
-                k = key_of(full)
-                if k is not None:
-                    s = by_key.get(k)
-                if s is None:
-                    s = intern.intern(
-                        frozenset(
-                            OMEGA if x == omega else x for x in full
-                        )
-                    )
+                if not full:
+                    if empty_sol is None:
+                        empty_sol = intern.intern(frozenset())
+                    s = empty_sol
+                else:
+                    k = key_of(full)
                     if k is not None:
-                        by_key[k] = s
+                        s = by_key.get(k)
+                    if s is None:
+                        s = intern.intern(lift(full))
+                        if k is not None:
+                            by_key[k] = s
                 by_rep[r] = s
-            points_to[p] = s
+            points_to[p if new2old is None else new2old[p]] = s
+        if alias_of is not None:
+            self._fill_aliases(points_to, out_program, alias_of)
         self.stats.shared_sets = len(intern)
-        return Solution(program, points_to, external, self.stats)
+        return Solution(out_program, points_to, external, self.stats)
+
+    @staticmethod
+    def _fill_aliases(
+        points_to: Dict[int, FrozenSet],
+        out_program: ConstraintProgram,
+        alias_of: Dict[int, int],
+    ) -> None:
+        """Give merged-away pointers their representative's Sol set.
+
+        Exactly the pointers extraction materialises (``in_p``, not Ω)
+        get entries; classes whose representative has no Sol (no pointer
+        member) contribute nothing.
+        """
+        in_p, omega = out_program.in_p, out_program.omega
+        for q, rep in alias_of.items():
+            if in_p[q] and q != omega and q not in points_to:
+                s = points_to.get(rep)
+                if s is not None:
+                    points_to[q] = s

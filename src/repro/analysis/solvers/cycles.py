@@ -251,6 +251,11 @@ class LazyCycleDetection(CycleDetector):
 
     def __init__(self) -> None:
         self._checked: Set[Tuple[int, int]] = set()
+        #: (edges_added, unifications) at the time of the sweeps in
+        #: :attr:`_swept` — a sweep is a pure function of (graph, root),
+        #: so repeating one while the graph is unchanged is a no-op
+        self._sweep_state: Tuple[int, int] = (-1, -1)
+        self._swept: Set[int] = set()
 
     def on_equal_propagation(self, src: int, dst: int) -> None:
         key = (src, dst)
@@ -262,6 +267,13 @@ class LazyCycleDetection(CycleDetector):
         if not st.pts.equal(st.sol[src], st.sol[dst]):
             return
         self._checked.add(key)
+        state = (st.stats.edges_added, st.stats.unifications)
+        if state != self._sweep_state:
+            self._sweep_state = state
+            self._swept.clear()
+        elif dst in self._swept:
+            return
+        self._swept.add(dst)
         # Sweep: collapse every (genuine) cycle reachable from dst.
         for scc in strongly_connected_components([dst], st.canonical_succ):
             if len(scc) >= 2:

@@ -5,116 +5,31 @@ guaranteed to end up with identical Sol sets — and unify each set so the
 solver maintains a single shared Sol_e set for it.  Unlike online cycle
 detection, the equivalence is computed purely from the constraint set.
 
-Method (adapted to the extended constraint language): build an offline
-flow graph whose nodes are the constraint variables plus a dereference
-node ref(q) for every variable ``q`` that is loaded from.  Edges:
-
-- simple ``p ⊇ q``:  q → p
-- load ``p ⊇ *q``:   ref(q) → p
-
-Store constraints need no offline edges: they only ever write into
-abstract memory locations, and every memory location is *indirect*
-(receives a unique source token) anyway.
-
-Every node is assigned a **label**: the set of "pointee sources" that can
-reach it.  Processing the SCC condensation in topological order:
-
-- each SCC's label is the union of its predecessors' labels;
-- a base constraint ``p ⊇ {x}`` contributes a token ⟨base, x⟩;
-- the ``p ⊒ Ω`` flag contributes the shared token ⟨pte⟩ (all such
-  variables gain the same implicit pointees);
-- *indirect* members contribute one fresh token per SCC.  Indirect means
-  the variable can gain pointees through channels the offline graph does
-  not model: dereference nodes, memory locations (store targets), and
-  call/function return and parameter variables (CALL-rule targets).
+The label computation itself now lives in :mod:`repro.analysis.reduce`
+(:func:`repro.analysis.reduce.offline_variable_labels`), where the same
+labels also drive the full offline reduction pipeline (constraint
+rewriting, chain collapse, base subsumption) behind the configuration
+``reduce`` axis.  This module keeps the OVS entry point so the two axes
+share one definition of pointer equivalence and can never drift apart:
+with ``reduce`` enabled, a separate OVS pass is redundant — every OVS
+group is already one of the reduction's merge groups.
 
 Two variables with equal labels provably receive exactly the same
 explicit pointees and the same ``⊒ Ω`` flag at fixpoint, so unifying
 them preserves the solution exactly — which the paper's validation
-(identical solutions across all 208 configurations) requires.
+(identical solutions across all configurations) requires.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import List
 
 from ..constraints import ConstraintProgram
-from .cycles import strongly_connected_components
+from ..reduce import PTE_TOKEN, pointer_equivalence_groups
 
-PTE_TOKEN = ("pte",)
+__all__ = ["PTE_TOKEN", "compute_ovs_groups"]
 
 
 def compute_ovs_groups(program: ConstraintProgram) -> List[List[int]]:
     """Return groups (each ≥ 2 variables) that can be pre-unified."""
-    n = program.num_vars
-
-    indirect = [False] * n
-    for v in range(n):
-        if program.in_m[v]:
-            indirect[v] = True  # store rules write into memory locations
-    for fc in program.funcs:
-        for a in fc.args:
-            if a is not None:
-                indirect[a] = True  # CALL rule writes actuals into formals
-        if fc.ret is not None:
-            # markEA / escaped functions may flag the return node, and
-            # imported-function resolution writes into call returns; the
-            # return node itself only feeds call returns, but flag gains
-            # (Ω ⊒ r) are harmless.  Keep it direct.
-            pass
-    for cc in program.calls:
-        if cc.ret is not None:
-            indirect[cc.ret] = True  # CALL rule writes func returns here
-
-    # Offline graph: node v in [0, n); ref(v) = n + v.
-    adj: Dict[int, List[int]] = {}
-
-    def edge(a: int, b: int) -> None:
-        adj.setdefault(a, []).append(b)
-
-    roots: Set[int] = set()
-    for src in range(n):
-        for dst in program.simple_out[src]:
-            edge(src, dst)
-            roots.add(src)
-            roots.add(dst)
-        for dst in program.load_from[src]:
-            edge(n + src, dst)
-            roots.add(n + src)
-            roots.add(dst)
-    roots.update(range(n))
-
-    sccs = strongly_connected_components(roots, lambda v: adj.get(v, ()))
-    # Tarjan emits SCCs in reverse topological order.
-    sccs.reverse()
-
-    # Accumulate labels forward through the condensation.
-    incoming: Dict[int, Set] = {}
-    label_of: Dict[int, FrozenSet] = {}
-    for scc_id, scc in enumerate(sccs):
-        label: Set = set()
-        fresh_needed = False
-        for node in scc:
-            label |= incoming.pop(node, set())
-            if node >= n or indirect[node]:
-                fresh_needed = True
-            else:
-                for x in program.base[node]:
-                    label.add(("base", x))
-                if program.flag_pte[node]:
-                    label.add(PTE_TOKEN)
-        if fresh_needed:
-            label.add(("fresh", scc_id))
-        frozen = frozenset(label)
-        members = set(scc)
-        for node in scc:
-            label_of[node] = frozen
-        for node in scc:
-            for succ in adj.get(node, ()):
-                if succ not in members:  # cross-SCC edge
-                    incoming.setdefault(succ, set()).update(frozen)
-
-    groups: Dict[FrozenSet, List[int]] = {}
-    for v in range(n):
-        groups.setdefault(label_of[v], []).append(v)
-    return [g for g in groups.values() if len(g) >= 2]
+    return pointer_equivalence_groups(program)

@@ -50,7 +50,9 @@ from ..obs import NULL_REGISTRY, Registry, record_solver_stats
 STAGE_VERSIONS = {
     "constraints": "1",
     "link": "1",
-    "solve": "2",  # 2: solution stats gained pair_evals
+    # 2: solution stats gained pair_evals
+    # 3: reduce configuration axis; stats gained reduce_*/memo_* fields
+    "solve": "3",
 }
 
 

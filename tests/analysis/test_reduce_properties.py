@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for the offline reduction.
+
+Executable statements of the reduction's contract over random
+constraint programs:
+
+- reduction never grows the program (|V|, |C| monotone non-increasing);
+- variables it merges are *pointer-equivalent*: solving the original,
+  unreduced program gives every member of a merge class the identical
+  final Sol set (explicitly and through Ω) — the HVN/HU soundness
+  argument, checked against reality;
+- the named canonical solution is invariant under reduction;
+- with reduction on, the IP solution still over-approximates the EP
+  solution on memory locations (they are equal in this repo, so
+  containment is the weakest claim that must never break).
+"""
+
+import dataclasses
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import parse_name, run_configuration
+from repro.analysis.reduce import reduce_program
+from repro.analysis.testing import random_program
+
+program_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=6, max_value=40),  # vars
+    st.integers(min_value=5, max_value=80),  # constraints
+)
+
+
+def build(params):
+    seed, n_vars, n_constraints = params
+    return random_program(seed, n_vars, n_constraints)
+
+
+class TestShrinkage:
+    @given(program_params)
+    @settings(max_examples=50, deadline=None)
+    def test_vars_and_constraints_monotone(self, params):
+        program = build(params)
+        stats = reduce_program(program).stats
+        assert stats.vars_after <= stats.vars_before
+        assert stats.constraints_after <= stats.constraints_before
+
+    @given(program_params)
+    @settings(max_examples=50, deadline=None)
+    def test_counters_consistent(self, params):
+        program = build(params)
+        r = reduce_program(program)
+        stats = r.stats
+        assert stats.groups_merged == len(r.equiv_groups)
+        assert stats.vars_merged == sum(len(g) - 1 for g in r.equiv_groups)
+        assert stats.chains_collapsed == len(r.chain_groups)
+        assert stats.constraints_removed == (
+            stats.constraints_before - stats.constraints_after
+        )
+        assert r.program.num_vars == stats.vars_after
+        # every union is disjoint and sorted
+        seen = set()
+        for g in r.unions:
+            assert g == sorted(g) and len(g) >= 2
+            assert not (set(g) & seen)
+            seen.update(g)
+
+
+class TestPointerEquivalence:
+    @given(program_params)
+    @settings(max_examples=30, deadline=None)
+    def test_merged_variables_have_equal_unreduced_sols(self, params):
+        program = build(params)
+        groups = reduce_program(program).equiv_groups
+        if not groups:
+            return
+        # Solve the *original* program — both representations, so the
+        # equivalence is checked on explicit sets and through Ω.
+        for config in ("IP+Naive", "EP+WL(FIFO)"):
+            sol = run_configuration(program, parse_name(config))
+            for group in groups:
+                sols = {sol.points_to(v) for v in group}
+                assert len(sols) == 1, (config, group)
+
+
+class TestSolutionInvariance:
+    @given(program_params)
+    @settings(max_examples=30, deadline=None)
+    def test_named_canonical_identical(self, params):
+        program = build(params)
+        for name in ("IP+WL(FIFO)", "EP+WL(FIFO)+LCD+DP"):
+            config = parse_name(name)
+            off = run_configuration(program, config).to_named_canonical()
+            on = run_configuration(
+                program, dataclasses.replace(config, reduce=True)
+            ).to_named_canonical()
+            assert json.dumps(off, sort_keys=True) == json.dumps(
+                on, sort_keys=True
+            ), name
+
+    @given(program_params)
+    @settings(max_examples=20, deadline=None)
+    def test_ip_contains_ep_with_reduce_on(self, params):
+        program = build(params)
+        ip = run_configuration(
+            program, dataclasses.replace(parse_name("IP+WL(FIFO)"), reduce=True)
+        ).to_named_canonical()
+        ep = run_configuration(
+            program, dataclasses.replace(parse_name("EP+WL(FIFO)"), reduce=True)
+        ).to_named_canonical()
+        assert set(ip["points_to"]) == set(ep["points_to"])
+        for name, pointees in ep["points_to"].items():
+            assert set(ip["points_to"][name]) >= set(pointees), name
+        assert set(ip["external"]) >= set(ep["external"])

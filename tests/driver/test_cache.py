@@ -142,6 +142,25 @@ class TestCacheBehaviour:
             assert not result.from_cache
             assert cache.stats.hits == 0 and cache.stats.misses == 1
 
+    def test_reduce_flip_is_a_miss_never_a_stale_hit(self, tmp_path):
+        """Regression lock for the ``reduce`` configuration axis: a
+        cached reduce-off result must not satisfy the reduce-on task
+        (or vice versa) — their work profiles differ even though the
+        solutions agree."""
+        self.solve(make_task(), ResultCache(tmp_path))
+        cache = ResultCache(tmp_path)
+        on, _ = self.solve(make_task(config="IP+Reduce+WL(FIFO)"), cache)
+        assert not on.from_cache
+        assert cache.stats.hits == 0 and cache.stats.misses == 1
+        # Both entries now coexist and warm-replay independently.
+        warm_off, _ = self.solve(make_task(), ResultCache(tmp_path))
+        warm_on, _ = self.solve(
+            make_task(config="IP+Reduce+WL(FIFO)"), ResultCache(tmp_path)
+        )
+        assert warm_off.from_cache and warm_on.from_cache
+        for key in ("points_to", "external"):
+            assert warm_on.solution[key] == warm_off.solution[key]
+
     @pytest.mark.parametrize(
         "garbage",
         [

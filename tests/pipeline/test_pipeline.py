@@ -1,5 +1,6 @@
 """Tests for the staged pipeline and its stage-granular cache."""
 
+import dataclasses
 import json
 
 import pytest
@@ -57,6 +58,28 @@ class TestStageCaching:
         again = p3.analyze_source("a.c", SRC_A, CONFIG)
         for key in ("points_to", "external"):
             assert again.solution[key] == art.solution[key]
+
+    def test_reduce_flip_is_a_solve_miss(self, cache):
+        """Flipping only the ``reduce`` axis re-solves (the stage key
+        carries the axis) while everything upstream stays cached, and
+        both entries then coexist."""
+        Pipeline(cache=cache).analyze_source("a.c", SRC_A, CONFIG)
+
+        p2 = Pipeline(cache=ResultCache(cache.root))
+        reduced = dataclasses.replace(CONFIG, reduce=True)
+        art = p2.analyze_source("a.c", SRC_A, reduced)
+        assert p2.stats["parse"].runs == 0
+        assert p2.stats["constraints"].hits == 1
+        assert p2.stats["solve"].misses == 1
+        assert not art.from_cache
+        # Reduction is invisible in the answer: warm replays of both
+        # axes agree on the canonical solution.
+        p3 = Pipeline(cache=ResultCache(cache.root))
+        off = p3.analyze_source("a.c", SRC_A, CONFIG)
+        on = p3.analyze_source("a.c", SRC_A, reduced)
+        assert p3.stats["solve"].hits == 2
+        for key in ("points_to", "external"):
+            assert on.solution[key] == off.solution[key]
 
     def test_one_file_edit_rebuilds_only_that_member(self, cache):
         p1 = Pipeline(cache=cache)
