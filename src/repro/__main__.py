@@ -245,23 +245,52 @@ def cmd_link(args) -> int:
         pipeline.source(pathlib.Path(f).name, pathlib.Path(f).read_text())
         for f in args.files
     ]
-    members = []
-    for src in sources:
+    shard_stats = None
+    if args.shards:
+        # Sharded path: constraints + per-shard links + merge tree run
+        # as driver-pool jobs (byte-identical named solutions to the
+        # flat path below for any K / jobs value).
+        from .shard import link_sharded
+
         try:
-            members.append(pipeline.constraints(src))
-        except FRONTEND_ERRORS as exc:
-            if getattr(exc, "source_name", None) is None:
-                exc.source_name = src.name
-            raise
-    try:
-        link_art = pipeline.link(members, options)
-    except LinkError as exc:
-        for error in exc.errors:
-            print(f"link error: {error}", file=sys.stderr)
-        if trace is not None:
-            trace.close()
-        return 1
-    linked = link_art.linked
+            sharded = link_sharded(
+                [(src.name, src.text) for src in sources],
+                args.shards,
+                options=options,
+                jobs=args.jobs,
+                cache=cache,
+                registry=registry,
+                trace=trace,
+            )
+        except LinkError as exc:
+            for error in exc.errors:
+                print(f"link error: {error}", file=sys.stderr)
+            if trace is not None:
+                trace.close()
+            return 1
+        linked = sharded.linked
+        shard_stats = sharded.stats
+        members = None
+        if args.ladder:
+            members = [pipeline.constraints(src) for src in sources]
+    else:
+        members = []
+        for src in sources:
+            try:
+                members.append(pipeline.constraints(src))
+            except FRONTEND_ERRORS as exc:
+                if getattr(exc, "source_name", None) is None:
+                    exc.source_name = src.name
+                raise
+        try:
+            link_art = pipeline.link(members, options)
+        except LinkError as exc:
+            for error in exc.errors:
+                print(f"link error: {error}", file=sys.stderr)
+            if trace is not None:
+                trace.close()
+            return 1
+        linked = link_art.linked
     solve_art = pipeline.solve(linked.program, config)
     solution = solve_art.attach(linked.program)
     if trace is not None:
@@ -273,10 +302,17 @@ def cmd_link(args) -> int:
         trace.close()
 
     summary = linked.summary()
-    print(f"; linked {summary['members']} modules:"
+    print(f"; linked {len(sources)} modules:"
           f" {summary['joint_vars']} constraint variables,"
           f" {summary['joint_constraints']} constraints,"
           f" configuration {config.name}")
+    if shard_stats is not None:
+        print(f"; sharded: {shard_stats.occupied} shards"
+              f" (of {shard_stats.shards} slots),"
+              f" {shard_stats.rounds} merge rounds,"
+              f" link runs/hits {shard_stats.link_runs}/{shard_stats.link_hits},"
+              f" merge runs/hits"
+              f" {shard_stats.merge_runs}/{shard_stats.merge_hits}")
     resolved = linked.resolved_imports()
     unresolved = linked.unresolved_imports()
     print(f"; {len(resolved)} imports resolved across modules,"
@@ -326,6 +362,8 @@ def cmd_link(args) -> int:
             "solution": solution.to_named_canonical(),
             "stages": pipeline.stage_report(timings=True),
         }
+        if shard_stats is not None:
+            report["shard"] = shard_stats.to_dict()
         if registry is not None:
             report["metrics"] = registry.to_dict()
         if cache is not None:
@@ -480,6 +518,12 @@ def cmd_run(args) -> int:
     return runner_main(list(args.args))
 
 
+def cmd_shardbench(args) -> int:
+    from .bench.shardbench import main as shardbench_main
+
+    return shardbench_main(list(args.args))
+
+
 def cmd_configs(args) -> int:
     configs = enumerate_configurations()
     for config in configs:
@@ -497,6 +541,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench.runner import main as runner_main
 
         return runner_main(argv[1:])
+    if argv[:1] == ["shardbench"]:
+        from .bench.shardbench import main as shardbench_main
+
+        return shardbench_main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
@@ -586,6 +634,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--ladder",
         action="store_true",
         help="also solve every TU prefix and report the Ω-shrinkage ladder",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="link through K hash-assigned shards and a hierarchical"
+        " merge tree (byte-identical named solutions to the flat link)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sharded path (with --shards)",
     )
     p.add_argument("--show-solution", action="store_true")
     _add_cache_options(p, "stage artifacts")
@@ -683,6 +740,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="arguments for repro.bench.runner (see its --help)",
     )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "shardbench",
+        help="sharded-link scaling benchmark"
+        " (repro.bench.shardbench pass-through)",
+    )
+    p.add_argument(
+        "args", nargs=argparse.REMAINDER,
+        help="arguments for repro.bench.shardbench (see its --help)",
+    )
+    p.set_defaults(func=cmd_shardbench)
 
     p = sub.add_parser("configs", help="list all valid configurations")
     p.set_defaults(func=cmd_configs)

@@ -16,7 +16,16 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from .constraints import ConstraintProgram
 from .omega import OMEGA
@@ -218,6 +227,35 @@ class Solution:
             "stats": self.stats.to_dict(),
         }
 
+    def iter_named_canonical(self) -> "Iterator[Tuple[str, List[str]]]":
+        """Stream the named canonical entries in sorted-name order.
+
+        Yields ``(name, sorted_pointee_names)`` for every pointer in M,
+        ordered by pointer name — exactly the iteration order of
+        :meth:`to_named_canonical`'s ``points_to`` dict under
+        ``sort_keys=True``.  The sharded solution store consumes this to
+        spill entries to disk without ever materializing the whole
+        name-keyed dict (full-scale linked programs have far more
+        memory locations than fit comfortably in one mapping alongside
+        the solver state).
+        """
+        program = self.program
+        names = program.var_names
+        in_m = program.in_m
+        mem = sorted(
+            ((names[p], p) for p in self._points_to if in_m[p]),
+        )
+        for name, p in mem:
+            pointees = self._points_to[p]
+            yield name, sorted(
+                x if x == OMEGA else names[x] for x in pointees
+            )
+
+    def named_external(self) -> List[str]:
+        """Sorted names of E — the named-canonical ``external`` list."""
+        names = self.program.var_names
+        return sorted(names[x] for x in self.external)
+
     def to_named_canonical(self) -> Dict:
         """Name-keyed canonical form, restricted to memory locations.
 
@@ -232,20 +270,42 @@ class Solution:
         generator guarantees this; C symbol rules guarantee it for
         globals/functions, and alloca/heap names are function-qualified).
         """
-        program = self.program
-        names = program.var_names
-        points_to = {}
-        for p in sorted(self._points_to):
-            if not program.in_m[p]:
-                continue
-            pointees = self._points_to[p]
-            points_to[names[p]] = sorted(
-                x if x == OMEGA else names[x] for x in pointees
-            )
         return {
-            "points_to": points_to,
-            "external": sorted(names[x] for x in self.external),
+            "points_to": dict(self.iter_named_canonical()),
+            "external": self.named_external(),
         }
+
+    def named_canonical_digest(self) -> str:
+        """sha256 of the canonical JSON encoding of the named form.
+
+        Computed incrementally from :meth:`iter_named_canonical`, never
+        holding the full JSON text, yet byte-equal to::
+
+            hashlib.sha256(json.dumps(self.to_named_canonical(),
+                sort_keys=True, separators=(",", ":")).encode()).hexdigest()
+
+        which is the cross-build identity oracle (flat vs sharded link).
+        """
+        import hashlib
+        import json
+
+        def dumps(obj: object) -> str:
+            return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+        h = hashlib.sha256()
+        h.update(b'{"external":')
+        h.update(dumps(self.named_external()).encode("utf-8"))
+        h.update(b',"points_to":{')
+        first = True
+        for name, pointees in self.iter_named_canonical():
+            if not first:
+                h.update(b",")
+            first = False
+            h.update(dumps(name).encode("utf-8"))
+            h.update(b":")
+            h.update(dumps(pointees).encode("utf-8"))
+        h.update(b"}}")
+        return h.hexdigest()
 
     @classmethod
     def from_canonical_dict(

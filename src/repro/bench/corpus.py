@@ -686,6 +686,22 @@ def concatenate_program(unit_specs: List[FileSpec]) -> str:
     return "\n".join(generate_c_source(spec) for spec in unit_specs)
 
 
+def _scaled_file_count(profile: Profile, files_scale: float, min_files: int) -> int:
+    """Files at one scale; ``files_scale=1.0`` is *exactly* the Table
+    III count — no float rounding, no ``min_files`` clamp — so a
+    full-scale corpus pins the paper's shape by construction."""
+    if files_scale == 1.0:
+        return profile.files
+    return max(min_files, round(profile.files * files_scale))
+
+
+def _scaled_size_cap(profile: Profile, size_scale: float, mean_size: int) -> int:
+    """The instruction-tail cap at one scale; exact at ``size_scale=1.0``."""
+    if size_scale == 1.0:
+        return profile.max_insts
+    return max(mean_size + 1, round(profile.max_insts * size_scale))
+
+
 def specs_for_profile(
     profile: Profile,
     files_scale: float = 0.01,
@@ -698,14 +714,17 @@ def specs_for_profile(
     File sizes are drawn from a lognormal-flavoured distribution whose
     mean tracks ``profile.mean_insts * size_scale`` and whose tail is
     capped at ``profile.max_insts * size_scale`` — preserving each
-    benchmark's relative shape from Table III.
+    benchmark's relative shape from Table III.  At ``files_scale=1.0``
+    the file count is exactly ``profile.files`` and at ``size_scale=1.0``
+    the tail cap is exactly ``profile.max_insts`` (the scale-1
+    reproduction contract; see :func:`_scaled_file_count`).
     """
     # zlib.crc32, not hash(): str hashing is randomised per process and
     # would silently make the "deterministic" corpus irreproducible.
     rng = random.Random((seed << 16) ^ (zlib.crc32(profile.name.encode()) & 0xFFFF))
-    n_files = max(min_files, round(profile.files * files_scale))
+    n_files = _scaled_file_count(profile, files_scale, min_files)
     mean_size = max(8, round(profile.mean_insts * size_scale))
-    max_size = max(mean_size + 1, round(profile.max_insts * size_scale))
+    max_size = _scaled_size_cap(profile, size_scale, mean_size)
     specs = []
     for i in range(n_files):
         # Heavy-tailed sizes: Table III's Max columns are 10-60× the
@@ -727,6 +746,112 @@ def specs_for_profile(
                     size=size,
                     n_functions=max(2, min(12, size // 12)),
                     n_globals=max(4, min(16, size // 10)),
+                ),
+                **knobs,
+            )
+        )
+    return specs
+
+
+def plan_profile_program(
+    profile: Profile,
+    files_scale: float = 0.01,
+    size_scale: float = 0.02,
+    min_files: int = 2,
+    seed: int = 0,
+    max_sibling_fns: int = 3,
+    max_sibling_ptrs: int = 4,
+    n_shared_ptr_globals: int = 2,
+) -> List[FileSpec]:
+    """A *linkable* profile-shaped corpus: one whole program, many TUs.
+
+    :func:`specs_for_profile` generates standalone files whose exported
+    symbols collide across files (each is meant to be analysed alone).
+    This planner gives every unit a distinct prefix and wires units
+    together like :func:`plan_program` — exported functions, shared
+    pointer cells, cross-unit imports — but with **bounded** sibling
+    sampling (at most ``max_sibling_fns`` call edges and
+    ``max_sibling_ptrs`` data edges per unit) instead of the all-to-all
+    wiring, so a full-scale corpus (``files_scale=1.0``, thousands of
+    TUs) stays O(N) in total extern surface rather than O(N²).
+
+    Sizes follow the profile distribution exactly like
+    :func:`specs_for_profile`, including the exact scale-1 file count
+    and instruction-tail cap and the pathological heavy tail.
+    """
+    rng = random.Random(
+        (seed << 16) ^ (zlib.crc32((profile.name + "/prog").encode()) & 0xFFFF)
+    )
+    n_files = _scaled_file_count(profile, files_scale, min_files)
+    mean_size = max(8, round(profile.mean_insts * size_scale))
+    max_size = _scaled_size_cap(profile, size_scale, mean_size)
+
+    static_fraction = float(
+        profile.knobs.get("static_fraction", FileSpec.static_fraction)
+    )
+    plans: List[Tuple[str, Tuple[Tuple[str, str, bool], ...], Tuple[str, ...], int]] = []
+    for i in range(n_files):
+        prefix = f"u{i}_"
+        mu = rng.lognormvariate(-0.3, 1.25)
+        size = min(max_size, max(4, round(mean_size * mu)))
+        n_functions = max(2, min(12, size // 12))
+        functions = []
+        for j in range(n_functions):
+            kind = rng.choice(
+                ["int(intp)", "ptr(intp)", "int(node)", "void(intp,int)"]
+            )
+            static = rng.random() < static_fraction
+            functions.append((f"{prefix}fn{j}", kind, static))
+        if not any(not static for _, _, static in functions):
+            name, kind, _ = functions[0]
+            functions[0] = (name, kind, False)
+        exported_ptrs = tuple(
+            f"{prefix}share{k}" for k in range(n_shared_ptr_globals)
+        )
+        plans.append((prefix, tuple(functions), exported_ptrs, size))
+
+    specs: List[FileSpec] = []
+    for i, (prefix, functions, exported_ptrs, size) in enumerate(plans):
+        # Bounded sibling sampling: draw up to max_sibling_fns exported
+        # callable functions and max_sibling_ptrs shared cells from a
+        # few *nearby* units — locality keeps the draw O(1) per unit at
+        # any corpus size while still crossing shard boundaries (shard
+        # assignment hashes names, not positions).
+        seen: List[int] = []
+        for d in range(1, min(8, n_files)):
+            for j in ((i + d) % n_files, (i - d) % n_files):
+                if j != i and j not in seen:
+                    seen.append(j)
+        fn_candidates = [
+            (name, kind)
+            for j in seen
+            for name, kind, static in plans[j][1]
+            if not static and kind in _CALLABLE_KINDS
+        ]
+        n_fns = min(len(fn_candidates), max_sibling_fns)
+        sibling_fns = tuple(rng.sample(fn_candidates, n_fns)) if n_fns else ()
+        ptr_candidates = [name for j in seen for name in plans[j][2]]
+        n_ptrs = min(len(ptr_candidates), max_sibling_ptrs)
+        sibling_ptrs = (
+            tuple(rng.sample(ptr_candidates, n_ptrs)) if n_ptrs else ()
+        )
+        knobs = dict(profile.knobs)
+        if rng.random() < 0.10 and size >= mean_size:
+            knobs["pathological"] = True
+            knobs["escape_rate"] = max(0.25, knobs.get("escape_rate", 0.10))
+        specs.append(
+            replace(
+                FileSpec(
+                    name=f"{profile.name}/unit{i:04d}.c",
+                    seed=rng.randrange(1 << 30),
+                    size=size,
+                    n_functions=len(functions),
+                    n_globals=max(4, min(16, size // 10)),
+                    prefix=prefix,
+                    function_plan=functions,
+                    exported_ptr_globals=exported_ptrs,
+                    sibling_fns=sibling_fns,
+                    sibling_ptr_globals=sibling_ptrs,
                 ),
                 **knobs,
             )

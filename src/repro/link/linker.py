@@ -388,7 +388,19 @@ def link_programs(
                 internalized=internalized,
             )
             # Joint symbol table: the linked program is itself linkable.
+            # For unresolved symbols the joint declaration keeps the most
+            # specific (prototyped) type among the occurrences, so a later
+            # staged merge against a definition still sees any conflict —
+            # an unprototyped first occurrence must not launder a
+            # conflicting prototyped one behind "...".
             def_sym = def_sym_of.get(name)
+            if def_sym is not None:
+                type_key = def_sym.type_key
+            else:
+                type_key = min(
+                    (s.type_key for _, s in occs),
+                    key=lambda k: ("..." in k, k),
+                )
             linked.add_symbol(
                 ProgramSymbol(
                     name=name,
@@ -400,7 +412,7 @@ def link_programs(
                         else ("external" if resolved else "import")
                     ),
                     defined=resolved,
-                    type_key=(def_sym or occs[0][1]).type_key,
+                    type_key=type_key,
                 )
             )
 

@@ -18,6 +18,7 @@ or invalidate a cached artifact.
 """
 
 from .registry import NULL_REGISTRY, Registry, record_solver_stats, scope
+from .rss import PEAK_RSS_GAUGE, peak_rss_bytes, record_peak_rss
 from .trace import (
     EVENT_TYPES,
     TRACE_SCHEMA,
@@ -33,6 +34,9 @@ __all__ = [
     "Registry",
     "record_solver_stats",
     "scope",
+    "PEAK_RSS_GAUGE",
+    "peak_rss_bytes",
+    "record_peak_rss",
     "EVENT_TYPES",
     "TRACE_SCHEMA",
     "TraceError",

@@ -77,9 +77,9 @@ class _Scope:
 
 
 class Registry:
-    """Dotted-name counters and timers with deterministic merging."""
+    """Dotted-name counters, timers and gauges with deterministic merging."""
 
-    __slots__ = ("enabled", "counters", "timers", "_lock")
+    __slots__ = ("enabled", "counters", "timers", "gauges", "_lock")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
@@ -87,6 +87,9 @@ class Registry:
         self.counters: Dict[str, int] = {}
         #: name → accumulated seconds
         self.timers: Dict[str, float] = {}
+        #: name → high-water-mark sample (merge takes the max, not the
+        #: sum — the canonical use is peak RSS at stage boundaries)
+        self.gauges: Dict[str, int] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -107,6 +110,20 @@ class Registry:
         with self._lock:
             self.timers[name] = self.timers.get(name, 0.0) + seconds
 
+    def gauge_max(self, name: str, value: int) -> None:
+        """Raise the gauge ``name`` to ``value`` if it is a new maximum.
+
+        Gauges are high-water marks: re-sampling with a smaller value is
+        a no-op, and merging registries takes the max per name — so a
+        peak-RSS gauge is invariant to how many times (and from how many
+        workers) it was sampled.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            if value > self.gauges.get(name, 0):
+                self.gauges[name] = value
+
     def scope(self, name: str):
         """Context manager timing its block into the timer ``name``."""
         if not self.enabled:
@@ -123,6 +140,9 @@ class Registry:
     def timer(self, name: str) -> float:
         return self.timers.get(name, 0.0)
 
+    def gauge(self, name: str) -> int:
+        return self.gauges.get(name, 0)
+
     def total(self, prefix: str) -> int:
         """Sum of all counters at or under one hierarchy node.
 
@@ -137,7 +157,9 @@ class Registry:
         )
 
     def names(self) -> Iterator[str]:
-        yield from sorted(set(self.counters) | set(self.timers))
+        yield from sorted(
+            set(self.counters) | set(self.timers) | set(self.gauges)
+        )
 
     # ------------------------------------------------------------------
     # Merge / wire form
@@ -150,6 +172,8 @@ class Registry:
             self.add(name, n)
         for name, seconds in other.timers.items():
             self.add_time(name, seconds)
+        for name, value in other.gauges.items():
+            self.gauge_max(name, value)
         return self
 
     def merge_dict(self, data: Mapping) -> "Registry":
@@ -159,16 +183,26 @@ class Registry:
             self.add(name, int(n))
         for name, seconds in data.get("timers", {}).items():
             self.add_time(name, float(seconds))
+        for name, value in data.get("gauges", {}).items():
+            self.gauge_max(name, int(value))
         return self
 
     def to_dict(self) -> Dict:
-        """Canonical wire form: sorted keys, timers rounded to 9 d.p."""
-        return {
+        """Canonical wire form: sorted keys, timers rounded to 9 d.p.
+
+        The ``gauges`` block appears only when at least one gauge was
+        sampled, so reports from runs predating (or not using) gauges
+        keep their historical byte encoding.
+        """
+        out: Dict = {
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "timers": {
                 k: round(self.timers[k], 9) for k in sorted(self.timers)
             },
         }
+        if self.gauges:
+            out["gauges"] = {k: self.gauges[k] for k in sorted(self.gauges)}
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "Registry":

@@ -1,0 +1,57 @@
+"""Peak-RSS sampling for the streamed-solution memory story.
+
+``ru_maxrss`` is the kernel's high-water mark for the process, so one
+sample at a stage boundary captures the peak of everything that ran
+before it — sampling *more* often can only repeat the same number, never
+lower it.  That is exactly the gauge contract
+(:meth:`repro.obs.Registry.gauge_max`): the recorded peak is invariant
+to how many boundaries sampled it and to how work was split across
+``--jobs`` (each worker's peak merges by max into the parent registry).
+
+Platform note: Linux reports ``ru_maxrss`` in KiB, macOS in bytes; the
+helper normalises to bytes.  On platforms without :mod:`resource`
+(Windows) the sampler degrades to 0 and the gauge is simply never set —
+callers need no conditionals.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from .registry import Registry
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["peak_rss_bytes", "record_peak_rss"]
+
+#: gauge name under which the process peak RSS is recorded
+PEAK_RSS_GAUGE = "obs.peak_rss_bytes"
+
+
+def peak_rss_bytes() -> int:
+    """The process's lifetime peak resident set size, in bytes (0 if
+    the platform cannot report it)."""
+    if resource is None:  # pragma: no cover
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - mac units
+        return int(peak)
+    return int(peak) * 1024
+
+
+def record_peak_rss(registry: Optional[Registry]) -> int:
+    """Sample the peak RSS into ``registry`` (gauge ``obs.peak_rss_bytes``).
+
+    Returns the sampled value in bytes; a ``None`` or disabled registry
+    still samples nothing and returns 0 cheaply.
+    """
+    if registry is None or not registry.enabled:
+        return 0
+    peak = peak_rss_bytes()
+    if peak:
+        registry.gauge_max(PEAK_RSS_GAUGE, peak)
+    return peak

@@ -43,16 +43,27 @@ from ..frontend import analyse, lower, parse, preprocess
 from ..ir.module import Module
 from ..ir.verifier import compute_address_taken, verify_module
 from ..link import LinkedProgram, LinkOptions, link_programs
-from ..obs import NULL_REGISTRY, Registry, record_solver_stats
+from ..obs import (
+    NULL_REGISTRY,
+    Registry,
+    record_peak_rss,
+    record_solver_stats,
+)
 
 #: per-stage artifact-encoding versions; bumping one invalidates exactly
 #: that stage's cache entries (and, through key chaining, downstream ones)
 STAGE_VERSIONS = {
     "constraints": "1",
-    "link": "1",
+    # 2: joint symbol table keeps the most specific type_key for
+    # unresolved symbols (staged-merge diagnostics)
+    "link": "2",
     # 2: solution stats gained pair_evals
     # 3: reduce configuration axis; stats gained reduce_*/memo_* fields
     "solve": "3",
+    # sharded cross-TU path (repro.shard): per-shard links and interior
+    # merge-tree nodes, keyed separately from flat "link" entries
+    "shardlink": "1",
+    "shardmerge": "1",
 }
 
 
@@ -234,6 +245,9 @@ class Pipeline:
             stats = self.stats[stage]
             setattr(stats, counter, getattr(stats, counter) + n)
         self.registry.add(f"pipeline.{stage}.{counter}", n)
+        # Every stage boundary samples the process high-water mark; the
+        # gauge's max-merge makes the sample count irrelevant.
+        record_peak_rss(self.registry)
 
     def _timed(self, stage: str) -> _Timed:
         return _Timed(

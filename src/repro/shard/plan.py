@@ -1,0 +1,81 @@
+"""Deterministic TU → shard assignment.
+
+The planner's one non-obvious rule: shard membership hashes the TU
+**name**, never its content.  A content hash would be "more"
+content-addressed, but editing a TU would then migrate it to a different
+shard — invalidating *two* shard links (old home and new home) plus both
+spines, and breaking the warm-edit contract that exactly one shard
+re-links.  Names are stable across edits; content addressing happens one
+layer down, in the per-shard stage keys (which hash the member programs'
+digests).
+
+Within a shard, members keep their relative order from the input
+sequence, and shards are linked smallest-index-first, so the joint link
+order — and therefore every diagnostic and canonical artifact — is a
+pure function of (input order, shard count).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+def shard_of(name: str, shards: int) -> int:
+    """The shard index a TU name is assigned to (stable across runs,
+    platforms and Python hash randomisation)."""
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A fixed assignment of member names to shard slots.
+
+    ``groups`` has exactly ``shards`` entries; empty slots are kept (as
+    empty tuples) so slot numbering — and the merge-tree shape — depends
+    only on K, never on which slots happened to receive members.  Empty
+    slots are skipped at link time.
+    """
+
+    shards: int
+    groups: Tuple[Tuple[str, ...], ...]
+
+    @property
+    def occupied(self) -> List[int]:
+        """Indexes of slots that actually hold members, ascending."""
+        return [i for i, g in enumerate(self.groups) if g]
+
+    def slot_for(self, name: str) -> int:
+        """The occupied-slot *position* of the shard holding ``name``
+        (the merge tree is built over occupied slots only)."""
+        shard = shard_of(name, self.shards)
+        if name not in self.groups[shard]:
+            raise KeyError(name)
+        return self.occupied.index(shard)
+
+    def to_dict(self) -> Dict:
+        return {
+            "shards": self.shards,
+            "groups": [list(g) for g in self.groups],
+        }
+
+
+def plan_shards(names: Sequence[str], shards: int) -> ShardPlan:
+    """Assign ``names`` to ``shards`` slots deterministically.
+
+    Raises on duplicate names (they would silently collapse into one
+    linker member and mask a real duplicate-module error downstream).
+    """
+    names = list(names)
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate member names: {names}")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    groups: List[List[str]] = [[] for _ in range(shards)]
+    for name in names:
+        groups[shard_of(name, shards)].append(name)
+    return ShardPlan(shards=shards, groups=tuple(tuple(g) for g in groups))

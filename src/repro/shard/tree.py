@@ -1,0 +1,87 @@
+"""The hierarchical merge-tree schedule.
+
+Pure shape computation, separated from execution so tests can reason
+about rounds and spines without touching the linker or the pool.
+
+The tree is the classic binary reduction over N leaf slots: each round
+pairs adjacent nodes left-to-right; an odd tail node passes through to
+the next round *without re-execution* (no artifact is produced for it).
+After ``ceil(log2 N)`` rounds one node remains.  Pairing adjacent slots
+(rather than, say, first-with-last) keeps link order equal to input
+order at every level, which is what makes the hierarchical result
+byte-identical to the flat link's named canonical solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class MergeNode:
+    """One merge executed in one round: ``left``/``right`` are node
+    positions in the previous round's sequence; ``out`` is the merged
+    node's position in this round's sequence."""
+
+    round: int
+    left: int
+    right: int
+    out: int
+
+
+def merge_rounds(leaves: int) -> List[List[MergeNode]]:
+    """The full schedule for ``leaves`` leaf slots, one list per round.
+
+    ``leaves <= 1`` needs no merging: the schedule is empty.
+    """
+    if leaves < 0:
+        raise ValueError("leaves must be >= 0")
+    rounds: List[List[MergeNode]] = []
+    width = leaves
+    r = 0
+    while width > 1:
+        nodes = [
+            MergeNode(round=r, left=2 * i, right=2 * i + 1, out=i)
+            for i in range(width // 2)
+        ]
+        rounds.append(nodes)
+        # The odd tail keeps its artifact and simply renumbers to the
+        # last position of the next round.
+        width = width // 2 + (width % 2)
+        r += 1
+    return rounds
+
+
+def spine_slots(leaves: int, leaf: int) -> List[Tuple[int, int]]:
+    """The merge spine of one leaf: the ``(round, out)`` coordinates of
+    every merge node whose subtree contains ``leaf``.
+
+    These are exactly the merges that must re-run when that leaf's
+    artifact changes; pass-through rounds (where the node rides an odd
+    tail) appear nowhere in the result because they re-execute nothing.
+    """
+    if not 0 <= leaf < leaves:
+        raise ValueError(f"leaf {leaf} out of range for {leaves} leaves")
+    spine: List[Tuple[int, int]] = []
+    pos = leaf
+    for r, nodes in enumerate(merge_rounds(leaves)):
+        merged = {n.left: n for n in nodes}
+        merged.update({n.right: n for n in nodes})
+        node = merged.get(pos)
+        if node is not None:
+            spine.append((r, node.out))
+            pos = node.out
+        else:
+            # odd tail: new position is the round's last slot
+            pos = len(nodes)
+    return spine
+
+
+def spine_union(leaves: int, changed: List[int]) -> Set[Tuple[int, int]]:
+    """Union of the spines of several changed leaves (the exact set of
+    merge nodes a warm incremental run re-executes)."""
+    out: Set[Tuple[int, int]] = set()
+    for leaf in changed:
+        out.update(spine_slots(leaves, leaf))
+    return out

@@ -1,0 +1,97 @@
+"""Peak-RSS gauge: max semantics, merge, encoding, sampling."""
+
+import sys
+
+import pytest
+
+from repro.obs import (
+    PEAK_RSS_GAUGE,
+    Registry,
+    peak_rss_bytes,
+    record_peak_rss,
+)
+
+
+class TestGaugeMax:
+    def test_keeps_high_water_mark(self):
+        registry = Registry()
+        registry.gauge_max("g", 10)
+        registry.gauge_max("g", 5)
+        assert registry.gauge("g") == 10
+        registry.gauge_max("g", 25)
+        assert registry.gauge("g") == 25
+
+    def test_unset_gauge_reads_zero(self):
+        assert Registry().gauge("nope") == 0
+
+    def test_disabled_registry_ignores_gauges(self):
+        registry = Registry(enabled=False)
+        registry.gauge_max("g", 10)
+        assert registry.gauge("g") == 0
+
+    def test_merge_takes_max_per_gauge(self):
+        a = Registry()
+        b = Registry()
+        a.gauge_max("g", 10)
+        b.gauge_max("g", 30)
+        b.gauge_max("other", 7)
+        a.merge(b)
+        assert a.gauge("g") == 30
+        assert a.gauge("other") == 7
+
+    def test_merge_dict_round_trip(self):
+        a = Registry()
+        a.gauge_max("g", 12)
+        b = Registry.from_dict(a.to_dict())
+        assert b.gauge("g") == 12
+
+    def test_to_dict_omits_empty_gauges(self):
+        """Registries that never set a gauge keep their historical byte
+        encoding — no 'gauges' key appears."""
+        registry = Registry()
+        registry.add("c")
+        assert "gauges" not in registry.to_dict()
+        registry.gauge_max("g", 1)
+        assert registry.to_dict()["gauges"] == {"g": 1}
+
+    def test_names_includes_gauges(self):
+        registry = Registry()
+        registry.gauge_max("g", 1)
+        registry.add("c")
+        assert set(registry.names()) >= {"g", "c"}
+
+
+class TestPeakRss:
+    posix = pytest.mark.skipif(
+        not sys.platform.startswith(("linux", "darwin")),
+        reason="ru_maxrss unavailable",
+    )
+
+    @posix
+    def test_peak_rss_positive_and_plausible(self):
+        peak = peak_rss_bytes()
+        # A CPython process is megabytes, not kilobytes — catches a
+        # KiB/bytes unit mix-up on Linux.
+        assert peak > 1 << 20
+
+    @posix
+    def test_record_peak_rss_sets_gauge(self):
+        registry = Registry()
+        sampled = record_peak_rss(registry)
+        assert sampled > 0
+        assert registry.gauge(PEAK_RSS_GAUGE) == sampled
+
+    def test_record_into_none_or_disabled_is_cheap_noop(self):
+        assert record_peak_rss(None) == 0
+        assert record_peak_rss(Registry(enabled=False)) == 0
+
+    @posix
+    def test_resampling_never_lowers_the_gauge(self):
+        """ru_maxrss is a lifetime high-water mark: extra samples at
+        stage boundaries can only repeat or raise the recorded peak —
+        the jobs-invariance basis for the gauge."""
+        registry = Registry()
+        first = record_peak_rss(registry)
+        for _ in range(3):
+            record_peak_rss(registry)
+        assert registry.gauge(PEAK_RSS_GAUGE) >= first

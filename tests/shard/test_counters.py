@@ -1,0 +1,103 @@
+"""shard.* counters and trace events are jobs-invariant.
+
+The parent derives every counter from per-job cache provenance in slot /
+schedule order, so ``--jobs`` (and the pool start method behind it) must
+leave no fingerprint in the registry, the trace, or the gauges' key set.
+"""
+
+import json
+
+from repro.driver.cache import ResultCache
+from repro.obs import PEAK_RSS_GAUGE, Registry, TraceWriter
+from repro.obs.trace import validate_trace_text
+from repro.shard import link_sharded
+
+UNIT = "int c{i};\nint *cp{i} = &c{i};\nint cfn{i}(void) {{ return c{i}; }}\n"
+
+
+def sources(n=7):
+    return [(f"cnt/u{i}.c", UNIT.format(i=i)) for i in range(n)]
+
+
+def run(jobs, tmp_path, tag):
+    registry = Registry()
+    trace_path = tmp_path / f"trace-{tag}.jsonl"
+    cache = ResultCache(tmp_path / f"cache-{tag}")
+    with TraceWriter(trace_path) as trace:
+        result = link_sharded(
+            sources(), 4, jobs=jobs, cache=cache,
+            registry=registry, trace=trace,
+        )
+    return result, registry, trace_path.read_text()
+
+
+class TestJobsInvariance:
+    def test_counters_identical_across_jobs(self, tmp_path):
+        r1, reg1, _ = run(1, tmp_path, "j1")
+        r2, reg2, _ = run(2, tmp_path, "j2")
+        assert reg1.to_dict()["counters"] == reg2.to_dict()["counters"]
+        assert r1.stats == r2.stats
+        assert r1.root == r2.root
+
+    def test_trace_events_identical_across_jobs(self, tmp_path):
+        _, _, t1 = run(1, tmp_path, "t1")
+        _, _, t2 = run(2, tmp_path, "t2")
+        events1 = validate_trace_text(t1)
+        events2 = validate_trace_text(t2)
+        shard1 = [e for e in events1 if e["name"] == "shard"]
+        shard2 = [e for e in events2 if e["name"] == "shard"]
+        assert len(shard1) == 1
+        assert json.dumps(shard1, sort_keys=True) == json.dumps(
+            shard2, sort_keys=True
+        )
+
+    def test_gauge_key_set_invariant_across_jobs(self, tmp_path):
+        """Peak RSS values are machine noise, but *which* gauges exist
+        must not depend on jobs."""
+        _, reg1, _ = run(1, tmp_path, "g1")
+        _, reg2, _ = run(2, tmp_path, "g2")
+        assert set(reg1.to_dict().get("gauges", {})) == set(
+            reg2.to_dict().get("gauges", {})
+        )
+
+
+class TestCounterContents:
+    def test_expected_counters_present(self, tmp_path):
+        result, registry, trace_text = run(1, tmp_path, "c")
+        occupied = len(result.plan.occupied)
+        assert registry.counter("shard.links") == 1
+        assert registry.counter("shard.plan.shards") == 4
+        assert registry.counter("shard.plan.occupied") == occupied
+        assert registry.counter("shard.plan.members") == 7
+        assert registry.counter("shard.link.runs") == occupied
+        assert registry.counter("shard.merge.rounds") == result.stats.rounds
+        assert registry.counter("shard.constraints.runs") == 7
+        # One per-shard counter per occupied slot.
+        per_shard = [
+            name for name in registry.names()
+            if name.startswith("shard.link.s")
+        ]
+        assert len(per_shard) == occupied
+
+    def test_trace_event_carries_stats_and_mode(self, tmp_path):
+        result, _, trace_text = run(1, tmp_path, "m")
+        (event,) = [
+            e for e in validate_trace_text(trace_text) if e["name"] == "shard"
+        ]
+        assert event["event"] == "link"
+        assert event["data"]["mode"] == "open"
+        assert event["data"]["merge_runs"] == result.stats.merge_runs
+        assert event["data"]["members"] == 7
+
+    def test_disabled_registry_records_nothing(self, tmp_path):
+        registry = Registry(enabled=False)
+        cache = ResultCache(tmp_path / "cache-off")
+        link_sharded(sources(), 4, cache=cache, registry=registry)
+        assert list(registry.names()) == []
+
+    def test_peak_rss_gauge_recorded(self, tmp_path):
+        _, registry, _ = run(1, tmp_path, "rss")
+        import sys
+
+        if sys.platform.startswith(("linux", "darwin")):
+            assert registry.gauge(PEAK_RSS_GAUGE) > 0

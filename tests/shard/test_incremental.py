@@ -1,0 +1,111 @@
+"""The warm-edit contract: one TU edit re-links one shard + its spine."""
+
+import pytest
+
+from repro.driver.cache import ResultCache
+from repro.obs import Registry
+from repro.shard import link_sharded, shard_of, spine_slots
+
+UNIT_TEMPLATE = """
+int g{i};
+int *p{i} = &g{i};
+int fn{i}(void) {{ return g{i}; }}
+"""
+
+
+def make_sources(n=8):
+    return [
+        (f"inc/unit{i}.c", UNIT_TEMPLATE.format(i=i)) for i in range(n)
+    ]
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestWarmRuns:
+    def test_warm_rerun_is_all_hits(self, cache):
+        sources = make_sources()
+        cold = link_sharded(sources, 4, cache=cache)
+        assert cold.stats.link_runs == len(cold.plan.occupied)
+        assert cold.stats.merge_hits == 0
+        warm = link_sharded(sources, 4, cache=cache)
+        assert warm.stats.constraints_runs == 0
+        assert warm.stats.link_runs == 0
+        assert warm.stats.merge_runs == 0
+        assert warm.stats.link_hits == len(warm.plan.occupied)
+        assert warm.root[1] == cold.root[1]
+
+    def test_one_tu_edit_relinks_one_shard_plus_spine(self, cache):
+        sources = make_sources()
+        cold = link_sharded(sources, 4, cache=cache)
+        occupied = len(cold.plan.occupied)
+        assert occupied >= 2, "corpus must spread over several shards"
+
+        edited_name = sources[0][0]
+        edited = [
+            (name, text + "\nint edit_marker;\n" if name == edited_name else text)
+            for name, text in sources
+        ]
+        registry = Registry()
+        warm = link_sharded(edited, 4, cache=cache, registry=registry)
+
+        # Exactly the edited TU rebuilds constraints; exactly its shard
+        # re-links; exactly its merge spine re-runs.
+        leaf = warm.plan.slot_for(edited_name)
+        spine = spine_slots(occupied, leaf)
+        assert warm.stats.constraints_runs == 1
+        assert warm.stats.constraints_hits == len(sources) - 1
+        assert warm.stats.link_runs == 1
+        assert warm.stats.link_hits == occupied - 1
+        assert warm.stats.merge_runs == len(spine)
+        assert warm.stats.merge_hits == (occupied - 1) - len(spine)
+
+        # Per-shard counters name the original plan slot.
+        slot = shard_of(edited_name, 4)
+        assert registry.counter(f"shard.link.s{slot}.runs") == 1
+        for other in warm.plan.occupied:
+            if other != slot:
+                assert registry.counter(f"shard.link.s{other}.hits") == 1
+
+    def test_edit_does_not_change_other_shard_keys(self, cache):
+        sources = make_sources()
+        cold = link_sharded(sources, 4, cache=cache)
+        edited_name = sources[-1][0]
+        edited = [
+            (name, text + "\nint tail_edit;\n" if name == edited_name else text)
+            for name, text in sources
+        ]
+        warm = link_sharded(edited, 4, cache=cache)
+        leaf = warm.plan.slot_for(edited_name)
+        for pos, (old, new) in enumerate(zip(cold.shard_keys, warm.shard_keys)):
+            if pos == leaf:
+                assert old != new
+            else:
+                assert old == new
+        assert cold.root[1] != warm.root[1]
+
+    def test_edit_never_migrates_the_tu(self, cache):
+        """Name-hash assignment: content edits keep the TU in place, so
+        exactly one shard's membership digest changes."""
+        sources = make_sources()
+        plan_before = link_sharded(sources, 4, cache=cache).plan
+        edited = [
+            (n, t + f"\nint moved{i};\n")
+            for i, (n, t) in enumerate(sources)
+        ]
+        plan_after = link_sharded(edited, 4, cache=cache).plan
+        assert plan_before == plan_after
+
+
+class TestErrors:
+    def test_zero_sources_rejected(self):
+        from repro.shard import ShardError
+
+        with pytest.raises(ShardError):
+            link_sharded([], 4)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            link_sharded([("a.c", "int x;"), ("a.c", "int y;")], 2)

@@ -1,0 +1,84 @@
+"""Planner unit tests: name-hash stability, slot bookkeeping, errors."""
+
+import pytest
+
+from repro.shard import ShardPlan, plan_shards, shard_of
+
+
+class TestShardOf:
+    def test_deterministic_across_calls(self):
+        names = [f"dir/unit{i:03d}.c" for i in range(50)]
+        first = [shard_of(n, 8) for n in names]
+        assert [shard_of(n, 8) for n in names] == first
+
+    def test_pinned_values(self):
+        """Assignment is a pure function of the name — pin a few values
+        so an accidental hash change cannot slip through as 'still
+        deterministic, just different'."""
+        assert shard_of("a.c", 4) == 2
+        assert shard_of("b.c", 4) == 3
+        assert shard_of("557.xz/unit0000.c", 8) == shard_of(
+            "557.xz/unit0000.c", 8
+        )
+
+    def test_content_independence_is_structural(self):
+        """The API only sees names — there is no content argument to
+        leak through.  Editing a TU therefore cannot migrate it."""
+        assert shard_of("x.c", 16) in range(16)
+
+    def test_range_and_errors(self):
+        for shards in (1, 2, 7, 64):
+            assert 0 <= shard_of("n.c", shards) < shards
+        with pytest.raises(ValueError):
+            shard_of("n.c", 0)
+
+
+class TestPlanShards:
+    def test_groups_cover_all_names_in_order(self):
+        names = [f"u{i}.c" for i in range(20)]
+        plan = plan_shards(names, 4)
+        assert plan.shards == 4
+        assert len(plan.groups) == 4
+        flat = [n for g in plan.groups for n in g]
+        assert sorted(flat) == sorted(names)
+        # Relative input order preserved within each shard.
+        for group in plan.groups:
+            positions = [names.index(n) for n in group]
+            assert positions == sorted(positions)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            plan_shards(["a.c", "b.c", "a.c"], 2)
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards(["a.c"], 0)
+
+    def test_empty_slots_kept_in_groups(self):
+        """Slot numbering depends only on K — empty slots stay as empty
+        tuples so the tree shape is stable under membership changes."""
+        plan = plan_shards(["a.c"], 8)
+        assert len(plan.groups) == 8
+        assert plan.occupied == [shard_of("a.c", 8)]
+
+    def test_slot_for_is_occupied_position(self):
+        names = [f"m{i}.c" for i in range(12)]
+        plan = plan_shards(names, 5)
+        for name in names:
+            pos = plan.slot_for(name)
+            assert plan.groups[plan.occupied[pos]].count(name) == 1
+        with pytest.raises(KeyError):
+            plan.slot_for("not-a-member.c")
+
+    def test_to_dict_round_trips_shape(self):
+        plan = plan_shards(["a.c", "b.c", "c.c"], 3)
+        d = plan.to_dict()
+        assert d["shards"] == 3
+        assert [tuple(g) for g in d["groups"]] == list(plan.groups)
+        assert isinstance(plan, ShardPlan)
+
+    def test_edit_stability(self):
+        """The warm-edit contract's foundation: the same name set plans
+        identically regardless of any notion of file content."""
+        names = [f"p/f{i}.c" for i in range(30)]
+        assert plan_shards(names, 6) == plan_shards(list(names), 6)

@@ -1,0 +1,134 @@
+"""The sharded-link exactness matrix (this PR's locked oracle).
+
+Sharding must be invisible: for any shard count, any job count and both
+link modes, :func:`repro.shard.link_sharded` must produce a joint
+program whose named canonical solution is byte-identical to the flat
+``Pipeline.link`` path's — across a representative slice of the
+configuration space and both points-to-set backends.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import parse_name, run_configuration
+from repro.bench.corpus import ProgramSpec, generate_c_source, plan_program
+from repro.link import LinkOptions
+from repro.pipeline import Pipeline
+from repro.shard import link_sharded
+
+REPRESENTATIVE = [
+    "IP+WL(FIFO)",
+    "IP+WL(FIFO)+PIP",
+    "EP+WL(FIFO)+LCD+DP",
+    "IP+OVS+WL(LRF)+OCD+PIP",
+]
+
+MODES = {
+    "open": LinkOptions(),
+    "internalize": LinkOptions(internalize=True, keep=("main",)),
+}
+
+
+def named_json(solution):
+    return json.dumps(
+        solution.to_named_canonical(), sort_keys=True, separators=(",", ":")
+    )
+
+
+def build_sources(seed=31, n_units=6):
+    spec = ProgramSpec(
+        name=f"shx{seed}", seed=seed, n_units=n_units, unit_size=28
+    )
+    pipeline = Pipeline()
+    return [
+        (u.name, generate_c_source(u)) for u in plan_program(spec)
+    ], pipeline
+
+
+def flat_oracle(sources, options, config):
+    pipeline = Pipeline()
+    members = [
+        pipeline.constraints(pipeline.source(name, text))
+        for name, text in sources
+    ]
+    linked = pipeline.link(members, options).linked
+    return named_json(
+        run_configuration(linked.program, config)
+    )
+
+
+class TestShardedIdentity:
+    @pytest.mark.parametrize("mode", sorted(MODES))
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_matrix_slice(self, shards, mode):
+        sources, _ = build_sources()
+        options = MODES[mode]
+        sharded = link_sharded(sources, shards, options)
+        for name in REPRESENTATIVE:
+            config = parse_name(name)
+            oracle = flat_oracle(sources, options, config)
+            got = named_json(
+                run_configuration(sharded.linked.program, config)
+            )
+            assert got == oracle, f"{name} / K={shards} / {mode}"
+
+    @pytest.mark.parametrize("pts", ["set", "bitset"])
+    def test_backends_agree(self, pts):
+        import dataclasses
+
+        sources, _ = build_sources(seed=47, n_units=5)
+        config = dataclasses.replace(
+            parse_name("IP+OVS+WL(LRF)+OCD+PIP"), pts=pts
+        )
+        oracle = flat_oracle(sources, LinkOptions(), config)
+        sharded = link_sharded(sources, 3)
+        got = named_json(
+            run_configuration(sharded.linked.program, config)
+        )
+        assert got == oracle
+
+    def test_single_shard_and_more_shards_than_members(self):
+        """K=1 (singleton tree, no merges) and K much larger than the
+        member count (mostly-empty slots) are both exact."""
+        sources, _ = build_sources(seed=9, n_units=3)
+        for mode, options in MODES.items():
+            config = parse_name("IP+WL(FIFO)+PIP")
+            oracle = flat_oracle(sources, options, config)
+            for shards in (1, 16):
+                sharded = link_sharded(sources, shards, options)
+                got = named_json(
+                    run_configuration(
+                        sharded.linked.program, config
+                    )
+                )
+                assert got == oracle, f"K={shards} / {mode}"
+
+    def test_jobs_do_not_change_the_artifact(self):
+        sources, _ = build_sources(seed=13, n_units=5)
+        config = parse_name("IP+WL(FIFO)")
+        solo = link_sharded(sources, 4, jobs=1)
+        pooled = link_sharded(sources, 4, jobs=2)
+        assert solo.root[1] == pooled.root[1]
+        assert named_json(
+            run_configuration(solo.linked.program, config)
+        ) == named_json(
+            run_configuration(pooled.linked.program, config)
+        )
+
+    def test_streamed_digest_matches_flat_json(self):
+        """named_canonical_digest / iter_named_canonical (the streamed
+        extraction path) reproduce the flat JSON's sha256 exactly."""
+        import hashlib
+
+        sources, _ = build_sources(seed=21, n_units=4)
+        config = parse_name("IP+WL(FIFO)+PIP")
+        sharded = link_sharded(sources, 3)
+        solution = run_configuration(sharded.linked.program, config)
+        flat_bytes = named_json(solution).encode("utf-8")
+        assert (
+            solution.named_canonical_digest()
+            == hashlib.sha256(flat_bytes).hexdigest()
+        )
+        streamed = dict(solution.iter_named_canonical())
+        assert streamed == solution.to_named_canonical()["points_to"]

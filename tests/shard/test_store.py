@@ -1,0 +1,98 @@
+"""Spill-to-disk solution store: digest oracle, lifecycle, merge order."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.shard import ShardSolutionStore, store_solution
+
+ENTRIES = [
+    ("@a", ["@cell"]),
+    ("@b", ["@cell", "Ω"]),
+    ("@z/alloc0", []),
+    ("münchen", ["@a"]),  # non-ASCII name: json escaping must match
+]
+EXTERNAL = ["@ext1", "@ext2"]
+
+
+def canonical_json(entries, external):
+    return json.dumps(
+        {"points_to": dict(entries), "external": list(external)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def sorted_entries():
+    return sorted(ENTRIES)
+
+
+class TestDigestOracle:
+    @pytest.mark.parametrize("partitions", [1, 2, 16])
+    def test_digest_matches_flat_json_sha256(self, tmp_path, partitions):
+        store = store_solution(
+            sorted_entries(), EXTERNAL, tmp_path / "s", partitions=partitions
+        )
+        flat = canonical_json(sorted_entries(), EXTERNAL)
+        assert store.digest() == hashlib.sha256(flat.encode()).hexdigest()
+
+    def test_empty_store_digest(self, tmp_path):
+        store = store_solution([], [], tmp_path / "s")
+        flat = canonical_json([], [])
+        assert store.digest() == hashlib.sha256(flat.encode()).hexdigest()
+
+    def test_iter_entries_is_globally_sorted(self, tmp_path):
+        store = store_solution(sorted_entries(), EXTERNAL, tmp_path / "s")
+        assert list(store.iter_entries()) == sorted_entries()
+
+    def test_to_named_canonical(self, tmp_path):
+        store = store_solution(sorted_entries(), EXTERNAL, tmp_path / "s")
+        assert store.to_named_canonical() == {
+            "points_to": dict(sorted_entries()),
+            "external": EXTERNAL,
+        }
+
+
+class TestLifecycle:
+    def test_read_before_finalize_raises(self, tmp_path):
+        store = ShardSolutionStore(tmp_path / "s")
+        store.write("@a", [])
+        with pytest.raises(RuntimeError, match="not finalized"):
+            list(store.iter_entries())
+        with pytest.raises(RuntimeError, match="not finalized"):
+            store.digest()
+
+    def test_write_after_finalize_raises(self, tmp_path):
+        store = ShardSolutionStore(tmp_path / "s")
+        store.finalize([])
+        with pytest.raises(RuntimeError, match="finalized"):
+            store.write("@a", [])
+
+    def test_double_finalize_raises(self, tmp_path):
+        store = ShardSolutionStore(tmp_path / "s")
+        store.finalize([])
+        with pytest.raises(RuntimeError, match="already finalized"):
+            store.finalize([])
+
+    def test_reopen_finalized_store(self, tmp_path):
+        root = tmp_path / "s"
+        first = store_solution(sorted_entries(), EXTERNAL, root, partitions=4)
+        reopened = ShardSolutionStore(root)
+        assert reopened.partitions == 4  # manifest wins over the default
+        assert reopened.entries == len(ENTRIES)
+        assert reopened.external == EXTERNAL
+        assert reopened.digest() == first.digest()
+        with pytest.raises(RuntimeError):
+            reopened.write("@new", [])
+
+    def test_bad_partition_count_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardSolutionStore(tmp_path / "s", partitions=0)
+
+    def test_entries_spread_across_partition_files(self, tmp_path):
+        root = tmp_path / "s"
+        many = sorted((f"@v{i:03d}", []) for i in range(64))
+        store_solution(many, [], root, partitions=8)
+        files = [p for p in root.glob("part-*.jsonl") if p.stat().st_size]
+        assert len(files) > 1

@@ -1,0 +1,97 @@
+"""Merge-tree schedule tests: round shapes, spines, pass-through tails."""
+
+import math
+
+import pytest
+
+from repro.shard import merge_rounds, spine_slots, spine_union
+
+
+class TestMergeRounds:
+    def test_trivial_sizes_need_no_rounds(self):
+        assert merge_rounds(0) == []
+        assert merge_rounds(1) == []
+
+    @pytest.mark.parametrize("leaves", list(range(2, 18)))
+    def test_round_count_is_ceil_log2(self, leaves):
+        assert len(merge_rounds(leaves)) == math.ceil(math.log2(leaves))
+
+    @pytest.mark.parametrize("leaves", list(range(2, 18)))
+    def test_last_round_is_exactly_the_root(self, leaves):
+        """link_sharded applies the caller's LinkOptions to the whole
+        last round — sound only because that round always holds exactly
+        one merge."""
+        rounds = merge_rounds(leaves)
+        assert len(rounds[-1]) == 1
+        assert rounds[-1][0].out == 0
+
+    @pytest.mark.parametrize("leaves", list(range(2, 18)))
+    def test_adjacent_pairing_preserves_order(self, leaves):
+        """Pairing is left-to-right over adjacent positions, so link
+        order equals input order at every level (the byte-identity
+        prerequisite)."""
+        width = leaves
+        for nodes in merge_rounds(leaves):
+            for i, node in enumerate(nodes):
+                assert (node.left, node.right, node.out) == (2 * i, 2 * i + 1, i)
+            width = width // 2 + (width % 2)
+        assert width == 1
+
+    def test_odd_tail_passes_through(self):
+        """With 5 leaves, round 0 merges two pairs and leaf 4 rides
+        through; round 1 merges the pair and the tail rides again;
+        round 2 is the root."""
+        rounds = merge_rounds(5)
+        assert [len(r) for r in rounds] == [2, 1, 1]
+
+    def test_total_merges_is_leaves_minus_one(self):
+        for leaves in range(1, 33):
+            total = sum(len(r) for r in merge_rounds(leaves))
+            assert total == max(0, leaves - 1)
+
+
+class TestSpines:
+    def test_out_of_range_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            spine_slots(4, 4)
+        with pytest.raises(ValueError):
+            spine_slots(4, -1)
+
+    def test_power_of_two_spine_is_log2_deep(self):
+        for leaf in range(8):
+            spine = spine_slots(8, leaf)
+            assert [r for r, _ in spine] == [0, 1, 2]
+            assert spine[-1] == (2, 0)
+
+    def test_odd_tail_skips_pass_through_rounds(self):
+        """Leaf 4 of 5 rides the tail through rounds 0 and 1 without
+        re-execution — its spine is the root merge alone."""
+        assert spine_slots(5, 4) == [(2, 0)]
+        # An interior leaf still climbs every round.
+        assert spine_slots(5, 0) == [(0, 0), (1, 0), (2, 0)]
+
+    @pytest.mark.parametrize("leaves", list(range(1, 18)))
+    def test_every_spine_ends_at_the_root(self, leaves):
+        rounds = merge_rounds(leaves)
+        for leaf in range(leaves):
+            spine = spine_slots(leaves, leaf)
+            if rounds:
+                assert spine[-1] == (len(rounds) - 1, 0)
+            else:
+                assert spine == []
+
+    def test_spine_union_of_all_leaves_is_every_merge(self):
+        for leaves in range(2, 18):
+            union = spine_union(leaves, list(range(leaves)))
+            every = {
+                (node.round, node.out)
+                for nodes in merge_rounds(leaves)
+                for node in nodes
+            }
+            assert union == every
+
+    def test_single_leaf_spine_matches_incremental_contract(self):
+        """len(spine) is exactly the number of merge re-runs a one-TU
+        edit triggers (asserted end-to-end in test_incremental)."""
+        assert len(spine_slots(4, 2)) == 2
+        assert len(spine_slots(7, 6)) == 2  # tail in round 0, merged later

@@ -184,6 +184,63 @@ class TestLinkCLI:
         capsys.readouterr()
 
 
+class TestShardedLinkCLI:
+    def test_link_shards_matches_flat_output(self, tu_pair, capsys):
+        assert main(["link", *tu_pair, "--show-solution"]) == 0
+        flat = capsys.readouterr().out
+        assert main(
+            ["link", *tu_pair, "--shards", "2", "--jobs", "2",
+             "--show-solution"]
+        ) == 0
+        sharded = capsys.readouterr().out
+        assert "; sharded: " in sharded
+        assert flat.split("\n", 1)[0] == sharded.split("\n", 1)[0]
+        # Resolution provenance names differ (hierarchical links report
+        # their immediate child, e.g. "linked(b.c)"), but the external
+        # set and the solution are identical to the flat run.
+        assert (
+            flat.split("externally accessible:")[1]
+            == sharded.split("externally accessible:")[1]
+        )
+
+    def test_link_shards_report_carries_stats(self, tu_pair, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        cache_dir = tmp_path / "cache"
+        args = [
+            "link", *tu_pair, "--shards", "2", "--cache",
+            "--cache-dir", str(cache_dir), "--out", str(report_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        report = json.loads(report_path.read_text())
+        assert report["shard"]["members"] == 2
+        assert report["shard"]["link_runs"] == report["shard"]["occupied"]
+        # Warm rerun: shard artifacts all hit.
+        assert main(args) == 0
+        capsys.readouterr()
+        warm = json.loads(report_path.read_text())
+        assert warm["shard"]["link_runs"] == 0
+        assert warm["shard"]["link_hits"] == report["shard"]["occupied"]
+        assert warm["solution"] == report["solution"]
+
+    def test_link_shards_internalize(self, tu_pair, capsys):
+        assert main(
+            ["link", *tu_pair, "--shards", "3", "--internalize",
+             "--keep", "use"]
+        ) == 0
+        out = capsys.readouterr().out
+        external = out.split("externally accessible:")[1]
+        assert "cell" not in external and "ap" not in external
+
+    def test_shardbench_help_passthrough(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["shardbench", "--help"])
+        assert exc.value.code == 0
+        assert "--jobs-sweep" in capsys.readouterr().out
+
+
 class TestVersionAndDiagnostics:
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as exc:
