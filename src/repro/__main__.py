@@ -28,6 +28,15 @@ Commands
 ``run ...``
     The corpus experiment runner (``repro.bench.runner``); all its
     arguments pass through, e.g. ``repro run --jobs 4 --profile``.
+``constraints export FILE...``
+    Export C sources as canonical LIR constraint text
+    (``repro.interchange``): one file exports its TU constraint
+    program, several export the linked joint program (``--shards``/
+    ``--jobs`` run the sharded link).
+``constraints solve FILE...``
+    Solve constraint-text files directly — the second front door that
+    bypasses the C frontend.  ``--config``, ``--backend``, ``--reduce``
+    and ``--jobs`` pass through to the existing solver stack.
 ``configs``
     List all valid solver configurations.
 
@@ -83,6 +92,32 @@ def _add_obs_options(parser) -> None:
         "--trace-out", type=pathlib.Path, default=None,
         help="write JSONL trace events here (implies --profile)",
     )
+
+
+def _write_text_atomic(path: pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` without ever exposing a partial file.
+
+    Same-directory temp file + ``os.replace`` (the ResultCache idiom):
+    a failure mid-write — full disk, permissions — leaves nothing under
+    the requested name, and the temp file is unlinked on the way out.
+    """
+    import os
+    import tempfile
+
+    path = pathlib.Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _load_module(path: str, headers_dir: Optional[str]):
@@ -373,8 +408,199 @@ def cmd_link(args) -> int:
             }
         if ladder_rungs is not None:
             report["ladder"] = ladder_rungs
-        args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        _write_text_atomic(
+            args.out, json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
         print(f"\nwrote {args.out}")
+    if args.trace_out is not None:
+        print(f"wrote {args.trace_out}")
+    return 0
+
+
+def cmd_constraints_export(args) -> int:
+    from .driver import ResultCache
+    from .interchange import export_constraint_text
+    from .link import LinkError, LinkOptions
+    from .pipeline import Pipeline
+
+    cache = (
+        ResultCache(args.cache_dir, max_entries=args.cache_max_entries)
+        if args.cache
+        else None
+    )
+    registry, trace = _obs_setup(args)
+    pipeline = Pipeline(cache=cache, registry=registry)
+    sources = [
+        pipeline.source(pathlib.Path(f).name, pathlib.Path(f).read_text())
+        for f in args.files
+    ]
+    try:
+        if len(sources) == 1:
+            # One file exports its TU constraint program, pre-link:
+            # no linkage escapes, no cross-module resolution.
+            src = sources[0]
+            try:
+                program = pipeline.constraints(src).program
+            except FRONTEND_ERRORS as exc:
+                if getattr(exc, "source_name", None) is None:
+                    exc.source_name = src.name
+                raise
+        elif args.shards:
+            from .shard import link_sharded
+
+            options = LinkOptions(
+                internalize=args.internalize,
+                keep=tuple(args.keep.split(",")) if args.keep else ("main",),
+            )
+            sharded = link_sharded(
+                [(src.name, src.text) for src in sources],
+                args.shards,
+                options=options,
+                jobs=args.jobs,
+                cache=cache,
+                registry=registry,
+                trace=trace,
+            )
+            program = sharded.linked.program
+            # The merge tree nests its label ("linked(linked(a)+…)");
+            # relabel to the flat link's so the canonical text is
+            # byte-identical for any --shards/--jobs value.
+            program.name = "linked(" + "+".join(
+                src.name for src in sources
+            ) + ")"
+        else:
+            options = LinkOptions(
+                internalize=args.internalize,
+                keep=tuple(args.keep.split(",")) if args.keep else ("main",),
+            )
+            members = []
+            for src in sources:
+                try:
+                    members.append(pipeline.constraints(src))
+                except FRONTEND_ERRORS as exc:
+                    if getattr(exc, "source_name", None) is None:
+                        exc.source_name = src.name
+                    raise
+            program = pipeline.link(members, options).linked.program
+    except LinkError as exc:
+        for error in exc.errors:
+            print(f"link error: {error}", file=sys.stderr)
+        if trace is not None:
+            trace.close()
+        return 1
+    text = export_constraint_text(program)
+    if trace is not None:
+        trace.emit("metrics", "constraints-export", registry.to_dict())
+        trace.close()
+    if args.out is not None:
+        _write_text_atomic(args.out, text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    if args.trace_out is not None:
+        print(f"wrote {args.trace_out}", file=sys.stderr)
+    return 0
+
+
+def cmd_constraints_solve(args) -> int:
+    import json
+
+    from .analysis.solution import Solution
+    from .driver import (
+        FileContext,
+        ResultCache,
+        SolveTask,
+        solve_tasks,
+        source_digest,
+    )
+    from .interchange import parse_constraint_text
+
+    config = parse_name(args.config) if args.config else DEFAULT_CONFIGURATION
+    if args.reduce:
+        config = dataclasses.replace(config, reduce=True)
+    tasks = []
+    contexts = {}
+    programs = {}
+    for i, f in enumerate(args.files):
+        path = pathlib.Path(f)
+        text = path.read_text()
+        digest = source_digest(text)
+        if digest not in programs:
+            # Parse in the main process even when solving on workers:
+            # malformed text diagnoses here, file name attached, before
+            # any pool spins up.
+            programs[digest] = parse_constraint_text(text, path.name)
+            contexts[digest] = FileContext(
+                path.name, digest, programs[digest]
+            )
+        tasks.append(
+            SolveTask(
+                index=i,
+                file_name=path.name,
+                source_hash=digest,
+                config_name=config.name,
+                source=text,
+                pts_backend=args.pts_backend,
+                repetitions=1,
+                source_kind="lir",
+            )
+        )
+    cache = (
+        ResultCache(args.cache_dir, max_entries=args.cache_max_entries)
+        if args.cache
+        else None
+    )
+    registry, trace = _obs_setup(args)
+    try:
+        results, stats = solve_tasks(
+            tasks,
+            jobs=args.jobs,
+            cache=cache,
+            contexts=contexts if args.jobs <= 1 else None,
+            registry=registry,
+            trace=trace,
+        )
+        if trace is not None:
+            trace.emit("metrics", "constraints-solve", registry.to_dict())
+    finally:
+        if trace is not None:
+            trace.close()
+    entries = []
+    for result in results:
+        program = programs[tasks[result.index].source_hash]
+        solution = Solution.from_canonical_dict(result.solution, program)
+        digest = solution.named_canonical_digest()
+        print(f"{result.file_name}: {program.num_vars} constraint"
+              f" variables, {program.num_constraints()} constraints,"
+              f" solution {digest[:12]}")
+        external = sorted(map(str, solution.names(solution.external)))
+        print(f"  externally accessible: {', '.join(external) or '(none)'}")
+        if args.show_solution:
+            for p in solution.pointers():
+                targets = solution.points_to(p)
+                if not targets:
+                    continue
+                names = sorted(map(str, solution.names(targets)))
+                print(f"  Sol({program.var_names[p]}) ="
+                      f" {{{', '.join(names)}}}")
+        entries.append(
+            {
+                "file": result.file_name,
+                "config": result.config_name,
+                "solution_digest": digest,
+                "solution": solution.to_named_canonical(),
+            }
+        )
+    if args.cache or args.jobs > 1:
+        print(stats)
+    if args.out is not None:
+        report = {"schema": 1, "config": config.name, "results": entries}
+        if registry is not None:
+            report["metrics"] = registry.to_dict()
+        _write_text_atomic(
+            args.out, json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out}")
     if args.trace_out is not None:
         print(f"wrote {args.trace_out}")
     return 0
@@ -653,6 +879,76 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_obs_options(p)
     p.set_defaults(func=cmd_link)
 
+    p = sub.add_parser(
+        "constraints",
+        help="LIR constraint-text interchange: export C programs as"
+        " text, solve text directly",
+    )
+    csub = p.add_subparsers(dest="subcommand", required=True)
+
+    pe = csub.add_parser(
+        "export",
+        help="compile C sources and print the canonical constraint text",
+    )
+    pe.add_argument("files", nargs="+", metavar="FILE")
+    pe.add_argument(
+        "--internalize",
+        action="store_true",
+        help="treat the link set as the whole program (LTO-style;"
+        " multi-file export only)",
+    )
+    pe.add_argument(
+        "--keep", default=None,
+        help="comma-separated symbols kept external under --internalize"
+        " (default: main)",
+    )
+    pe.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="link through K hash-assigned shards (multi-file export)",
+    )
+    pe.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sharded path (with --shards)",
+    )
+    pe.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the constraint text here (default: stdout)",
+    )
+    _add_cache_options(pe, "stage artifacts")
+    _add_obs_options(pe)
+    pe.set_defaults(func=cmd_constraints_export)
+
+    ps = csub.add_parser(
+        "solve",
+        help="solve constraint-text files directly (no C frontend)",
+    )
+    ps.add_argument("files", nargs="+", metavar="FILE")
+    ps.add_argument("--config", default=None, help="e.g. IP+WL(FIFO)+PIP")
+    ps.add_argument(
+        "--pts-backend", "--backend",
+        dest="pts_backend",
+        choices=("set", "bitset"),
+        default=None,
+        help="points-to-set representation (--backend is an alias)",
+    )
+    ps.add_argument(
+        "--reduce",
+        action="store_true",
+        help="apply the offline constraint reduction before solving",
+    )
+    ps.add_argument(
+        "--jobs", type=int, default=1,
+        help="solve files on N worker processes",
+    )
+    ps.add_argument("--show-solution", action="store_true")
+    ps.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write a JSON report (named canonical solutions) here",
+    )
+    _add_cache_options(ps, "solved results")
+    _add_obs_options(ps)
+    ps.set_defaults(func=cmd_constraints_solve)
+
     def _add_serve_options(p) -> None:
         p.add_argument("--config", default=None, help="e.g. IP+WL(FIFO)+PIP")
         p.add_argument(
@@ -760,6 +1056,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except FRONTEND_ERRORS as exc:
         print(f"repro: error: {describe_error(exc)}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        # Unreadable inputs, unwritable --out/--trace-out targets:
+        # one-line diagnostic, nonzero exit, no traceback (and, thanks
+        # to the atomic writers, no partial output file left behind).
+        print(f"repro: error: {exc}", file=sys.stderr)
         return 1
 
 

@@ -52,6 +52,20 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 
+class ProgramFormatError(ValueError):
+    """A serialised constraint program failed validation.
+
+    Raised by :meth:`ConstraintProgram.from_dict` when the payload is
+    internally inconsistent — mismatched parallel-array lengths,
+    dangling (out-of-range) constraint operands, duplicate symbols.
+    ``where`` names the offending field, e.g. ``"load_from[3]"``.
+    """
+
+    def __init__(self, where: str, message: str):
+        super().__init__(f"{where}: {message}")
+        self.where = where
+
+
 @dataclass(frozen=True)
 class ProgramSymbol:
     """Linkage-level identity of one named memory object (global or
@@ -419,12 +433,25 @@ class ConstraintProgram:
     def to_dict(self) -> Dict:
         """JSON-serialisable canonical form of the whole program.
 
-        Fully deterministic: sets are emitted sorted, flag vectors as
-        0/1 lists, and the encoding is independent of construction
-        order for everything that is itself order-independent.  The
+        Fully deterministic *and* construction-order independent: sets
+        are emitted sorted, flag vectors as 0/1 lists, and the
+        order-insensitive collections (``load_from``/``store_into``
+        rows, the ``funcs``/``calls`` lists — solvers treat them as
+        bags) are emitted in a canonical sort, so two programs with the
+        same constraints serialise identically no matter how they were
+        built (the interchange round-trip oracle relies on this).  The
         inverse is :meth:`from_dict`; :meth:`digest` hashes this form
         to content-address pipeline stage artifacts.
         """
+
+        def row_key(row):
+            # None operands (pointer-incompatible slots) sort as -1.
+            return json.dumps(
+                [-1 if x is None else x for x in row[:2]]
+                + [[-1 if a is None else a for a in row[2]]]
+                + row[3:]
+            )
+
         return {
             "name": self.name,
             "var_names": list(self.var_names),
@@ -432,15 +459,19 @@ class ConstraintProgram:
             "in_m": [int(b) for b in self.in_m],
             "base": [sorted(s) for s in self.base],
             "simple_out": [sorted(s) for s in self.simple_out],
-            "load_from": [list(l) for l in self.load_from],
-            "store_into": [list(l) for l in self.store_into],
-            "funcs": [
-                [fc.func, fc.ret, list(fc.args), int(fc.variadic)]
-                for fc in self.funcs
-            ],
-            "calls": [
-                [cc.target, cc.ret, list(cc.args)] for cc in self.calls
-            ],
+            "load_from": [sorted(l) for l in self.load_from],
+            "store_into": [sorted(l) for l in self.store_into],
+            "funcs": sorted(
+                (
+                    [fc.func, fc.ret, list(fc.args), int(fc.variadic)]
+                    for fc in self.funcs
+                ),
+                key=row_key,
+            ),
+            "calls": sorted(
+                ([cc.target, cc.ret, list(cc.args)] for cc in self.calls),
+                key=row_key,
+            ),
             "flags": {
                 "ea": [int(b) for b in self.flag_ea],
                 "pte": [int(b) for b in self.flag_pte],
@@ -460,24 +491,81 @@ class ConstraintProgram:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ConstraintProgram":
-        """Rebuild a program from :meth:`to_dict` output."""
+        """Rebuild a program from :meth:`to_dict` output.
+
+        The payload is validated structurally — this is the entry
+        point for cache artifacts, persisted serve state and shard
+        wire payloads, none of which enjoy the C frontend's
+        well-formedness guarantees.  Mismatched parallel-array
+        lengths, dangling (out-of-range) constraint operands and
+        duplicate symbol names raise :class:`ProgramFormatError`
+        instead of producing a silently-inconsistent program.
+        """
         program = cls(data["name"])
         program.var_names = list(data["var_names"])
+        n = len(program.var_names)
+
+        def check(where: str, ok: bool, message: str) -> None:
+            if not ok:
+                raise ProgramFormatError(where, message)
+
+        def index(where: str, v, memory: bool = False) -> int:
+            check(where, isinstance(v, int) and 0 <= v < n,
+                  f"dangling operand {v!r} (|V|={n})")
+            if memory:
+                check(where, program.in_m[v],
+                      f"operand {v} is not a memory location")
+            return v
+
+        def operand(where: str, v) -> Optional[int]:
+            return None if v is None else index(where, v)
+
+        for field_name in (
+            "in_p", "in_m", "base", "simple_out", "load_from", "store_into"
+        ):
+            check(field_name, len(data[field_name]) == n,
+                  f"expected {n} rows, got {len(data[field_name])}")
         program.in_p = [bool(b) for b in data["in_p"]]
         program.in_m = [bool(b) for b in data["in_m"]]
-        program.base = [set(s) for s in data["base"]]
-        program.simple_out = [set(s) for s in data["simple_out"]]
-        program.load_from = [list(l) for l in data["load_from"]]
-        program.store_into = [list(l) for l in data["store_into"]]
-        for func, ret, args, variadic in data["funcs"]:
-            program.funcs_of.setdefault(func, []).append(len(program.funcs))
-            program.funcs.append(
-                FuncConstraint(func, ret, tuple(args), bool(variadic))
+        program.base = [
+            {index(f"base[{p}]", x, memory=True) for x in row}
+            for p, row in enumerate(data["base"])
+        ]
+        program.simple_out = [
+            {index(f"simple_out[{q}]", p) for p in row}
+            for q, row in enumerate(data["simple_out"])
+        ]
+        program.load_from = [
+            [index(f"load_from[{q}]", p) for p in row]
+            for q, row in enumerate(data["load_from"])
+        ]
+        program.store_into = [
+            [index(f"store_into[{p}]", q) for q in row]
+            for p, row in enumerate(data["store_into"])
+        ]
+        for i, row in enumerate(data["funcs"]):
+            where = f"funcs[{i}]"
+            check(where, len(row) == 4, f"expected 4 fields, got {len(row)}")
+            func, ret, args, variadic = row
+            program.add_func(
+                index(where, func),
+                operand(where, ret),
+                [operand(where, a) for a in args],
+                bool(variadic),
             )
-        for target, ret, args in data["calls"]:
-            program.calls_on.setdefault(target, []).append(len(program.calls))
-            program.calls.append(CallConstraint(target, ret, tuple(args)))
+        for i, row in enumerate(data["calls"]):
+            where = f"calls[{i}]"
+            check(where, len(row) == 3, f"expected 3 fields, got {len(row)}")
+            target, ret, args = row
+            program.add_call(
+                index(where, target),
+                operand(where, ret),
+                [operand(where, a) for a in args],
+            )
         flags = data["flags"]
+        for flag_name, row in flags.items():
+            check(f"flags[{flag_name!r}]", len(row) == n,
+                  f"expected {n} entries, got {len(row)}")
         program.flag_ea = [bool(b) for b in flags["ea"]]
         program.flag_pte = [bool(b) for b in flags["pte"]]
         program.flag_pe = [bool(b) for b in flags["pe"]]
@@ -486,10 +574,17 @@ class ConstraintProgram:
         program.flag_impfunc = [bool(b) for b in flags["impfunc"]]
         program.flag_extfunc = [bool(b) for b in flags["extfunc"]]
         program.flag_extcall = [bool(b) for b in flags["extcall"]]
-        program.omega = data["omega"]
+        program.omega = operand("omega", data["omega"])
         for sym in data["symbols"]:
-            program.symbols[sym["name"]] = ProgramSymbol.from_dict(sym)
-        program.linkage_ea = set(data["linkage_ea"])
+            symbol = ProgramSymbol.from_dict(sym)
+            where = f"symbols[{symbol.name!r}]"
+            index(where, symbol.var, memory=True)
+            check(where, symbol.name not in program.symbols,
+                  "duplicate symbol name")
+            program.symbols[symbol.name] = symbol
+        program.linkage_ea = {
+            index("linkage_ea", v) for v in data["linkage_ea"]
+        }
         return program
 
     def digest(self) -> str:

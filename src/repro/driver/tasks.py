@@ -78,6 +78,10 @@ class SolveTask:
     pts_backend: Optional[str] = None
     repetitions: int = 3
     timing: str = "wall"
+    #: what ``source`` holds: ``"c"`` (a C translation unit, the
+    #: default) or ``"lir"`` (constraint text for
+    #: :func:`repro.interchange.parse_constraint_text`)
+    source_kind: str = "c"
     #: collect per-task metrics (obs registry dict on the result).
     #: Deliberately NOT part of :meth:`cache_key` — observing a solve
     #: must never invalidate or fork its cached artifact.
@@ -88,6 +92,10 @@ class SolveTask:
             raise ValueError("exactly one of spec/source must be given")
         if self.timing not in TIMING_MODES:
             raise ValueError(f"unknown timing mode {self.timing!r}")
+        if self.source_kind not in ("c", "lir"):
+            raise ValueError(f"unknown source kind {self.source_kind!r}")
+        if self.source_kind != "c" and self.spec is not None:
+            raise ValueError("corpus specs always generate C source")
 
     def configuration(self) -> Configuration:
         config = parse_name(self.config_name)
@@ -108,9 +116,12 @@ class SolveTask:
         timing = (
             "cost" if self.timing == "cost" else f"wall:{max(1, self.repetitions)}"
         )
-        raw = "|".join(
-            (self.source_hash, self.configuration().cache_key, timing)
-        )
+        parts = [self.source_hash, self.configuration().cache_key, timing]
+        if self.source_kind != "c":
+            # Appended only for non-C sources so every pre-existing
+            # cache entry keeps its key.
+            parts.append(self.source_kind)
+        raw = "|".join(parts)
         return hashlib.sha256(raw.encode("utf-8")).hexdigest()
 
 
@@ -177,16 +188,21 @@ def context_for(task: SolveTask) -> FileContext:
     """The (memoised) derived state for ``task``'s translation unit."""
     ctx = _CONTEXTS.get(task.source_hash)
     if ctx is None:
-        from ..analysis.frontend import build_constraints
-        from ..bench.corpus import generate_c_source
-        from ..frontend import compile_c
+        if task.source_kind == "lir":
+            from ..interchange import parse_constraint_text
 
-        source = task.source
-        if source is None:
-            source = generate_c_source(task.spec)
-        module = compile_c(source, task.file_name)
-        built = build_constraints(module)
-        ctx = FileContext(task.file_name, task.source_hash, built.program)
+            program = parse_constraint_text(task.source, task.file_name)
+        else:
+            from ..analysis.frontend import build_constraints
+            from ..bench.corpus import generate_c_source
+            from ..frontend import compile_c
+
+            source = task.source
+            if source is None:
+                source = generate_c_source(task.spec)
+            module = compile_c(source, task.file_name)
+            program = build_constraints(module).program
+        ctx = FileContext(task.file_name, task.source_hash, program)
         _CONTEXTS[task.source_hash] = ctx
     return ctx
 

@@ -48,15 +48,19 @@ def compile_c(
     return module
 
 
-#: every exception the frontend raises on bad source text — callers
-#: that need "diagnose, don't crash" behaviour (the CLI, the analysis
-#: server) catch exactly this tuple
+from ..interchange.errors import ConstraintTextError
+
+#: every exception a frontend raises on bad source text — C phases plus
+#: the constraint-text interchange parser — for callers that need
+#: "diagnose, don't crash" behaviour (the CLI, the analysis server);
+#: they catch exactly this tuple
 FRONTEND_ERRORS = (
     PreprocessorError,
     LexError,
     ParseError,
     SemaError,
     LowerError,
+    ConstraintTextError,
 )
 
 _LINE_PREFIX = re.compile(r"^line \d+(?::\d+)?: ")
@@ -104,6 +108,7 @@ __all__ = [
     "lower",
     "LowerError",
     "ast_nodes",
+    "ConstraintTextError",
     "FRONTEND_ERRORS",
     "describe_error",
     "error_line",

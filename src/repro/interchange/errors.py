@@ -1,0 +1,27 @@
+"""Errors raised by the constraint-text interchange frontend.
+
+:class:`ConstraintTextError` carries the same ``line``/``source_name``
+attributes the C frontend errors do, so
+:func:`repro.frontend.describe_error` renders the usual one-line
+``file:line: message`` diagnostic and every existing "diagnose, don't
+crash" path (the CLI, the analysis server) handles it unchanged.
+"""
+
+from __future__ import annotations
+
+
+class InterchangeError(ValueError):
+    """Base class for interchange failures (export and import)."""
+
+
+class ConstraintTextError(InterchangeError):
+    """A constraint-text file failed to parse or validate.
+
+    ``line`` is 1-based (0 when the error is not tied to one line);
+    ``source_name`` names the file when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, source_name: str = ""):
+        super().__init__(message)
+        self.line = int(line)
+        self.source_name = source_name

@@ -1,0 +1,154 @@
+"""Exporter: :class:`ConstraintProgram` → LIR constraint text.
+
+The output dialect is the UCSB LIR inclusion-constraint format
+(``<exp> <= <exp>`` where ``a <= b`` means Sol(b) ⊇ Sol(a)) extended
+with a directive header that preserves everything LIR cannot express:
+variable classes (P/M membership), the linkage symbol table, and the
+program name.  PIP's Ω flags (Table II) are spelled as constraints on
+the reserved pseudo-variable ``_OMEGA``:
+
+=============  =======================================
+``ea(x)``      ``ref(x,x) <= _OMEGA``
+``pte(p)``     ``_OMEGA <= p``
+``pe(p)``      ``p <= _OMEGA``
+``sscalar(p)`` ``_OMEGA <= proj(ref,1,p)``
+``lscalar(p)`` ``proj(ref,1,p) <= _OMEGA``
+=============  =======================================
+
+The constraint block is emitted byte-sorted, so the text is a canonical
+form: two programs with the same constraints export identically no
+matter how they were built.  :func:`repro.interchange.importer.
+parse_constraint_text` inverts this exactly —
+``import(export(P)).digest() == P.digest()``.
+
+Only IP-form programs are exportable: EP lowering materialises Ω as a
+real variable plus generic-arity ``extfunc``/``extcall`` behaviour that
+the text format deliberately does not model (re-derive it with
+:func:`repro.analysis.omega.lower_to_explicit` after import instead).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from typing import List
+
+from ..analysis.constraints import ConstraintProgram
+from .errors import InterchangeError
+
+#: current interchange format revision (``.format`` directive)
+FORMAT_VERSION = 1
+
+#: names a variable may use directly in constraint expressions; anything
+#: else (spaces, parens, commas, brackets, ``@``, ``#``, ``<``/``=``…)
+#: is referenced as ``@<index>`` against the ``.var`` table instead
+SAFE_NAME = re.compile(r"^[A-Za-z0-9_.%&$:+/-]+$")
+
+#: tokens with a fixed meaning in the grammar, never usable as names
+RESERVED_TOKENS = frozenset({"_", "_OMEGA"})
+
+_CLASS_CODES = {
+    (True, False): "p",  # pointer-compatible register
+    (False, True): "m",  # memory location, not pointer compatible
+    (True, True): "pm",  # pointer-compatible memory (globals, locals)
+    (False, False): "s",  # scalar: tracked by neither set
+}
+
+
+def variable_tokens(program: ConstraintProgram) -> List[str]:
+    """The expression token for each variable index.
+
+    A variable is referenced by name only when the name is globally
+    unique, lexically safe and not reserved; otherwise by ``@<index>``
+    (resolved against the ``.var`` directive table, which lists every
+    variable in index order).
+    """
+    counts = Counter(program.var_names)
+    tokens: List[str] = []
+    for idx, name in enumerate(program.var_names):
+        if (
+            counts[name] == 1
+            and name not in RESERVED_TOKENS
+            and not name.startswith(".")
+            and SAFE_NAME.match(name)
+        ):
+            tokens.append(name)
+        else:
+            tokens.append(f"@{idx}")
+    return tokens
+
+
+def _opt(tokens: List[str], v) -> str:
+    return "_" if v is None else tokens[v]
+
+
+def export_constraint_text(program: ConstraintProgram) -> str:
+    """Serialise ``program`` as canonical LIR constraint text."""
+    if (
+        program.omega is not None
+        or any(program.flag_extfunc)
+        or any(program.flag_extcall)
+    ):
+        raise InterchangeError(
+            "cannot export an EP-lowered program (Ω is materialised); "
+            "export the IP form and re-lower after import"
+        )
+    n = program.num_vars
+    tok = variable_tokens(program)
+
+    head: List[str] = [
+        "# repro constraint interchange (LIR dialect)",
+        f".format {FORMAT_VERSION}",
+        f".program {json.dumps(program.name)}",
+    ]
+    for idx in range(n):
+        cls = _CLASS_CODES[(program.in_p[idx], program.in_m[idx])]
+        head.append(f".var {cls} {json.dumps(program.var_names[idx])}")
+    for name in sorted(program.symbols):
+        sym = program.symbols[name]
+        defined = "def" if sym.defined else "decl"
+        head.append(
+            f".symbol {sym.kind} {sym.linkage} {defined} {tok[sym.var]} "
+            f"{json.dumps(sym.name)} {json.dumps(sym.type_key)}"
+        )
+    for v in range(n):
+        if program.flag_impfunc[v]:
+            head.append(f".impfunc {tok[v]}")
+    for v in sorted(program.linkage_ea):
+        head.append(f".linkage_ea {tok[v]}")
+
+    lines: List[str] = []
+    for p in range(n):
+        for x in sorted(program.base[p]):
+            lines.append(f"ref({tok[x]},{tok[x]}) <= {tok[p]}")
+    for q in range(n):
+        for p in sorted(program.simple_out[q]):
+            lines.append(f"{tok[q]} <= {tok[p]}")
+        for p in program.load_from[q]:  # duplicates are preserved
+            lines.append(f"proj(ref,1,{tok[q]}) <= {tok[p]}")
+    for p in range(n):
+        for q in program.store_into[p]:
+            lines.append(f"{tok[q]} <= proj(ref,1,{tok[p]})")
+    for fc in program.funcs:
+        sig = "fn..." if fc.variadic else "fn"
+        parts = [tok[fc.func], _opt(tok, fc.ret)]
+        parts.extend(_opt(tok, a) for a in fc.args)
+        lines.append(f"lam_[{sig}]({','.join(parts)}) <= {tok[fc.func]}")
+    for cc in program.calls:
+        parts = ["_", _opt(tok, cc.ret)]
+        parts.extend(_opt(tok, a) for a in cc.args)
+        lines.append(f"{tok[cc.target]} <= lam_[fn]({','.join(parts)})")
+    for v in range(n):
+        if program.flag_ea[v]:
+            lines.append(f"ref({tok[v]},{tok[v]}) <= _OMEGA")
+        if program.flag_pte[v]:
+            lines.append(f"_OMEGA <= {tok[v]}")
+        if program.flag_pe[v]:
+            lines.append(f"{tok[v]} <= _OMEGA")
+        if program.flag_sscalar[v]:
+            lines.append(f"_OMEGA <= proj(ref,1,{tok[v]})")
+        if program.flag_lscalar[v]:
+            lines.append(f"proj(ref,1,{tok[v]}) <= _OMEGA")
+    lines.sort()
+    return "\n".join(head + lines) + "\n"

@@ -72,14 +72,25 @@ class TraceError(ValueError):
 class TraceWriter:
     """Appends schema-versioned events to a JSONL stream.
 
-    Accepts a path (opened for writing, closed by :meth:`close` or the
-    context manager) or any text file object (left open — the caller
-    owns it).
+    Accepts a path or any text file object (left open — the caller owns
+    it).  A path target is written through a same-directory temporary
+    file that :meth:`close` renames into place, so a run that dies
+    mid-trace never leaves a partial file under the requested name
+    (matching the driver cache's atomic-write discipline).
     """
 
     def __init__(self, target: Union[str, os.PathLike, io.TextIOBase]):
+        self._tmp_path: Optional[str] = None
+        self._final_path: Optional[pathlib.Path] = None
         if isinstance(target, (str, os.PathLike)):
-            self._file = open(target, "w", encoding="utf-8")
+            import tempfile
+
+            path = pathlib.Path(target)
+            fd, self._tmp_path = tempfile.mkstemp(
+                dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+            )
+            self._file = os.fdopen(fd, "w", encoding="utf-8")
+            self._final_path = path
             self._owns = True
         else:
             self._file = target
@@ -107,6 +118,9 @@ class TraceWriter:
         self._file.flush()
         if self._owns:
             self._file.close()
+        if self._tmp_path is not None:
+            os.replace(self._tmp_path, self._final_path)
+            self._tmp_path = None
 
     def __enter__(self) -> "TraceWriter":
         return self

@@ -53,7 +53,12 @@ from ..obs import (
 #: per-stage artifact-encoding versions; bumping one invalidates exactly
 #: that stage's cache entries (and, through key chaining, downstream ones)
 STAGE_VERSIONS = {
-    "constraints": "1",
+    # 2: ConstraintProgram.to_dict became construction-order canonical
+    # (load_from/store_into/funcs/calls emitted sorted) — old payloads
+    # decode fine but would hash to different program digests
+    "constraints": "2",
+    # constraint-text sources (repro.interchange) → constraint program
+    "import": "1",
     # 2: joint symbol table keeps the most specific type_key for
     # unresolved symbols (staged-merge diagnostics)
     "link": "2",
@@ -202,7 +207,7 @@ class Pipeline:
     registries would go unnoticed).
     """
 
-    STAGES = ("parse", "lower", "constraints", "link", "solve")
+    STAGES = ("parse", "lower", "constraints", "import", "link", "solve")
 
     def __init__(
         self,
@@ -319,6 +324,40 @@ class Pipeline:
         if self.cache is not None:
             self.cache.store_stage(
                 "constraints",
+                key,
+                {"program": program.to_dict(), "digest": digest},
+            )
+        return ConstraintsArtifact(src.name, key, program, digest)
+
+    def constraints_from_text(
+        self, src: SourceArtifact
+    ) -> ConstraintsArtifact:
+        """Constraint-text source → constraint program (persistent stage).
+
+        The interchange front door: ``src.text`` is LIR constraint text
+        (:mod:`repro.interchange`), content-addressed and cached exactly
+        like a C translation unit's constraints — the resulting artifact
+        feeds :meth:`link` and :meth:`solve` unchanged.
+        """
+        key = _key("import", src.digest)
+        if self.cache is not None:
+            payload = self.cache.load_stage("import", key)
+            if payload is not None:
+                self._bump("import", "hits")
+                program = ConstraintProgram.from_dict(payload["program"])
+                return ConstraintsArtifact(
+                    src.name, key, program, payload["digest"], from_cache=True
+                )
+            self._bump("import", "misses")
+        from ..interchange import parse_constraint_text
+
+        with self._timed("import"):
+            program = parse_constraint_text(src.text, src.name)
+            digest = program.digest()
+        self._bump("import", "runs")
+        if self.cache is not None:
+            self.cache.store_stage(
+                "import",
                 key,
                 {"program": program.to_dict(), "digest": digest},
             )

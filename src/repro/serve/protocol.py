@@ -200,7 +200,9 @@ def parse_request(
             f"request is not an object: {type(obj).__name__}",
         )
     schema = obj.get("schema")
-    if schema not in ACCEPTED_SCHEMAS:
+    # bool is an int subclass: {"schema": true} would otherwise launder
+    # into schema 1 via ``True == 1``
+    if isinstance(schema, bool) or schema not in ACCEPTED_SCHEMAS:
         raise ProtocolError(
             "invalid_request",
             f"schema {schema!r} not in {list(ACCEPTED_SCHEMAS)}",

@@ -50,6 +50,7 @@ QUERY_METHODS = (
     "callgraph",
     "classify",
     "solution",
+    "export_constraints",
 )
 
 
@@ -197,6 +198,7 @@ class QueryEngine:
         "callgraph": {"member": True},
         "classify": {},
         "solution": {},
+        "export_constraints": {},
     }
 
     def _checked(self, method: str, params: Dict) -> Dict:
@@ -386,3 +388,18 @@ class QueryEngine:
 
     def _q_solution(self) -> Dict:
         return self.snapshot.named_solution()
+
+    def _q_export_constraints(self) -> Dict:
+        """The linked joint program as canonical LIR constraint text.
+
+        The text round-trips: feeding it to ``solve_constraints`` (or
+        ``repro constraints solve``) reproduces this generation's named
+        canonical solution exactly.
+        """
+        from ..interchange import export_constraint_text
+
+        program = self.snapshot.linked.program
+        return {
+            "text": export_constraint_text(program),
+            "digest": program.digest(),
+        }

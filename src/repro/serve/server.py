@@ -80,6 +80,7 @@ SERVER_METHODS = (
     "batch",
     "sleep",
     "shutdown",
+    "solve_constraints",
 ) + QUERY_METHODS
 
 
@@ -151,6 +152,9 @@ class AnalysisServer:
         self._projects[DEFAULT_PROJECT] = ProjectState(
             DEFAULT_PROJECT, default, memo_entries
         )
+        #: memo for ``solve_constraints`` — server-level because the
+        #: method needs no open project; keyed by (text hash, config)
+        self._constraints_memo = LRUMemo(memo_entries)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
         #: bounds concurrent dispatches on the no-timeout path
@@ -416,6 +420,11 @@ class AnalysisServer:
         if method == "shutdown":
             self.closing = True
             return {"closing": True}, self._generation_of(project_id)
+        if method == "solve_constraints":
+            return (
+                self._solve_constraints(project_id, params),
+                self._generation_of(project_id),
+            )
         if method in QUERY_METHODS:
             engine = self._state_or_error(project_id).engine()
             return (
@@ -426,6 +435,71 @@ class AnalysisServer:
             "unknown_method",
             f"unknown method {method!r} (methods: {sorted(SERVER_METHODS)})",
         )
+
+    def _solve_constraints(self, project_id: str, params: Dict) -> Dict:
+        """Solve raw LIR constraint text — the second front door, over
+        the wire.
+
+        Needs no open project: the text *is* the program.  ``config``
+        defaults to the addressed project's configuration (or the
+        server default when that project is not open).  Answers are
+        memoised server-wide by (text hash, configuration) — the text
+        is its own content address, independent of any generation.
+        """
+        import hashlib
+
+        unknown = set(params) - {"text", "config"}
+        if unknown:
+            raise ProtocolError(
+                "invalid_params",
+                f"solve_constraints: unexpected params {sorted(unknown)}",
+            )
+        text = params.get("text")
+        if not isinstance(text, str) or not text.strip():
+            raise ProtocolError(
+                "invalid_params",
+                "solve_constraints requires non-empty constraint 'text'",
+            )
+        config_param = params.get("config")
+        if config_param is None:
+            state = self._state(project_id)
+            source = state if state is not None else (
+                self._projects[DEFAULT_PROJECT]
+            )
+            config = source.project.config
+        elif isinstance(config_param, str):
+            from ..analysis.config import parse_name
+
+            config = parse_name(config_param)
+        else:
+            raise ProtocolError(
+                "invalid_params",
+                f"config must be a configuration name: {config_param!r}",
+            )
+        key = (
+            "solve_constraints",
+            hashlib.sha256(text.encode("utf-8")).hexdigest(),
+            config.name,
+        )
+        cached = self._constraints_memo.get(key)
+        if cached is not None:
+            return cached
+        from ..driver.tasks import FileContext
+        from ..analysis.config import solve_prepared
+        from ..interchange import parse_constraint_text
+
+        program = parse_constraint_text(text, "<constraints>")
+        context = FileContext("<constraints>", key[1], program)
+        solution = solve_prepared(context.prepared(config), config)
+        result = {
+            "config": config.name,
+            "vars": program.num_vars,
+            "constraints": program.num_constraints(),
+            "solution": solution.to_named_canonical(),
+            "digest": solution.named_canonical_digest(),
+        }
+        self._constraints_memo.put(key, result)
+        return result
 
     # ------------------------------------------------------------------
 

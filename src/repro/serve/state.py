@@ -56,7 +56,11 @@ __all__ = [
 ]
 
 #: bump whenever the persisted encoding changes meaning
-STATE_SCHEMA = 1
+#: 2: ConstraintProgram.to_dict became construction-order canonical, so
+#:    member program digests recorded under schema 1 no longer match a
+#:    fresh build — schema-1 files cold-start instead of failing the
+#:    binding check
+STATE_SCHEMA = 2
 
 _SUFFIX = ".project.json"
 

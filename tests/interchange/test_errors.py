@@ -1,0 +1,117 @@
+"""Malformed constraint text must diagnose, not crash.
+
+Every rejection is a :class:`ConstraintTextError` carrying the 1-based
+line number and the source name, rendered ``file:line: message`` by the
+standard :func:`repro.frontend.describe_error` path — the same
+one-line diagnostic contract the C frontend keeps.
+"""
+
+import pytest
+
+from repro.frontend import FRONTEND_ERRORS, describe_error
+from repro.interchange import ConstraintTextError, parse_constraint_text
+
+
+def diagnose(text, name="bad.lir"):
+    with pytest.raises(ConstraintTextError) as info:
+        parse_constraint_text(text, name)
+    return info.value
+
+
+class TestLineDiagnostics:
+    def test_error_is_a_frontend_error(self):
+        exc = diagnose("x <= \n")
+        assert isinstance(exc, FRONTEND_ERRORS)
+
+    def test_file_and_line_in_rendered_message(self):
+        exc = diagnose("ref(a,a) <= p\nwat\n", name="gen.lir")
+        assert exc.line == 2
+        assert describe_error(exc) == "gen.lir:2: expected '<exp> <= <exp>'"
+
+    def test_comments_and_blanks_keep_line_numbers(self):
+        exc = diagnose("# header\n\nref(a,a) <= p\n\nnope nope\n")
+        assert exc.line == 5
+
+    @pytest.mark.parametrize(
+        "line,fragment",
+        [
+            ("x <= ", "expected '<exp> <= <exp>'"),
+            ("ref(a) <= p", "malformed ref"),
+            ("ref(a,b) <= p", "distinct location and payload"),
+            ("proj(ref,2,a) <= p", "malformed proj"),
+            ("proj(x,1,a) <= p", "malformed proj"),
+            ("lam_[fn](f) <= f", "at least a name and a return"),
+            ("lam_[fn(f,r) <= f", "malformed lam"),
+            ("a b <= p", "malformed expression"),
+            ("_OMEGA <= _OMEGA", "unsupported constraint form"),
+            ("proj(ref,1,a) <= ref(b,b)", "unsupported constraint form"),
+            ("@3 <= p", "requires a .var header"),
+        ],
+    )
+    def test_malformed_lines(self, line, fragment):
+        exc = diagnose(line + "\n")
+        assert fragment in str(exc)
+        assert exc.line == 1
+
+    def test_lam_definition_name_mismatch(self):
+        exc = diagnose("lam_[fn](f,r,a) <= g\n")
+        assert "lam definition names 'f'" in str(exc)
+
+
+class TestDirectiveErrors:
+    def test_directives_require_format_first(self):
+        exc = diagnose('.program "x"\nref(a,a) <= p\n')
+        assert "must open with a .format line" in str(exc)
+
+    def test_unsupported_format_version(self):
+        exc = diagnose(".format 99\n")
+        assert "unsupported interchange format 99" in str(exc)
+
+    def test_unknown_directive_native(self):
+        exc = diagnose('.format 1\n.var p "p"\n.wat 3\n')
+        assert "unknown directive" in str(exc) and exc.line == 3
+
+    def test_unknown_directive_inference(self):
+        exc = diagnose(".format 1\n.wat 3\n")
+        assert "requires a .var header" in str(exc) and exc.line == 2
+
+    def test_symbol_without_var_header_rejected(self):
+        exc = diagnose(
+            '.format 1\n.symbol func external def f "f" "int(void)"\n'
+        )
+        assert "requires a .var header" in str(exc)
+
+    def test_var_index_out_of_range(self):
+        exc = diagnose('.format 1\n.var p "p"\nref(@7,@7) <= @0\n')
+        assert "out of range" in str(exc) and exc.line == 3
+
+    def test_ambiguous_name_needs_index(self):
+        exc = diagnose(
+            '.format 1\n.var pm "x"\n.var pm "x"\n.var p "p"\n'
+            "ref(x,x) <= p\n"
+        )
+        assert "not unique" in str(exc) and exc.line == 5
+
+    def test_linkage_ea_without_ea_rejected(self):
+        exc = diagnose(
+            '.format 1\n.var pm "g"\n.linkage_ea g\n'
+        )
+        assert "has no ea constraint" in str(exc)
+
+
+class TestClassErrors:
+    def test_ref_payload_must_be_memory(self):
+        exc = diagnose(
+            '.format 1\n.var p "q"\n.var p "p"\nref(q,q) <= p\n'
+        )
+        assert "not a memory location" in str(exc)
+
+    def test_scalar_cannot_be_a_pointer(self):
+        exc = diagnose(
+            '.format 1\n.var s "sc"\n.var pm "m"\nref(m,m) <= sc\n'
+        )
+        assert "not pointer compatible" in str(exc)
+
+    def test_unknown_variable_in_native_mode(self):
+        exc = diagnose('.format 1\n.var p "p"\nq <= p\n')
+        assert "unknown variable 'q'" in str(exc)

@@ -1,0 +1,76 @@
+"""Property tests for the interchange layer (hypothesis).
+
+Two properties are locked:
+
+- **Exporter stability.**  The text is a canonical form: it depends only
+  on the program's constraint *content*, never on construction order —
+  a ``from_dict(to_dict())`` clone (whose internal adjacency rows may
+  have been rebuilt in a different order) exports byte-identically, and
+  the constraint block is sorted.
+- **Import ∘ export identity.**  Re-importing the export rebuilds a
+  program with the identical canonical digest.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.constraints import ConstraintProgram
+from repro.analysis.testing import random_program
+from repro.interchange import export_constraint_text, parse_constraint_text
+
+program_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=4, max_value=28),  # vars
+    st.integers(min_value=3, max_value=60),  # constraints
+)
+
+
+def build(params):
+    seed, n_vars, n_constraints = params
+    return random_program(seed, n_vars, n_constraints)
+
+
+class TestExporterStability:
+    @given(program_params)
+    @settings(max_examples=50, deadline=None)
+    def test_constraint_block_is_sorted(self, params):
+        text = export_constraint_text(build(params))
+        body = [
+            line
+            for line in text.splitlines()
+            if line and not line.startswith(("#", "."))
+        ]
+        assert body == sorted(body)
+
+    @given(program_params)
+    @settings(max_examples=50, deadline=None)
+    def test_construction_order_independent(self, params):
+        program = build(params)
+        clone = ConstraintProgram.from_dict(program.to_dict())
+        assert export_constraint_text(clone) == export_constraint_text(
+            program
+        )
+
+    @given(program_params)
+    @settings(max_examples=25, deadline=None)
+    def test_repeated_export_is_deterministic(self, params):
+        program = build(params)
+        assert export_constraint_text(program) == export_constraint_text(
+            program
+        )
+
+
+class TestRoundTripIdentity:
+    @given(program_params)
+    @settings(max_examples=50, deadline=None)
+    def test_import_export_digest_identity(self, params):
+        program = build(params)
+        back = parse_constraint_text(export_constraint_text(program))
+        assert back.digest() == program.digest()
+
+    @given(program_params)
+    @settings(max_examples=25, deadline=None)
+    def test_export_is_a_fixed_point(self, params):
+        program = build(params)
+        text = export_constraint_text(program)
+        assert export_constraint_text(parse_constraint_text(text)) == text

@@ -127,7 +127,7 @@ class TestLinkCLI:
         assert report["resolved_imports"] == ["get_cell"]
         assert "points_to" in report["solution"]
         assert set(report["stages"]) == {
-            "parse", "lower", "constraints", "link", "solve"
+            "parse", "lower", "constraints", "import", "link", "solve"
         }
         assert all("seconds" in s for s in report["stages"].values())
         assert len(report["ladder"]) == 2
