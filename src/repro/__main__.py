@@ -37,6 +37,13 @@ Commands
     Solve constraint-text files directly — the second front door that
     bypasses the C frontend.  ``--config``, ``--backend``, ``--reduce``
     and ``--jobs`` pass through to the existing solver stack.
+``audit CLIENT FILE...``
+    Run one scenario audit client (``escape``, ``races``, ``dangling``,
+    ``calls``) over the linked+solved program; C and ``.lir`` members
+    mix freely.  ``--format json``/``--out`` emit the canonical report,
+    ``--evidence`` prints each finding's justification chain, and
+    ``--cache`` memoises the report keyed on (solution digest, client,
+    canonical params).
 ``configs``
     List all valid solver configurations.
 
@@ -412,6 +419,154 @@ def cmd_link(args) -> int:
             args.out, json.dumps(report, indent=2, sort_keys=True) + "\n"
         )
         print(f"\nwrote {args.out}")
+    if args.trace_out is not None:
+        print(f"wrote {args.trace_out}")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    import json
+
+    from .audit import (
+        AuditError,
+        audit_names,
+        build_audit_context,
+        render_report_evidence,
+        render_report_table,
+    )
+    from .driver import ResultCache
+    from .link import LinkError, LinkOptions
+    from .pipeline import Pipeline
+
+    config = parse_name(args.config) if args.config else DEFAULT_CONFIGURATION
+    if args.pts_backend:
+        config = dataclasses.replace(config, pts=args.pts_backend)
+    if args.reduce:
+        config = dataclasses.replace(config, reduce=True)
+    options = LinkOptions(
+        internalize=args.internalize,
+        keep=tuple(args.keep.split(",")) if args.keep else ("main",),
+    )
+    cache = (
+        ResultCache(args.cache_dir, max_entries=args.cache_max_entries)
+        if args.cache
+        else None
+    )
+    if args.client not in audit_names():
+        print(
+            f"repro: error: unknown audit client {args.client!r}"
+            f" (clients: {audit_names()})",
+            file=sys.stderr,
+        )
+        return 2
+    registry, trace = _obs_setup(args)
+    pipeline = Pipeline(cache=cache, registry=registry)
+
+    sources = [
+        pipeline.source(pathlib.Path(f).name, pathlib.Path(f).read_text())
+        for f in args.files
+    ]
+    # ``.lir`` files enter through the interchange front door; anything
+    # else through the C frontend.  Constraint-tier clients cover both;
+    # IR-tier clients see only the C members.
+    ir_sources = [s for s in sources if not s.name.endswith(".lir")]
+    if args.shards and len(ir_sources) != len(sources):
+        print(
+            "repro: error: --shards cannot link .lir members"
+            " (use the flat path)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.shards:
+            from .shard import link_sharded
+
+            sharded = link_sharded(
+                [(src.name, src.text) for src in sources],
+                args.shards,
+                options=options,
+                jobs=args.jobs,
+                cache=cache,
+                registry=registry,
+                trace=trace,
+                member_maps=True,
+            )
+            linked = sharded.linked
+            audit_var_maps = sharded.member_var_maps
+            # Relabel the merge tree's nested name so report metadata
+            # (and the human-readable provenance) is byte-identical to
+            # the flat link for any --shards/--jobs value; content
+            # identity and cache keys ride the named canonical
+            # *solution* digest, which the shard exactness suite locks.
+            linked.program.name = "linked(" + "+".join(
+                src.name for src in sources
+            ) + ")"
+        else:
+            audit_var_maps = None
+            members = []
+            for src in sources:
+                try:
+                    if src.name.endswith(".lir"):
+                        members.append(pipeline.constraints_from_text(src))
+                    else:
+                        members.append(pipeline.constraints(src))
+                except FRONTEND_ERRORS as exc:
+                    if getattr(exc, "source_name", None) is None:
+                        exc.source_name = src.name
+                    raise
+            linked = pipeline.link(members, options).linked
+    except LinkError as exc:
+        for error in exc.errors:
+            print(f"link error: {error}", file=sys.stderr)
+        if trace is not None:
+            trace.close()
+        return 1
+    solve_art = pipeline.solve(linked.program, config)
+    solution = solve_art.attach(linked.program)
+
+    context = build_audit_context(
+        pipeline, ir_sources, linked, solution, var_maps=audit_var_maps
+    )
+    params = {}
+    if args.oracle is not None:
+        params["oracle"] = args.oracle
+    if args.roots is not None:
+        params["roots"] = [r for r in args.roots.split(",") if r]
+    if args.heap_prefix is not None:
+        params["heap_prefix"] = args.heap_prefix
+    if args.frees is not None:
+        params["frees"] = [f for f in args.frees.split(",") if f]
+    if args.include_bounded is not None:
+        params["include_bounded"] = args.include_bounded
+    try:
+        audit_art = pipeline.audit(
+            context, args.client, params, solution.named_canonical_digest()
+        )
+    except AuditError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        if trace is not None:
+            trace.close()
+        return 1
+    report = audit_art.report
+    if trace is not None:
+        trace.emit("audit", args.client, report["counts"])
+        trace.emit("metrics", "audit", registry.to_dict())
+        trace.close()
+
+    if args.format == "json":
+        sys.stdout.write(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+    else:
+        sys.stdout.write(render_report_table(report))
+        if args.evidence and report["findings"]:
+            sys.stdout.write("\nevidence:\n")
+            sys.stdout.write(render_report_evidence(report))
+    if args.out is not None:
+        _write_text_atomic(
+            args.out, json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out}")
     if args.trace_out is not None:
         print(f"wrote {args.trace_out}")
     return 0
@@ -878,6 +1033,94 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_obs_options(p)
     p.set_defaults(func=cmd_link)
+
+    p = sub.add_parser(
+        "audit",
+        help="run a scenario audit client (escape, races, dangling,"
+        " calls) over the solved program",
+    )
+    p.add_argument(
+        "client",
+        metavar="CLIENT",
+        help="audit client name: escape | races | dangling | calls",
+    )
+    p.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="C translation units and/or .lir constraint-text files",
+    )
+    p.add_argument("--config", default=None, help="e.g. IP+WL(FIFO)+PIP")
+    p.add_argument(
+        "--pts-backend",
+        choices=("set", "bitset"),
+        default=None,
+        help="points-to-set representation (default: the config's)",
+    )
+    p.add_argument(
+        "--reduce",
+        action="store_true",
+        help="apply the offline constraint reduction before solving",
+    )
+    p.add_argument(
+        "--oracle",
+        choices=("andersen", "basicaa", "combined"),
+        default=None,
+        help="alias oracle answering client queries (default: combined)",
+    )
+    p.add_argument(
+        "--roots", default=None, metavar="FN[,FN...]",
+        help="races: override thread-entry detection with these"
+        " defined functions",
+    )
+    p.add_argument(
+        "--heap-prefix", default=None, metavar="PREFIX",
+        help="escape: heap-site name prefix (default: heap.)",
+    )
+    p.add_argument(
+        "--frees", default=None, metavar="FN[,FN...]",
+        help="dangling: deallocator function names (default: free)",
+    )
+    p.add_argument(
+        "--include-bounded",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="calls: also report bounded call sites (default: yes)",
+    )
+    p.add_argument(
+        "--internalize",
+        action="store_true",
+        help="treat the link set as the whole program (LTO-style)",
+    )
+    p.add_argument(
+        "--keep", default=None,
+        help="comma-separated symbols kept external under --internalize"
+        " (default: main)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="link through K hash-assigned shards (C members only)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sharded path (with --shards)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="stdout rendering (default: table)",
+    )
+    p.add_argument(
+        "--evidence",
+        action="store_true",
+        help="also print each finding's evidence chain (table format)",
+    )
+    p.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the canonical report JSON here",
+    )
+    _add_cache_options(p, "stage artifacts and audit reports")
+    _add_obs_options(p)
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser(
         "constraints",

@@ -215,4 +215,9 @@ LIBC_SUMMARIES: Dict[str, SummaryFn] = {
     "atexit": summary(escapes(0)),
     "qsort": summary(escapes(0), escapes(3)),
     "bsearch": summary(escapes(0), escapes(1), escapes(4), returns_arg(1)),
+    # thread spawning: the start routine and its argument escape into
+    # the spawning runtime (the audit race client additionally reads
+    # these call sites as thread-entry roots)
+    "pthread_create": summary(escapes(2), escapes(3)),
+    "thrd_create": summary(escapes(1), escapes(2)),
 }

@@ -1,0 +1,142 @@
+"""The indirect-call-target report (CFI-style hardening input).
+
+Constraint-tier client: every call constraint in the (joint) program is
+resolved against the solution into its possible target set.  A target
+set containing Ω or an ImpFunc (imported, summary-free function) is
+flagged **unbounded** — a control-flow-integrity policy cannot
+enumerate it, which is precisely the paper's point about incomplete
+programs: Andersen without Ω would silently report a bounded set here.
+
+Severity: ``high`` for unbounded sites, ``low`` for bounded sites
+resolving to more than one target, ``info`` otherwise.  Direct calls
+appear too (their target register resolves to exactly one function) —
+``include_bounded: false`` drops everything a CFI policy would not need
+to instrument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.omega import OMEGA
+from .base import AuditClient, AuditContext, register
+from .findings import Evidence, Finding
+
+__all__ = ["IndirectCallAudit"]
+
+#: evidence lists at most this many resolved targets per call site
+_MAX_TARGETS = 12
+
+
+class IndirectCallAudit(AuditClient):
+    name = "calls"
+    title = "indirect-call target sets, Ω/ImpFunc flagged unbounded"
+    PARAMS = {"include_bounded": True}
+
+    def run(self, context: AuditContext, params: Dict) -> List[Finding]:
+        program, solution = context.program, context.solution
+        names = program.var_names
+        findings: List[Finding] = []
+        for index, call in enumerate(program.calls):
+            target = call.target
+            tname = names[target]
+            try:
+                pointees = solution.points_to(target)
+            except KeyError:
+                pointees = frozenset()
+            resolved = sorted(
+                names[x]
+                for x in pointees
+                if x != OMEGA and x in program.funcs_of
+            )
+            imp = sorted(
+                names[x]
+                for x in pointees
+                if x != OMEGA and program.flag_impfunc[x]
+            )
+            omega = OMEGA in pointees
+            unbounded = omega or bool(imp)
+            if not unbounded and not params["include_bounded"]:
+                continue
+            evidence = []
+            for fname in resolved[:_MAX_TARGETS]:
+                evidence.append(
+                    Evidence(
+                        "call-edge",
+                        f"{tname} may target {fname}",
+                        (tname, fname),
+                    )
+                )
+            if len(resolved) > _MAX_TARGETS:
+                evidence.append(
+                    Evidence(
+                        "call-edge",
+                        f"... and {len(resolved) - _MAX_TARGETS} more"
+                        " targets",
+                        (tname,),
+                    )
+                )
+            for fname in imp[:_MAX_TARGETS]:
+                evidence.append(
+                    Evidence(
+                        "call-edge",
+                        f"{fname} is an imported function (ImpFunc):"
+                        " its body is outside the program",
+                        (tname, fname),
+                    )
+                )
+            if omega:
+                evidence.append(
+                    Evidence(
+                        "points-to",
+                        f"Sol({tname}) contains Ω: the call may reach"
+                        " any externally accessible function",
+                        (tname,),
+                    )
+                )
+            if unbounded:
+                severity = "high"
+                message = (
+                    f"call through {tname} is unbounded"
+                    f" ({len(resolved)} known target(s), plus "
+                    + " and ".join(
+                        part
+                        for part in (
+                            "Ω" if omega else "",
+                            f"{len(imp)} ImpFunc(s)" if imp else "",
+                        )
+                        if part
+                    )
+                    + "): CFI cannot enumerate its targets"
+                )
+            elif len(resolved) > 1:
+                severity = "low"
+                message = (
+                    f"call through {tname} resolves to"
+                    f" {len(resolved)} targets:"
+                    f" {', '.join(resolved)}"
+                )
+            else:
+                severity = "info"
+                message = (
+                    f"call through {tname} resolves to"
+                    f" {resolved[0]}"
+                    if resolved
+                    else f"call through {tname} resolves to no targets"
+                )
+            findings.append(
+                Finding(
+                    client=self.name,
+                    kind="indirect-call",
+                    severity=severity,
+                    subject=f"call{index}:{tname}",
+                    message=message,
+                    may_must="may",
+                    unbounded=unbounded,
+                    evidence=tuple(evidence),
+                )
+            )
+        return findings
+
+
+register(IndirectCallAudit())

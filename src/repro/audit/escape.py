@@ -1,0 +1,196 @@
+"""The escape/leak audit: heap sites that are dropped or Ω-retained.
+
+Constraint-tier client (runs over C builds *and* imported ``.lir``
+programs).  A heap allocation site is:
+
+- **retained** when it is reachable from a global-memory root through
+  points-to edges — some live global structure still references it;
+- **heap-escape** when its only retention path starts in Ω/E (the
+  paper's externally-accessible set): external code *may* still hold
+  it, so neither a leak nor liveness can be proved — exactly the Ω-lift
+  the solution applies to escaping allocations;
+- **heap-leak** when no memory-resident reference exists at all — every
+  holder is a register (an SSA temporary or a frame that dies at scope
+  exit), so the allocation is dropped.
+
+Roots are the program's ``data`` symbols plus any dot-free
+non-function memory location (internal-linkage globals survive linking
+only as named memory cells — the joint symbol table drops them) when a
+symbol table exists; symbol-free programs (LIR inference dialect) conservatively
+treat every non-heap memory location as a root, which under-reports
+rather than inventing leaks.  ``free`` is not tracked — Andersen's
+solution is flow-insensitive — so both kinds are may-findings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..analysis.omega import OMEGA
+from .base import AuditClient, AuditContext, register
+from .findings import Evidence, Finding
+
+__all__ = ["EscapeLeakAudit"]
+
+#: evidence lists name at most this many holders per finding
+_MAX_HOLDERS = 8
+
+
+def _reach(solution, seeds: Set[int]) -> Set[int]:
+    """Memory reachable from ``seeds`` through points-to edges."""
+    seen: Set[int] = set(seeds)
+    stack = list(seeds)
+    while stack:
+        m = stack.pop()
+        try:
+            pointees = solution.points_to(m)
+        except KeyError:
+            continue
+        for x in pointees:
+            if x != OMEGA and x not in seen:
+                seen.add(x)
+                stack.append(x)
+    return seen
+
+
+class EscapeLeakAudit(AuditClient):
+    name = "escape"
+    title = "escape/leak audit over heap allocation sites"
+    PARAMS = {"heap_prefix": "heap."}
+
+    def run(self, context: AuditContext, params: Dict) -> List[Finding]:
+        program, solution = context.program, context.solution
+        prefix = params["heap_prefix"]
+        if not isinstance(prefix, str) or not prefix:
+            from .base import AuditError
+
+            raise AuditError(
+                f"heap_prefix must be a non-empty string: {prefix!r}"
+            )
+        names = program.var_names
+        heap = [
+            v
+            for v in program.memory_locations()
+            if names[v].startswith(prefix)
+        ]
+        if not heap:
+            return []
+        heap_set = set(heap)
+        external = set(solution.external)
+
+        if program.symbols:
+            roots = {
+                sym.var
+                for sym in program.symbols.values()
+                if sym.kind == "data"
+            }
+            # Linking drops internal-linkage symbols from the joint
+            # table, but their memory locations survive under their
+            # plain C name; allocas are always "fn.inst" and heap
+            # sites "heap.*", so a dot-free non-function memory
+            # location is a (possibly static) global root.
+            roots.update(
+                v
+                for v in program.memory_locations()
+                if "." not in names[v] and v not in program.funcs_of
+            )
+        else:
+            # No symbol table (LIR inference dialect): any non-heap
+            # memory location could be a live global.
+            roots = {
+                v for v in program.memory_locations() if v not in heap_set
+            }
+        internal_reach = _reach(solution, roots)
+        external_reach = _reach(solution, external)
+
+        holders: Dict[int, List[int]] = {h: [] for h in heap}
+        for p in solution.pointers():
+            if p in heap_set:
+                continue  # heap cells referencing heap cells are edges,
+                # not holders — reachability already walked them
+            for h in solution.points_to(p) & heap_set:
+                holders[h].append(p)
+
+        findings: List[Finding] = []
+        for h in sorted(heap, key=lambda v: names[v]):
+            site = names[h]
+            if h in internal_reach:
+                continue  # retained by a global memory path
+            evidence = []
+            held_by = sorted(holders[h], key=lambda v: names[v])
+            for p in held_by[:_MAX_HOLDERS]:
+                what = "memory" if program.in_m[p] else "register"
+                evidence.append(
+                    Evidence(
+                        "points-to",
+                        f"Sol({names[p]}) contains {site}"
+                        f" ({what} holder)",
+                        (names[p], site),
+                    )
+                )
+            if len(held_by) > _MAX_HOLDERS:
+                evidence.append(
+                    Evidence(
+                        "points-to",
+                        f"... and {len(held_by) - _MAX_HOLDERS} more"
+                        " holders",
+                        (site,),
+                    )
+                )
+            if h in external or h in external_reach:
+                evidence.append(
+                    Evidence(
+                        "escape",
+                        f"{site} is externally accessible: unknown"
+                        " external code (Ω) may retain or release it",
+                        (site,),
+                    )
+                )
+                findings.append(
+                    Finding(
+                        client=self.name,
+                        kind="heap-escape",
+                        severity="low",
+                        subject=site,
+                        message=(
+                            f"the only remaining references to {site}"
+                            " escape into Ω; liveness depends on"
+                            " external code"
+                        ),
+                        may_must="may",
+                        unbounded=True,
+                        evidence=tuple(evidence),
+                    )
+                )
+            else:
+                evidence.append(
+                    Evidence(
+                        "escape",
+                        f"{site} is not externally accessible and no"
+                        " global memory path reaches it",
+                        (site,),
+                    )
+                )
+                message = (
+                    f"every reference to {site} lives in a register or"
+                    " dying frame: the allocation is dropped"
+                    if held_by
+                    else f"the result of allocation {site} is never"
+                    " stored anywhere"
+                )
+                findings.append(
+                    Finding(
+                        client=self.name,
+                        kind="heap-leak",
+                        severity="medium",
+                        subject=site,
+                        message=message,
+                        may_must="may",
+                        unbounded=False,
+                        evidence=tuple(evidence),
+                    )
+                )
+        return findings
+
+
+register(EscapeLeakAudit())

@@ -1,0 +1,93 @@
+"""Canonical parameter normalisation shared by audit and serve.
+
+One helper fills declared defaults *before* any memoisation key is
+computed, so semantically identical requests — ``oracle`` omitted
+versus ``oracle: "combined"`` — normalise to one canonical dict and hit
+one memo entry.  :class:`repro.serve.queries.QueryEngine` uses it for
+every query method (fixing the historical double-caching of
+defaulted params) and :func:`repro.audit.run_audit` uses it for
+client parameters, so the CLI, the cached pipeline stage and the
+served ``audit`` method all key on the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping, Optional
+
+__all__ = [
+    "ORACLES",
+    "REQUIRED",
+    "ParamError",
+    "canonical_json",
+    "normalize_params",
+]
+
+#: selectable alias oracles, shared by every audit client and the serve
+#: query methods (serve re-exports this tuple)
+ORACLES = ("andersen", "basicaa", "combined")
+
+
+class _Required:
+    """Sentinel marking a parameter with no default (must be given)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<required>"
+
+
+REQUIRED = _Required()
+
+
+class ParamError(ValueError):
+    """A parameter set that cannot be normalised against its schema."""
+
+    def __init__(self, message: str, details: Optional[Dict] = None):
+        self.details = details
+        super().__init__(message)
+
+
+def normalize_params(
+    schema: Mapping[str, object],
+    params: Optional[Mapping[str, object]],
+    where: str = "params",
+) -> Dict:
+    """Validate ``params`` against ``schema`` and fill its defaults.
+
+    ``schema`` maps parameter names to default values, with
+    :data:`REQUIRED` marking parameters that must be supplied.  The
+    returned dict contains *every* declared parameter exactly once, so
+    its canonical JSON is identical whether callers spelled the
+    defaults out or omitted them.  Unknown and missing parameters raise
+    :class:`ParamError`.
+    """
+    if params is None:
+        params = {}
+    if not isinstance(params, Mapping):
+        raise ParamError(f"{where}: params must be an object, got {params!r}")
+    unknown = sorted(set(params) - set(schema))
+    if unknown:
+        raise ParamError(
+            f"{where}: unexpected params {unknown}"
+            f" (accepted: {sorted(schema)})",
+            {"unknown": unknown, "accepted": sorted(schema)},
+        )
+    missing = sorted(
+        name
+        for name, default in schema.items()
+        if default is REQUIRED and name not in params
+    )
+    if missing:
+        raise ParamError(
+            f"{where}: missing params {missing}", {"missing": missing}
+        )
+    out: Dict = {}
+    for name in schema:
+        out[name] = params.get(name, schema[name])
+    return out
+
+
+def canonical_json(obj) -> str:
+    """The one canonical JSON spelling used for keys and digests."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )

@@ -9,6 +9,7 @@ N−1 constraint programs.
 """
 
 from .stages import (
+    AuditArtifact,
     ConstraintsArtifact,
     LinkArtifact,
     Pipeline,
@@ -18,6 +19,7 @@ from .stages import (
 )
 
 __all__ = [
+    "AuditArtifact",
     "ConstraintsArtifact",
     "LinkArtifact",
     "Pipeline",

@@ -69,6 +69,9 @@ STAGE_VERSIONS = {
     # merge-tree nodes, keyed separately from flat "link" entries
     "shardlink": "1",
     "shardmerge": "1",
+    # audit-client reports over a solved program, keyed on (solution
+    # digest, client, canonical params)
+    "audit": "1",
 }
 
 
@@ -116,6 +119,16 @@ class LinkArtifact:
 
     key: str
     linked: LinkedProgram
+    from_cache: bool = False
+
+
+@dataclass
+class AuditArtifact:
+    """One audit client's canonical report over a solved program."""
+
+    key: str
+    client: str
+    report: Dict  # Report.to_canonical_dict() form
     from_cache: bool = False
 
 
@@ -207,7 +220,9 @@ class Pipeline:
     registries would go unnoticed).
     """
 
-    STAGES = ("parse", "lower", "constraints", "import", "link", "solve")
+    STAGES = (
+        "parse", "lower", "constraints", "import", "link", "solve", "audit"
+    )
 
     def __init__(
         self,
@@ -424,6 +439,48 @@ class Pipeline:
         if self.cache is not None:
             self.cache.store_stage("solve", key, {"solution": canonical})
         return SolveArtifact(key, config.name, canonical)
+
+    def audit(
+        self,
+        context,
+        client: str,
+        params: Optional[Dict] = None,
+        solution_digest: Optional[str] = None,
+    ) -> "AuditArtifact":
+        """Audit context → canonical client report (persistent stage).
+
+        Keyed on (solution digest, client, canonical params): the
+        parameter normalisation is the same shared helper every other
+        audit surface uses, so an omitted default and an explicit one
+        hit the same cache entry.  A disk hit returns the stored report
+        bytes without touching the solution (or the frontend, for
+        IR-tier clients).
+        """
+        from ..audit import canonical_json, normalize_client_params, run_audit
+
+        normalized = normalize_client_params(client, params)
+        digest = (
+            solution_digest
+            if solution_digest is not None
+            else context.solution.named_canonical_digest()
+        )
+        key = _key("audit", digest, client, canonical_json(normalized))
+        if self.cache is not None:
+            payload = self.cache.load_stage("audit", key)
+            if payload is not None:
+                self._bump("audit", "hits")
+                return AuditArtifact(
+                    key, client, payload["report"], from_cache=True
+                )
+            self._bump("audit", "misses")
+        with self._timed("audit"):
+            report = run_audit(
+                context, client, normalized, registry=self.registry
+            ).to_canonical_dict()
+        self._bump("audit", "runs")
+        if self.cache is not None:
+            self.cache.store_stage("audit", key, {"report": report})
+        return AuditArtifact(key, client, report)
 
     # ------------------------------------------------------------------
     # Conveniences

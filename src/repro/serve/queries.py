@@ -19,7 +19,6 @@ answer wins; never less precise than either component).
 
 from __future__ import annotations
 
-import json
 import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
@@ -32,14 +31,22 @@ from ..alias import (
     memory_accesses,
 )
 from ..analysis.omega import OMEGA
+from ..audit import (
+    AuditContext,
+    AuditError,
+    ORACLES,
+    ParamError,
+    REQUIRED,
+    canonical_json,
+    normalize_client_params,
+    normalize_params,
+    run_audit,
+)
 from ..clients.callgraph import EXTERNAL, build_call_graph
 from ..ir.module import Function
 from .project import Snapshot
 
 __all__ = ["LRUMemo", "ORACLES", "QUERY_METHODS", "QueryEngine", "QueryError"]
-
-#: selectable alias oracles
-ORACLES = ("andersen", "basicaa", "combined")
 
 #: the closed set of query methods the engine answers
 QUERY_METHODS = (
@@ -51,6 +58,8 @@ QUERY_METHODS = (
     "classify",
     "solution",
     "export_constraints",
+    "audit",
+    "audit_batch",
 )
 
 
@@ -120,26 +129,38 @@ class LRUMemo:
 class QueryEngine:
     """Evaluates (batched) queries against one snapshot."""
 
-    def __init__(self, snapshot: Snapshot, memo: Optional[LRUMemo] = None):
+    def __init__(
+        self,
+        snapshot: Snapshot,
+        memo: Optional[LRUMemo] = None,
+        registry=None,
+    ):
+        from ..obs import NULL_REGISTRY
+
         self.snapshot = snapshot
         self.memo = memo if memo is not None else LRUMemo()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self._oracles: Dict[Tuple[str, str], object] = {}
+        self._audit_context: Optional[AuditContext] = None
 
     # ------------------------------------------------------------------
 
     def evaluate(self, method: str, params: Dict) -> Dict:
-        """Answer one query (memoised); raises :class:`QueryError`."""
+        """Answer one query (memoised); raises :class:`QueryError`.
+
+        Parameters are normalised *before* the memo key is computed:
+        an omitted default and its explicit spelling are one request
+        and hit one entry (the double-caching the raw-params key used
+        to cause).  Invalid params never reach the memo.
+        """
         if method not in QUERY_METHODS:
             raise QueryError(f"unknown query method {method!r}")
-        key = (
-            self.snapshot.generation,
-            method,
-            json.dumps(params, sort_keys=True, separators=(",", ":")),
-        )
+        checked = self._checked(method, params)
+        key = (self.snapshot.generation, method, canonical_json(checked))
         cached = self.memo.get(key)
         if cached is not None:
             return cached
-        result = getattr(self, f"_q_{method}")(**self._checked(method, params))
+        result = getattr(self, f"_q_{method}")(**checked)
         self.memo.put(key, result)
         return result
 
@@ -184,38 +205,46 @@ class QueryEngine:
     # Param validation / shared lookups
     # ------------------------------------------------------------------
 
+    #: per-method parameter schemas: default values, REQUIRED = mandatory
+    #: (the shared :func:`repro.audit.params.normalize_params` shape)
     _SIGNATURES = {
-        "points_to": {"var": True},
+        "points_to": {"var": REQUIRED},
         "may_alias": {
-            "member": True,
-            "function": True,
-            "a": True,
-            "b": True,
-            "oracle": False,
+            "member": REQUIRED,
+            "function": REQUIRED,
+            "a": REQUIRED,
+            "b": REQUIRED,
+            "oracle": "combined",
         },
-        "accesses": {"member": True, "function": True},
-        "conflict_rate": {"member": True, "function": False, "oracle": False},
-        "callgraph": {"member": True},
+        "accesses": {"member": REQUIRED, "function": REQUIRED},
+        "conflict_rate": {
+            "member": REQUIRED,
+            "function": None,
+            "oracle": "combined",
+        },
+        "callgraph": {"member": REQUIRED},
         "classify": {},
         "solution": {},
         "export_constraints": {},
+        "audit": {"client": REQUIRED, "params": {}},
+        "audit_batch": {"requests": REQUIRED},
     }
 
     def _checked(self, method: str, params: Dict) -> Dict:
-        signature = self._SIGNATURES[method]
-        unknown = set(params) - set(signature)
-        if unknown:
-            raise QueryError(
-                f"{method}: unexpected params {sorted(unknown)}"
+        try:
+            checked = normalize_params(
+                self._SIGNATURES[method], params, where=method
             )
-        missing = [
-            name
-            for name, required in signature.items()
-            if required and name not in params
-        ]
-        if missing:
-            raise QueryError(f"{method}: missing params {missing}")
-        return dict(params)
+            if method == "audit":
+                # Canonicalise the *inner* client params too, so the
+                # memo key (computed from the checked dict) is identical
+                # for omitted and spelled-out client defaults.
+                checked["params"] = normalize_client_params(
+                    checked["client"], checked["params"]
+                )
+        except (ParamError, AuditError) as exc:
+            raise QueryError(str(exc), getattr(exc, "details", None)) from None
+        return checked
 
     def _binding(self, member: str):
         try:
@@ -352,6 +381,63 @@ class QueryEngine:
             "functions": per_function,
             "total": total,
         }
+
+    def _q_audit(self, client, params) -> Dict:
+        """One audit client's canonical report over this snapshot.
+
+        ``params`` arrive already normalised by :meth:`_checked`, so the
+        memo key and the report's ``params`` block are the same bytes
+        every other audit surface (CLI, pipeline stage) produces.
+        """
+        if self._audit_context is None:
+            self._audit_context = AuditContext.from_snapshot(self.snapshot)
+        try:
+            report = run_audit(
+                self._audit_context, client, params, registry=self.registry
+            )
+        except AuditError as exc:
+            raise QueryError(str(exc), exc.details) from None
+        return report.to_canonical_dict()
+
+    def _q_audit_batch(self, requests) -> Dict:
+        """Run several audit requests; per-item errors don't fail the batch.
+
+        Each item routes back through :meth:`evaluate`, so individual
+        reports land in (and answer from) the same memo as single
+        ``audit`` queries.
+        """
+        if not isinstance(requests, list):
+            raise QueryError(
+                f"audit_batch: requests must be a list: {requests!r}"
+            )
+        results = []
+        for item in requests:
+            if not isinstance(item, dict):
+                results.append(
+                    {
+                        "ok": False,
+                        "error": {
+                            "code": "invalid_params",
+                            "message": f"bad audit_batch item: {item!r}",
+                        },
+                    }
+                )
+                continue
+            try:
+                report = self.evaluate("audit", item)
+            except QueryError as exc:
+                results.append(
+                    {
+                        "ok": False,
+                        "error": {
+                            "code": "invalid_params",
+                            "message": str(exc),
+                        },
+                    }
+                )
+            else:
+                results.append({"ok": True, "result": report})
+        return {"results": results}
 
     def _q_callgraph(self, member) -> Dict:
         binding = self._binding(member)

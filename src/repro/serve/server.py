@@ -107,7 +107,9 @@ class ProjectState:
         snapshot = self.project.snapshot
         engine = self._engine
         if engine is None or engine.snapshot is not snapshot:
-            engine = QueryEngine(snapshot, self.memo)
+            engine = QueryEngine(
+                snapshot, self.memo, registry=self.project.registry
+            )
             self._engine = engine
         return engine
 

@@ -158,6 +158,44 @@ def _execute_shard_link(job: ShardLinkJob) -> ShardJobResult:
     return ShardJobResult(job.index, key, False, flags)
 
 
+def _compose_member_maps(
+    cache: ResultCache,
+    shard_refs: Sequence[Tuple[str, str]],
+    edges: Sequence[
+        Tuple[Tuple[str, str], Tuple[str, str], Optional[Tuple[str, str]]]
+    ],
+    root: Tuple[str, str],
+    root_linked: LinkedProgram,
+) -> Dict[str, List[int]]:
+    """Member name → root-joint-index maps, composed bottom-up.
+
+    Each leaf's ``var_maps`` is keyed by member names; each merge
+    node's by its children's program names.  Walking the recorded
+    merge edges in execution order and substituting child maps through
+    the parent map yields, at the root, exactly the member-keyed shape
+    a flat link produces — against the *sharded* joint index space.
+    """
+    state: Dict[Tuple[str, str], Tuple[str, Dict[str, List[int]]]] = {}
+    for ref in shard_refs:
+        leaf = _load_linked(cache, ref)
+        state[ref] = (
+            leaf.program.name,
+            {m: list(v) for m, v in leaf.var_maps.items()},
+        )
+    for out, left, right in edges:
+        parent = root_linked if out == root else _load_linked(cache, out)
+        combined: Dict[str, List[int]] = {}
+        for child in (left, right):
+            if child is None:
+                continue
+            child_name, child_maps = state.pop(child)
+            parent_map = parent.var_maps[child_name]
+            for member, mapping in child_maps.items():
+                combined[member] = [parent_map[i] for i in mapping]
+        state[out] = (parent.program.name, combined)
+    return state[root][1]
+
+
 def _execute_merge(env: _MergeEnv) -> ShardJobResult:
     job = env.job
     cache = ResultCache(env.cache_root)
@@ -236,6 +274,9 @@ class ShardedLinkResult:
     #: leaf artifact keys by occupied-slot position
     shard_keys: List[str]
     stats: ShardStats
+    #: member name → joint-index map into ``linked.program``, composed
+    #: through the merge tree (only when requested via ``member_maps``)
+    member_var_maps: Optional[Dict[str, List[int]]] = None
 
 
 class _Executor:
@@ -285,6 +326,7 @@ def link_sharded(
     registry: Optional[Registry] = None,
     trace: Optional[TraceWriter] = None,
     start_method: Optional[str] = None,
+    member_maps: bool = False,
 ) -> ShardedLinkResult:
     """Link ``sources`` (``(name, text)`` pairs, in link order) through
     K shards and a hierarchical merge tree.
@@ -349,6 +391,13 @@ def link_sharded(
             rounds = merge_rounds(len(nodes))
             stats.rounds = len(rounds)
             next_index = len(link_jobs)
+            edges: List[
+                Tuple[
+                    Tuple[str, str],
+                    Tuple[str, str],
+                    Optional[Tuple[str, str]],
+                ]
+            ] = []
             with _obs_scope(registry, "shard.merge"):
                 for r, round_nodes in enumerate(rounds):
                     is_root_round = r == len(rounds) - 1
@@ -376,6 +425,14 @@ def link_sharded(
                     merged: List[Tuple[str, str]] = [
                         ("shardmerge", res.key) for res in results
                     ]
+                    for env, res in zip(batch, results):
+                        edges.append(
+                            (
+                                ("shardmerge", res.key),
+                                env.job.left,
+                                env.job.right,
+                            )
+                        )
                     if len(nodes) % 2:  # odd tail passes through
                         merged.append(nodes[-1])
                     for res in results:
@@ -409,11 +466,25 @@ def link_sharded(
                         registry.add(
                             "shard.merge.hits" if hit else "shard.merge.runs"
                         )
+                    edges.append(
+                        (("shardmerge", res.key), job.job.left, None)
+                    )
                     nodes = [("shardmerge", res.key)]
             record_peak_rss(registry)
 
         root = nodes[0]
         linked = _load_linked(cache, root)
+        member_var_maps = (
+            _compose_member_maps(
+                cache,
+                [("shardlink", key) for key in shard_keys],
+                edges,
+                root,
+                linked,
+            )
+            if member_maps
+            else None
+        )
     finally:
         if ephemeral is not None:
             shutil.rmtree(ephemeral, ignore_errors=True)
@@ -436,4 +507,5 @@ def link_sharded(
         root=root,
         shard_keys=shard_keys,
         stats=stats,
+        member_var_maps=member_var_maps,
     )

@@ -1,0 +1,20 @@
+/* Planted: a use-after-free in use_after_free() and a stack-return in
+ * stack_return().  ok() frees and never touches the cell again — it
+ * must produce no finding. */
+extern void *malloc(unsigned long);
+extern void free(void *p);
+int use_after_free(void) {
+  int *p = malloc(8);
+  free(p);
+  return *p;
+}
+int *stack_return(void) {
+  int local;
+  local = 3;
+  return &local;
+}
+void ok(void) {
+  int *q = malloc(8);
+  *q = 1;
+  free(q);
+}

@@ -1,0 +1,8 @@
+/* Planted: the allocation in leak() is dropped (heap-leak).
+ * keep()'s allocation is retained by the internal-linkage global
+ * sink — the linker drops `sink` from the joint symbol table, so this
+ * fixture also locks the dot-free-memory-root rule. */
+extern void *malloc(unsigned long);
+static int *sink;
+void leak(void) { int *p = malloc(8); *p = 1; }
+void keep(void) { sink = malloc(8); }

@@ -1,0 +1,11 @@
+/* Planted: write/write race candidate on `counter` between main and
+ * the spawned worker.  The handler cell adds one indirect call whose
+ * target set is Ω-unbounded (set_handler's parameter escapes), for the
+ * calls-client golden over the same fixture. */
+extern int pthread_create(void *t, void *attr, void *(*start)(void *), void *arg);
+static int counter;
+static void (*handler)(void);
+void *worker(void *arg) { counter = counter + 1; return 0; }
+void set_handler(void (*h)(void)) { handler = h; }
+void fire(void) { handler(); }
+int main(void) { int t; pthread_create(&t, 0, worker, 0); counter = 2; return 0; }

@@ -1,0 +1,110 @@
+"""Golden-locked fixture reports and planted-bug presence/absence.
+
+Each hand-written fixture plants exactly one scenario per client; the
+canonical report is locked byte-for-byte in ``fixtures/golden/``, every
+planted finding must carry a non-empty evidence chain, and a minimally
+repaired variant of the same source must no longer produce it.
+"""
+
+import pytest
+
+from repro.audit import run_audit
+
+from .util import GOLDEN, build_context, fixture_context, read_fixture
+
+CASES = [
+    ("leak_escape", ["leak.c"], "escape"),
+    ("race_races", ["race.c"], "races"),
+    ("race_calls", ["race.c"], "calls"),
+    ("dangling_dangling", ["dangling.c"], "dangling"),
+    ("leak_lir_escape", ["leak.lir"], "escape"),
+]
+
+
+def report_for(names, client):
+    _, context, _ = fixture_context(names)
+    return run_audit(context, client)
+
+
+class TestGolden:
+    @pytest.mark.parametrize("stem,names,client", CASES)
+    def test_byte_identical_to_golden(self, stem, names, client):
+        report = report_for(names, client)
+        assert report.to_json() == (GOLDEN / f"{stem}.json").read_text()
+
+    @pytest.mark.parametrize("stem,names,client", CASES)
+    def test_every_finding_has_evidence(self, stem, names, client):
+        report = report_for(names, client)
+        assert report.findings, f"{stem}: planted bug not found"
+        for finding in report.findings:
+            assert finding.evidence, f"{finding.subject}: empty chain"
+
+
+class TestPlantedBugPresence:
+    def test_leak_found(self):
+        report = report_for(["leak.c"], "escape")
+        assert [f.subject for f in report.findings] == ["heap.leak.r2"]
+        assert report.findings[0].kind == "heap-leak"
+
+    def test_retained_site_not_reported(self):
+        subjects = {f.subject for f in report_for(["leak.c"], "escape").findings}
+        assert "heap.keep.r2" not in subjects
+
+    def test_race_found(self):
+        (finding,) = [
+            f
+            for f in report_for(["race.c"], "races").findings
+            if f.kind == "race-candidate"
+        ]
+        assert finding.subject == "race.c:counter"
+        kinds = {e.kind for e in finding.evidence}
+        assert kinds == {"call-edge", "modref"}
+
+    def test_dangling_found(self):
+        report = report_for(["dangling.c"], "dangling")
+        kinds = sorted(f.kind for f in report.findings)
+        assert kinds == ["stack-return", "use-after-free"]
+        subjects = {f.subject for f in report.findings}
+        assert not any("ok" in s for s in subjects)
+
+    def test_lir_leak_found(self):
+        report = report_for(["leak.lir"], "escape")
+        by_kind = {f.kind: f.subject for f in report.findings}
+        assert by_kind == {
+            "heap-leak": "heap.alloc.r1",
+            "heap-escape": "heap.alloc.r3",
+        }
+
+
+class TestPlantedBugAbsence:
+    """The repaired variant of each fixture produces no finding."""
+
+    def test_leak_repaired(self):
+        fixed = read_fixture("leak.c").replace(
+            "int *p = malloc(8); *p = 1;", "sink = malloc(8);"
+        )
+        assert fixed != read_fixture("leak.c")
+        _, context, _ = build_context({"leak.c": fixed})
+        assert run_audit(context, "escape").findings == ()
+
+    def test_race_repaired(self):
+        fixed = read_fixture("race.c").replace(
+            "pthread_create(&t, 0, worker, 0);", "worker(0);"
+        )
+        assert fixed != read_fixture("race.c")
+        _, context, _ = build_context({"race.c": fixed})
+        report = run_audit(context, "races")
+        assert report.findings == ()
+
+    def test_dangling_repaired(self):
+        fixed = read_fixture("dangling.c").replace("return *p;", "return 0;")
+        fixed = fixed.replace("return &local;", "return 0;")
+        assert fixed != read_fixture("dangling.c")
+        _, context, _ = build_context({"dangling.c": fixed})
+        assert run_audit(context, "dangling").findings == ()
+
+    def test_lir_leak_repaired(self):
+        fixed = read_fixture("leak.lir") + "p <= proj(ref,1,gp)\n"
+        _, context, _ = build_context({"leak.lir": fixed})
+        kinds = {f.kind for f in run_audit(context, "escape").findings}
+        assert "heap-leak" not in kinds

@@ -1,0 +1,169 @@
+"""The audit client framework: params, findings, reports, the runner."""
+
+import json
+
+import pytest
+
+from repro.audit import (
+    AuditContext,
+    AuditError,
+    Evidence,
+    Finding,
+    ParamError,
+    REQUIRED,
+    Report,
+    audit_names,
+    canonical_json,
+    normalize_client_params,
+    normalize_params,
+    run_audit,
+)
+from repro.obs import Registry
+
+from .util import fixture_context
+
+
+class TestParams:
+    def test_defaults_fill_in(self):
+        got = normalize_params({"a": 1, "b": "x"}, {"b": "y"}, where="t")
+        assert got == {"a": 1, "b": "y"}
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ParamError) as err:
+            normalize_params({"a": 1}, {"zz": 2}, where="t")
+        assert "t: unexpected params ['zz']" in str(err.value)
+        assert "accepted: ['a']" in str(err.value)
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(ParamError) as err:
+            normalize_params({"a": REQUIRED}, {}, where="t")
+        assert "t: missing params ['a']" in str(err.value)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ParamError):
+            normalize_params({"a": 1}, "junk", where="t")
+
+    def test_omitted_and_explicit_defaults_canonicalize_identically(self):
+        schema = {"oracle": "combined", "depth": 3}
+        omitted = normalize_params(schema, {}, where="t")
+        explicit = normalize_params(
+            schema, {"depth": 3, "oracle": "combined"}, where="t"
+        )
+        assert canonical_json(omitted) == canonical_json(explicit)
+
+
+class TestClientParams:
+    def test_unknown_client(self):
+        with pytest.raises(AuditError) as err:
+            normalize_client_params("nope", {})
+        assert "unknown audit client 'nope'" in str(err.value)
+        assert err.value.details == {"clients": audit_names()}
+
+    def test_non_string_client_name(self):
+        with pytest.raises(AuditError):
+            normalize_client_params({"bad": "type"}, {})
+
+    def test_unknown_oracle(self):
+        with pytest.raises(AuditError) as err:
+            normalize_client_params("escape", {"oracle": "tarot"})
+        assert "unknown oracle 'tarot'" in str(err.value)
+
+    def test_every_client_normalizes_empty_params(self):
+        for name in audit_names():
+            got = normalize_client_params(name, None)
+            assert got["oracle"] == "combined"
+
+
+class TestFindings:
+    def _finding(self, **kwargs):
+        base = dict(
+            client="escape",
+            kind="heap-leak",
+            severity="medium",
+            subject="heap.f.r1",
+            message="dropped",
+            evidence=(Evidence("points-to", "Sol(p) has it", ("p",)),),
+        )
+        base.update(kwargs)
+        return Finding(**base)
+
+    def test_id_is_content_derived_and_stable(self):
+        assert self._finding().id == self._finding().id
+        assert self._finding().id != self._finding(subject="heap.g.r1").id
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError):
+            self._finding(severity="catastrophic")
+
+    def test_report_sorts_by_severity_then_kind(self):
+        low = self._finding(severity="low", kind="heap-escape")
+        high = self._finding(severity="high", kind="use-after-free")
+        report = Report(
+            client="escape", params={}, program_name="p",
+            solution_digest="s", findings=(low, high),
+        )
+        assert [f.severity for f in report.findings] == ["high", "low"]
+
+    def test_report_dedups_identical_findings(self):
+        f = self._finding()
+        report = Report(
+            client="escape", params={}, program_name="p",
+            solution_digest="s", findings=(f, f, f),
+        )
+        assert len(report.findings) == 1
+
+    def test_counts_include_zero_severities(self):
+        report = Report(
+            client="escape", params={}, program_name="p",
+            solution_digest="s", findings=(self._finding(),),
+        )
+        counts = report.counts()
+        assert counts["total"] == 1
+        assert set(counts["by_severity"]) == {"high", "medium", "low", "info"}
+
+    def test_canonical_json_roundtrips_through_json(self):
+        report = Report(
+            client="escape", params={"oracle": "combined"},
+            program_name="p", solution_digest="s",
+            findings=(self._finding(),),
+        )
+        text = report.to_json()
+        assert json.loads(text) == report.to_canonical_dict()
+        assert text.endswith("\n")
+
+
+class TestRunner:
+    def test_counters_and_report_metadata(self):
+        registry = Registry()
+        _, context, solution = fixture_context(["leak.c"])
+        report = run_audit(context, "escape", None, registry=registry)
+        assert registry.counter("audit.runs") == 1
+        assert registry.counter("audit.escape.runs") == 1
+        assert registry.counter("audit.findings") == len(report.findings)
+        assert "audit.escape" in registry.timers
+        assert report.solution_digest == solution.named_canonical_digest()
+        assert report.program_name == context.program.name
+
+    def test_ir_client_refuses_constraint_only_context(self):
+        _, context, _ = fixture_context(["leak.lir"])
+        assert context.bindings() == {}
+        with pytest.raises(AuditError) as err:
+            run_audit(context, "dangling")
+        assert err.value.details["requires_ir"] is True
+
+    def test_constraint_client_never_loads_ir(self):
+        def exploding_loader():
+            raise AssertionError("constraint-tier client touched the IR")
+
+        _, context, _ = fixture_context(["leak.c"])
+        lazy = AuditContext(
+            context.program, context.solution, loader=exploding_loader
+        )
+        report = run_audit(lazy, "escape")
+        assert report.counts()["total"] == 1
+
+    def test_render_table_mentions_findings(self):
+        _, context, _ = fixture_context(["leak.c"])
+        table = run_audit(context, "escape").render_table()
+        assert "heap.leak.r2" in table
+        assert "heap-leak" in table

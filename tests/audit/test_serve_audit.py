@@ -1,0 +1,153 @@
+"""Serve-path audit tests: memoisation, normalisation, hostile input.
+
+Covers the satellite fixes too: ``conflict_rate`` (and every audit
+method) normalises params *before* the memo key is computed, so an
+omitted default and its explicit spelling share one entry.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Registry
+from repro.serve import AnalysisServer, InProcessClient, Project, ServeError
+from repro.serve.queries import LRUMemo, QueryEngine, QueryError
+
+from .util import GOLDEN, read_fixture
+
+
+@pytest.fixture
+def snapshot_env():
+    project = Project(registry=Registry())
+    snapshot = project.open(
+        {
+            "leak.c": read_fixture("leak.c"),
+            "race.c": read_fixture("race.c"),
+            "dangling.c": read_fixture("dangling.c"),
+        }
+    )
+    memo = LRUMemo()
+    engine = QueryEngine(snapshot, memo, registry=project.registry)
+    return engine, memo
+
+
+class TestAuditQuery:
+    def test_answers_match_direct_run(self, snapshot_env):
+        engine, _ = snapshot_env
+        result = engine.evaluate("audit", {"client": "races"})
+        assert result["counts"]["by_kind"] == {"race-candidate": 1}
+        assert result["findings"][0]["subject"] == "race.c:counter"
+
+    def test_single_member_project_matches_golden(self):
+        project = Project()
+        snapshot = project.open({"leak.c": read_fixture("leak.c")})
+        engine = QueryEngine(snapshot)
+        result = engine.evaluate("audit", {"client": "escape"})
+        golden = json.loads((GOLDEN / "leak_escape.json").read_text())
+        assert result == golden
+
+    def test_second_identical_query_hits_memo(self, snapshot_env):
+        engine, memo = snapshot_env
+        first = engine.evaluate("audit", {"client": "escape"})
+        assert (memo.hits, memo.misses) == (0, 1)
+        second = engine.evaluate("audit", {"client": "escape"})
+        assert (memo.hits, memo.misses) == (1, 1)
+        assert first == second
+
+    def test_omitted_and_explicit_defaults_share_one_entry(self, snapshot_env):
+        engine, memo = snapshot_env
+        engine.evaluate("audit", {"client": "escape"})
+        engine.evaluate(
+            "audit",
+            {
+                "client": "escape",
+                "params": {"oracle": "combined", "heap_prefix": "heap."},
+            },
+        )
+        assert len(memo) == 1
+        assert (memo.hits, memo.misses) == (1, 1)
+
+    def test_conflict_rate_normalises_before_memo(self, snapshot_env):
+        engine, memo = snapshot_env
+        engine.evaluate("conflict_rate", {"member": "race.c"})
+        engine.evaluate(
+            "conflict_rate",
+            {"member": "race.c", "function": None, "oracle": "combined"},
+        )
+        assert len(memo) == 1
+        assert (memo.hits, memo.misses) == (1, 1)
+
+    def test_unknown_client_is_query_error(self, snapshot_env):
+        engine, memo = snapshot_env
+        with pytest.raises(QueryError) as err:
+            engine.evaluate("audit", {"client": "nope"})
+        assert "unknown audit client 'nope'" in str(err.value)
+        assert len(memo) == 0  # invalid params never reach the memo
+
+    def test_bad_client_params_is_query_error(self, snapshot_env):
+        engine, _ = snapshot_env
+        with pytest.raises(QueryError) as err:
+            engine.evaluate(
+                "audit", {"client": "escape", "params": {"bogus": 1}}
+            )
+        assert "unexpected params ['bogus']" in str(err.value)
+
+
+class TestAuditBatch:
+    def test_mixed_good_and_bad_requests(self, snapshot_env):
+        engine, _ = snapshot_env
+        result = engine.evaluate(
+            "audit_batch",
+            {
+                "requests": [
+                    {"client": "escape"},
+                    {"client": "nope"},
+                    "junk",
+                ]
+            },
+        )
+        shapes = [
+            (item["ok"], item.get("error", {}).get("message", ""))
+            for item in result["results"]
+        ]
+        assert shapes[0] == (True, "")
+        assert "unknown audit client 'nope'" in shapes[1][1]
+        assert "bad audit_batch item" in shapes[2][1]
+
+    def test_batch_items_share_the_audit_memo(self, snapshot_env):
+        engine, memo = snapshot_env
+        engine.evaluate("audit", {"client": "calls"})
+        hits0 = memo.hits
+        engine.evaluate("audit_batch", {"requests": [{"client": "calls"}]})
+        assert memo.hits == hits0 + 1
+
+
+class TestServerDispatch:
+    """Hostile requests through the real server dispatch layer."""
+
+    def make_client(self):
+        registry = Registry()
+        server = AnalysisServer(Project(), registry=registry)
+        client = InProcessClient(server)
+        client.call(
+            "open", {"files": {"leak.c": read_fixture("leak.c")}}
+        )
+        return client, registry
+
+    def test_audit_method_over_protocol(self):
+        client, _ = self.make_client()
+        result = client.call("audit", {"client": "escape"})
+        assert result["counts"]["by_kind"] == {"heap-leak": 1}
+
+    def test_unknown_client_is_structured_error(self):
+        client, registry = self.make_client()
+        with pytest.raises(ServeError) as err:
+            client.call("audit", {"client": "nope"})
+        assert err.value.code == "invalid_params"
+        assert registry.counter("serve.errors") == 1
+
+    def test_bad_params_type_is_structured_error(self):
+        client, _ = self.make_client()
+        with pytest.raises(ServeError) as err:
+            client.call("audit", {"client": "escape", "params": "junk"})
+        assert err.value.code == "invalid_params"

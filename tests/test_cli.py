@@ -127,7 +127,8 @@ class TestLinkCLI:
         assert report["resolved_imports"] == ["get_cell"]
         assert "points_to" in report["solution"]
         assert set(report["stages"]) == {
-            "parse", "lower", "constraints", "import", "link", "solve"
+            "parse", "lower", "constraints", "import", "link", "solve",
+            "audit",
         }
         assert all("seconds" in s for s in report["stages"].values())
         assert len(report["ladder"]) == 2
